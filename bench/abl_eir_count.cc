@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation for Section 3.2.1: how many EIRs per group? Sweeps the
+ * per-CB group-size cap (1 = the existing single-injection-router
+ * architecture) and, for contrast, the MultiPort port count. The
+ * paper argues for a middle ground: one EIR regresses to the
+ * baseline, while "all PEs as EIRs" wastes interposer links.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace eqx;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = parseBenchArgs(argc, argv);
+    printHeader("abl_eir_count: EIRs per group / MultiPort ports",
+                "EquiNox (HPCA'20) Section 3.2.1 trade-off");
+
+    std::uint64_t seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    double scale = cfg.getDouble("scale", 0.15);
+    std::size_t nbench =
+        static_cast<std::size_t>(cfg.getInt("benchmarks", 2));
+    auto exec = [](const RunResult &r) { return r.execNs; };
+
+    ExperimentConfig base;
+    base.seed = seed;
+    base.instScale = scale;
+    base.schemes = {Scheme::SeparateBase};
+    base.workloads = workloadSubset(nbench);
+    ExperimentRunner base_runner(base);
+    double sep = schemeGeomean(base_runner.runMatrix(),
+                               Scheme::SeparateBase, exec);
+
+    std::printf("\nEquiNox group-size cap sweep (exec normalized to "
+                "SeparateBase = 1.0):\n");
+    std::printf("%10s %6s %8s %12s\n", "maxGroup", "eirs", "links",
+                "exec");
+    for (int cap : {1, 2, 3, 4, 6}) {
+        DesignParams dp;
+        dp.seed = seed;
+        dp.maxPerGroup = cap;
+        EquiNoxDesign design = buildEquiNoxDesign(dp);
+
+        ExperimentConfig ec;
+        ec.seed = seed;
+        ec.instScale = scale;
+        ec.schemes = {Scheme::EquiNox};
+        ec.workloads = workloadSubset(nbench);
+        ec.tweak = [&](SystemConfig &sc) { sc.preDesign = &design; };
+        ExperimentRunner runner(ec);
+        double eq =
+            schemeGeomean(runner.runMatrix(), Scheme::EquiNox, exec);
+        std::printf("%10d %6d %8d %12.3f\n", cap, design.numEirs(),
+                    static_cast<int>(design.plan.size()), eq / sep);
+    }
+
+    std::printf("\nMultiPort injection-port sweep (same metric):\n");
+    std::printf("%10s %12s\n", "ports", "exec");
+    for (int ports : {2, 4, 6}) {
+        ExperimentConfig ec;
+        ec.seed = seed;
+        ec.instScale = scale;
+        ec.schemes = {Scheme::MultiPort};
+        ec.workloads = workloadSubset(nbench);
+        ec.tweak = [&](SystemConfig &sc) {
+            sc.multiPortInjPorts = ports;
+        };
+        ExperimentRunner runner(ec);
+        double mp =
+            schemeGeomean(runner.runMatrix(), Scheme::MultiPort, exec);
+        std::printf("%10d %12.3f\n", ports, mp / sep);
+    }
+    return 0;
+}

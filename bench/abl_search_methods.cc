@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation for Section 4.3's search-method discussion: MCTS vs
+ * greedy, random sampling, simulated annealing and a genetic
+ * algorithm, all on the same placement, evaluation function and
+ * budget ballpark. The paper argues MCTS fits the problem
+ * representation best; this bench quantifies it.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "core/design_flow.hh"
+#include "core/nqueen.hh"
+#include "core/search.hh"
+
+using namespace eqx;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = parseBenchArgs(argc, argv);
+    printHeader("abl_search_methods: MCTS vs GA/SA/greedy/random",
+                "EquiNox (HPCA'20) Section 4.3 discussion");
+
+    std::uint64_t seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    Rng rng(seed);
+    auto placement = bestNQueenPlacement(8, 8, rng);
+    EirProblem prob(8, 8, placement.cbs, 3, 4);
+    EirEvaluator eval(&prob);
+
+    std::printf("\n%-10s %10s %8s %8s %8s %10s %12s\n", "method",
+                "score", "eirs", "cross", "3hop", "maxLoad", "evals");
+
+    auto report = [&](const SearchResult &r) {
+        int eirs = 0, h3 = 0;
+        for (std::size_t i = 0; i < r.selection.size(); ++i) {
+            for (const auto &e : r.selection[i]) {
+                ++eirs;
+                if (manhattan(placement.cbs[i], e) > 2)
+                    ++h3;
+            }
+        }
+        std::printf("%-10s %10.3f %8d %8d %8d %10.1f %12llu\n",
+                    r.method.c_str(), r.eval.score, eirs,
+                    r.eval.crossings, h3, r.eval.maxLoad,
+                    static_cast<unsigned long long>(r.evaluations));
+    };
+
+    MctsParams mp;
+    mp.seed = seed;
+    mp.iterationsPerLevel = static_cast<int>(cfg.getInt("iters", 600));
+    report(mctsSearch(prob, eval, mp));
+    report(greedySearch(prob, eval, 2048));
+    report(randomSearch(prob, eval, 4000, seed));
+    AnnealParams ap;
+    ap.seed = seed;
+    ap.steps = 4000;
+    report(annealSearch(prob, eval, ap));
+    GeneticParams gp;
+    gp.seed = seed;
+    report(geneticSearch(prob, eval, gp));
+
+    // And each method followed by the same polish pass, as the design
+    // flow applies.
+    std::printf("\nwith best-response polish:\n");
+    for (auto method : {SearchMethod::Mcts, SearchMethod::Greedy,
+                        SearchMethod::Random, SearchMethod::Anneal,
+                        SearchMethod::Genetic}) {
+        SearchResult r;
+        switch (method) {
+          case SearchMethod::Mcts:
+            r = mctsSearch(prob, eval, mp);
+            break;
+          case SearchMethod::Greedy:
+            r = greedySearch(prob, eval, 2048);
+            break;
+          case SearchMethod::Random:
+            r = randomSearch(prob, eval, 4000, seed);
+            break;
+          case SearchMethod::Anneal:
+            r = annealSearch(prob, eval, ap);
+            break;
+          case SearchMethod::Genetic:
+            r = geneticSearch(prob, eval, gp);
+            break;
+        }
+        auto polished = polishSelection(prob, eval, r.selection);
+        polished.method = std::string(searchMethodName(method)) + "+p";
+        polished.evaluations += r.evaluations;
+        report(polished);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the bench harness: key=value argument parsing and
+ * run-scale defaults. Every bench binary accepts:
+ *   scale=<f>     instruction-count scale (default varies per bench)
+ *   benchmarks=<n> use only the first n workloads
+ *   seed=<n>
+ */
+
+#ifndef EQX_BENCH_UTIL_HH
+#define EQX_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace eqx {
+
+inline Config
+parseBenchArgs(int argc, char **argv)
+{
+    Config cfg;
+    std::vector<std::string> toks;
+    for (int i = 1; i < argc; ++i)
+        toks.emplace_back(argv[i]);
+    cfg.parseArgs(toks);
+    return cfg;
+}
+
+inline void
+printHeader(const char *title, const char *paper_ref)
+{
+    std::printf("==================================================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("==================================================\n");
+}
+
+} // namespace eqx
+
+#endif // EQX_BENCH_UTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 9 (a)(b)(c): execution time, NoC energy and EDP for the seven
+ * schemes across the benchmark suite, each normalized to SingleBase.
+ * The paper's headline numbers: EquiNox cuts execution time by 47.7 %
+ * vs SingleBase and 23.5 % vs SeparateBase, energy by 15.0 % / 18.9 %,
+ * and EDP by 55.0 % / 32.8 %.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace eqx;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = parseBenchArgs(argc, argv);
+    printHeader("fig09_performance: execution time / energy / EDP",
+                "EquiNox (HPCA'20) Figure 9(a)(b)(c)");
+
+    ExperimentConfig ec;
+    ec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    ec.instScale = cfg.getDouble("scale", 0.20);
+    std::size_t nbench = static_cast<std::size_t>(
+        cfg.getInt("benchmarks", 29));
+    ec.workloads = workloadSubset(nbench);
+    ec.verbose = cfg.getBool("verbose", false);
+
+    ExperimentRunner runner(ec);
+    auto cells = runner.runMatrix();
+
+    if (cfg.has("csv"))
+        writeCellsCsv(cells, cfg.getString("csv"));
+
+    printNormalizedTable(cells, ec.schemes, "Fig 9(a) execution time",
+                         [](const RunResult &r) { return r.execNs; },
+                         Scheme::SingleBase);
+    printNormalizedTable(cells, ec.schemes, "Fig 9(b) NoC energy",
+                         [](const RunResult &r) { return r.energyPj; },
+                         Scheme::SingleBase);
+    printNormalizedTable(cells, ec.schemes, "Fig 9(c) EDP",
+                         [](const RunResult &r) { return r.edp; },
+                         Scheme::SingleBase);
+
+    // Paper headline ratios.
+    auto exec = [](const RunResult &r) { return r.execNs; };
+    auto energy = [](const RunResult &r) { return r.energyPj; };
+    auto edp = [](const RunResult &r) { return r.edp; };
+    double eq_t = schemeGeomean(cells, Scheme::EquiNox, exec);
+    double sb_t = schemeGeomean(cells, Scheme::SingleBase, exec);
+    double sp_t = schemeGeomean(cells, Scheme::SeparateBase, exec);
+    double eq_e = schemeGeomean(cells, Scheme::EquiNox, energy);
+    double sb_e = schemeGeomean(cells, Scheme::SingleBase, energy);
+    double sp_e = schemeGeomean(cells, Scheme::SeparateBase, energy);
+    double eq_d = schemeGeomean(cells, Scheme::EquiNox, edp);
+    double sb_d = schemeGeomean(cells, Scheme::SingleBase, edp);
+    double sp_d = schemeGeomean(cells, Scheme::SeparateBase, edp);
+
+    std::printf("\nheadline reductions (paper -> measured)\n");
+    std::printf("exec vs SingleBase  : 47.7%% -> %.1f%%\n",
+                100.0 * (1.0 - eq_t / sb_t));
+    std::printf("exec vs SeparateBase: 23.5%% -> %.1f%%\n",
+                100.0 * (1.0 - eq_t / sp_t));
+    std::printf("energy vs SingleBase  : 15.0%% -> %.1f%%\n",
+                100.0 * (1.0 - eq_e / sb_e));
+    std::printf("energy vs SeparateBase: 18.9%% -> %.1f%%\n",
+                100.0 * (1.0 - eq_e / sp_e));
+    std::printf("EDP vs SingleBase  : 55.0%% -> %.1f%%\n",
+                100.0 * (1.0 - eq_d / sb_d));
+    std::printf("EDP vs SeparateBase: 32.8%% -> %.1f%%\n",
+                100.0 * (1.0 - eq_d / sp_d));
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 10: NoC packet latency decomposed into queuing/non-queuing
+ * parts for request and reply traffic, in ns, normalized to
+ * SingleBase. Paper headline: EquiNox reduces request/reply/total
+ * packet latency by 44.6% / 40.6% / 45.8% vs SingleBase, and the
+ * request latency exceeds the reply latency everywhere (parking-lot
+ * backpressure).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace eqx;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = parseBenchArgs(argc, argv);
+    printHeader("fig10_latency: packet latency decomposition",
+                "EquiNox (HPCA'20) Figure 10");
+
+    ExperimentConfig ec;
+    ec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    ec.instScale = cfg.getDouble("scale", 0.25);
+    ec.workloads = workloadSubset(
+        static_cast<std::size_t>(cfg.getInt("benchmarks", 8)));
+
+    ExperimentRunner runner(ec);
+    auto cells = runner.runMatrix();
+
+    // Per-scheme averages over benchmarks (ns per packet).
+    std::printf("\n%-18s %10s %10s %10s %10s %10s %8s\n", "scheme",
+                "req-queue", "req-net", "rep-queue", "rep-net", "total",
+                "norm");
+    double base_total = 0;
+    for (Scheme s : ec.schemes) {
+        double rq = 0, rn = 0, pq = 0, pn = 0;
+        int n = 0;
+        for (const auto &c : cells) {
+            if (c.scheme != s)
+                continue;
+            rq += c.result.reqQueueNs;
+            rn += c.result.reqNetNs;
+            pq += c.result.repQueueNs;
+            pn += c.result.repNetNs;
+            ++n;
+        }
+        rq /= n;
+        rn /= n;
+        pq /= n;
+        pn /= n;
+        double total = rq + rn + pq + pn;
+        if (s == Scheme::SingleBase)
+            base_total = total;
+        std::printf("%-18s %10.2f %10.2f %10.2f %10.2f %10.2f %8.3f\n",
+                    schemeName(s), rq, rn, pq, pn, total,
+                    total / base_total);
+    }
+
+    auto avg = [&](Scheme s, auto metric) {
+        double v = 0;
+        int n = 0;
+        for (const auto &c : cells)
+            if (c.scheme == s) {
+                v += metric(c.result);
+                ++n;
+            }
+        return v / n;
+    };
+    auto req = [](const RunResult &r) { return r.reqQueueNs + r.reqNetNs; };
+    auto rep = [](const RunResult &r) { return r.repQueueNs + r.repNetNs; };
+    auto tot = [&](const RunResult &r) { return req(r) + rep(r); };
+
+    std::printf("\nEquiNox latency reductions vs SingleBase "
+                "(paper -> measured):\n");
+    std::printf("request: 44.6%% -> %.1f%%\n",
+                100.0 * (1.0 - avg(Scheme::EquiNox, req) /
+                                   avg(Scheme::SingleBase, req)));
+    std::printf("reply  : 40.6%% -> %.1f%%\n",
+                100.0 * (1.0 - avg(Scheme::EquiNox, rep) /
+                                   avg(Scheme::SingleBase, rep)));
+    std::printf("total  : 45.8%% -> %.1f%%\n",
+                100.0 * (1.0 - avg(Scheme::EquiNox, tot) /
+                                   avg(Scheme::SingleBase, tot)));
+    std::printf("\nrequest latency exceeds reply latency "
+                "(backpressure, paper Section 6.4):\n");
+    for (Scheme s : ec.schemes)
+        std::printf("  %-18s req=%.2f ns rep=%.2f ns %s\n",
+                    schemeName(s), avg(s, req), avg(s, rep),
+                    avg(s, req) > avg(s, rep) ? "[req > rep]" : "");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 12: scalability of EquiNox. The same N-Queen + MCTS flow is
+ * run for 8x8, 12x12 and 16x16 networks and EquiNox's average-IPC
+ * improvement over SeparateBase is reported. Paper: 1.23x (8x8),
+ * 1.31x (12x12), 1.30x (16x16) — larger meshes suffer the injection
+ * bottleneck more, so EquiNox helps at least as much.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace eqx;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = parseBenchArgs(argc, argv);
+    printHeader("fig12_scalability: 8x8 / 12x12 / 16x16",
+                "EquiNox (HPCA'20) Figure 12");
+
+    std::vector<int> sizes = {8, 12, 16};
+    if (cfg.has("size"))
+        sizes = {static_cast<int>(cfg.getInt("size"))};
+
+    std::size_t nbench =
+        static_cast<std::size_t>(cfg.getInt("benchmarks", 2));
+    double paper[3] = {1.23, 1.31, 1.30};
+
+    std::printf("\n%8s %14s %14s %10s %10s\n", "mesh", "SepBase IPC",
+                "EquiNox IPC", "speedup", "paper");
+    int idx = 0;
+    for (int n : sizes) {
+        ExperimentConfig ec;
+        ec.width = ec.height = n;
+        ec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+        // Per-PE work is kept constant, so larger meshes carry more
+        // total demand into the same 8 CBs — the intensifying
+        // injection bottleneck the paper's scalability argument rests
+        // on.
+        ec.instScale = cfg.getDouble("scale", 0.15);
+        ec.schemes = {Scheme::SeparateBase, Scheme::EquiNox};
+        ec.workloads = workloadSubset(nbench);
+        ec.tweak = [](SystemConfig &sc) {
+            sc.design.mcts.iterationsPerLevel = 300;
+        };
+        ExperimentRunner runner(ec);
+        auto cells = runner.runMatrix();
+        auto ipc = [](const RunResult &r) { return r.ipc; };
+        double sep = schemeGeomean(cells, Scheme::SeparateBase, ipc);
+        double eq = schemeGeomean(cells, Scheme::EquiNox, ipc);
+        std::printf("%5dx%-3d %14.2f %14.2f %9.2fx %9.2fx\n", n, n, sep,
+                    eq, eq / sep, idx < 3 ? paper[idx] : 0.0);
+        ++idx;
+    }
+    std::printf("\n(EquiNox speedup should hold or grow with mesh "
+                "size.)\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    kv_[key] = value;
+}
+
+void
+Config::set(const std::string &key, long value)
+{
+    kv_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    kv_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    kv_[key] = value ? "true" : "false";
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+}
+
+long
+Config::getInt(const std::string &key, long fallback) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return fallback;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        eqx_fatal("config key '", key, "' is not an integer: ", it->second);
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        eqx_fatal("config key '", key, "' is not a number: ", it->second);
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return fallback;
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes")
+        return true;
+    if (s == "false" || s == "0" || s == "no")
+        return false;
+    eqx_fatal("config key '", key, "' is not a boolean: ", s);
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return kv_.count(key) > 0;
+}
+
+void
+Config::parseArgs(const std::vector<std::string> &tokens)
+{
+    for (const auto &tok : tokens) {
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            eqx_fatal("expected key=value argument, got '", tok, "'");
+        kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+}
+
+} // namespace eqx

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * 2D geometry on the tile grid: exact integer segment-intersection
+ * predicates used to count RDL wire crossings in the interposer.
+ */
+
+#ifndef EQX_COMMON_GEOMETRY_HH
+#define EQX_COMMON_GEOMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace eqx {
+
+/** A straight wire segment between two tile centres. */
+struct Segment
+{
+    Coord a;
+    Coord b;
+};
+
+/** Signed orientation of (a, b, c): >0 counter-clockwise, 0 collinear. */
+std::int64_t orient(const Coord &a, const Coord &b, const Coord &c);
+
+/** True if c lies on the closed segment [a, b] (assumes collinear). */
+bool onSegment(const Coord &a, const Coord &b, const Coord &c);
+
+/**
+ * True if the two closed segments intersect at any point, including
+ * endpoints and collinear overlap.
+ */
+bool segmentsIntersect(const Segment &s, const Segment &t);
+
+/**
+ * True if the segments *cross* in the RDL sense: they share at least
+ * one point that is not a shared endpoint. Two wires fanning out from
+ * the same ubump do not need an extra metal layer; wires that touch or
+ * overlap anywhere else do.
+ */
+bool segmentsCross(const Segment &s, const Segment &t);
+
+/** Number of crossing pairs among a set of segments (RDL cross-points). */
+int countCrossings(const std::vector<Segment> &segs);
+
+/**
+ * Minimum number of RDL metal layers needed so no two wires in the
+ * same layer cross: a greedy colouring of the crossing graph.
+ * Returns at least 1 for a non-empty set.
+ */
+int rdlLayersNeeded(const std::vector<Segment> &segs);
+
+/** Euclidean length of a segment in tile pitches. */
+double segmentLength(const Segment &s);
+
+} // namespace eqx
+
+#endif // EQX_COMMON_GEOMETRY_HH

@@ -1,0 +1,56 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace eqx {
+
+namespace {
+int gVerbosity = 1;
+} // namespace
+
+void
+setVerbosity(int level)
+{
+    gVerbosity = level;
+}
+
+int
+verbosity()
+{
+    return gVerbosity;
+}
+
+namespace detail {
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throw instead of exit(1) so tests can observe fatal conditions.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gVerbosity > 0)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace eqx

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ * Every stochastic component takes an explicit Rng so experiments are
+ * reproducible bit-for-bit from a single seed.
+ */
+
+#ifndef EQX_COMMON_RNG_HH
+#define EQX_COMMON_RNG_HH
+
+#include <cstdint>
+#include <utility>
+
+namespace eqx {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for
+ * simulation-grade randomness; not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) with rejection (unbiased). */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p);
+
+    /** Geometric-ish burst length >= 1 with continuation probability p. */
+    int burstLength(double p, int cap);
+
+    /** Fork a decorrelated child stream (for per-component seeding). */
+    Rng fork();
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Vec>
+    void
+    shuffle(Vec &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBounded(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace eqx
+
+#endif // EQX_COMMON_RNG_HH

@@ -1,0 +1,30 @@
+#include "common/types.hh"
+
+namespace eqx {
+
+const char *
+dirName(Dir d)
+{
+    switch (d) {
+      case Dir::North: return "N";
+      case Dir::East:  return "E";
+      case Dir::South: return "S";
+      case Dir::West:  return "W";
+      case Dir::Local: return "L";
+    }
+    return "?";
+}
+
+const char *
+packetTypeName(PacketType t)
+{
+    switch (t) {
+      case PacketType::ReadRequest:  return "ReadReq";
+      case PacketType::WriteRequest: return "WriteReq";
+      case PacketType::ReadReply:    return "ReadReply";
+      case PacketType::WriteReply:   return "WriteReply";
+    }
+    return "?";
+}
+
+} // namespace eqx

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fundamental value types shared by every EquiNox module: cycles,
+ * node/tile coordinates, mesh directions and message classes.
+ */
+
+#ifndef EQX_COMMON_TYPES_HH
+#define EQX_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace eqx {
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Flat node (tile) identifier inside one mesh. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = -1;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Integer tile coordinate on the processor die grid. x grows east,
+ * y grows south (row-major, matching the paper's figures).
+ */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const { return x == o.x && y == o.y; }
+    bool operator!=(const Coord &o) const { return !(*this == o); }
+    bool
+    operator<(const Coord &o) const
+    {
+        return y != o.y ? y < o.y : x < o.x;
+    }
+};
+
+/** Manhattan distance between two tiles. */
+inline int
+manhattan(const Coord &a, const Coord &b)
+{
+    int dx = a.x - b.x;
+    int dy = a.y - b.y;
+    return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+/** Chebyshev (king-move) distance between two tiles. */
+inline int
+chebyshev(const Coord &a, const Coord &b)
+{
+    int dx = a.x - b.x;
+    int dy = a.y - b.y;
+    dx = dx < 0 ? -dx : dx;
+    dy = dy < 0 ? -dy : dy;
+    return dx > dy ? dx : dy;
+}
+
+/**
+ * Mesh port directions. Local is the NI injection/ejection port;
+ * router port vectors may append extra injection ports after these.
+ */
+enum class Dir : std::uint8_t { North = 0, East, South, West, Local };
+
+/** Number of geographic directions (excluding Local). */
+constexpr int kNumGeoDirs = 4;
+
+/** Unit step for a geographic direction. */
+inline Coord
+dirStep(Dir d)
+{
+    switch (d) {
+      case Dir::North: return {0, -1};
+      case Dir::East:  return {1, 0};
+      case Dir::South: return {0, 1};
+      case Dir::West:  return {-1, 0};
+      default:         return {0, 0};
+    }
+}
+
+/** Opposite geographic direction. */
+inline Dir
+opposite(Dir d)
+{
+    switch (d) {
+      case Dir::North: return Dir::South;
+      case Dir::East:  return Dir::West;
+      case Dir::South: return Dir::North;
+      case Dir::West:  return Dir::East;
+      default:         return Dir::Local;
+    }
+}
+
+/** Human-readable direction name. */
+const char *dirName(Dir d);
+
+/**
+ * Message classes carried by the NoC. Read/write requests travel
+ * PE -> CB on the request network; replies travel CB -> PE on the
+ * reply network (or on dedicated VC classes in single-network schemes).
+ */
+enum class PacketType : std::uint8_t
+{
+    ReadRequest = 0,
+    WriteRequest,
+    ReadReply,
+    WriteReply,
+};
+
+/** True for the two request types. */
+inline bool
+isRequest(PacketType t)
+{
+    return t == PacketType::ReadRequest || t == PacketType::WriteRequest;
+}
+
+/** True for the two reply types. */
+inline bool
+isReply(PacketType t)
+{
+    return !isRequest(t);
+}
+
+/** Human-readable packet type name. */
+const char *packetTypeName(PacketType t);
+
+} // namespace eqx
+
+namespace std {
+
+template <>
+struct hash<eqx::Coord>
+{
+    size_t
+    operator()(const eqx::Coord &c) const noexcept
+    {
+        return (static_cast<size_t>(c.y) << 20) ^ static_cast<size_t>(c.x);
+    }
+};
+
+} // namespace std
+
+#endif // EQX_COMMON_TYPES_HH

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Baseline EIR search methods: greedy, random sampling, simulated
+ * annealing and a genetic algorithm. The paper argues (Section 4.3)
+ * that GA/SA fit the problem representation less naturally than MCTS;
+ * these implementations back that ablation quantitatively.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "core/search.hh"
+
+namespace eqx {
+
+namespace {
+
+std::vector<Coord>
+takenOf(const EirSelection &sel)
+{
+    std::vector<Coord> taken;
+    for (const auto &g : sel)
+        taken.insert(taken.end(), g.begin(), g.end());
+    return taken;
+}
+
+EirSelection
+randomSelection(const EirProblem &prob, Rng &rng)
+{
+    EirSelection sel;
+    for (int cb = 0; cb < prob.numCbs(); ++cb)
+        sel.push_back(randomGroup(prob, cb, takenOf(sel), rng));
+    return sel;
+}
+
+/** Drop EIRs that collide with earlier groups (GA crossover repair). */
+void
+repair(const EirProblem &prob, EirSelection &sel)
+{
+    std::set<Coord> seen;
+    for (int cb = 0; cb < static_cast<int>(sel.size()); ++cb) {
+        auto &group = sel[static_cast<std::size_t>(cb)];
+        std::vector<Coord> kept;
+        std::set<int> octs;
+        const Coord &c = prob.cbs()[static_cast<std::size_t>(cb)];
+        for (const auto &e : group) {
+            if (seen.count(e))
+                continue;
+            int oct = directionOctant(c, e);
+            if (octs.count(oct))
+                continue;
+            kept.push_back(e);
+            seen.insert(e);
+            octs.insert(oct);
+        }
+        group = std::move(kept);
+    }
+}
+
+} // namespace
+
+SearchResult
+greedySearch(const EirProblem &prob, const EirEvaluator &eval,
+             std::size_t max_groups_per_cb)
+{
+    SearchResult result;
+    result.method = "greedy";
+    EirSelection sel;
+    for (int cb = 0; cb < prob.numCbs(); ++cb) {
+        auto groups = prob.groupsFor(cb, takenOf(sel));
+        if (groups.size() > max_groups_per_cb)
+            groups.resize(max_groups_per_cb);
+        double best_score = 0;
+        std::size_t best_idx = 0;
+        for (std::size_t i = 0; i < groups.size(); ++i) {
+            EirSelection trial = sel;
+            trial.push_back(groups[i]);
+            double s = eval.score(trial);
+            ++result.evaluations;
+            if (i == 0 || s < best_score) {
+                best_score = s;
+                best_idx = i;
+            }
+        }
+        sel.push_back(groups[best_idx]);
+    }
+    result.selection = std::move(sel);
+    result.eval = eval.evaluate(result.selection);
+    eqx_assert(prob.valid(result.selection),
+               "greedy produced an invalid selection");
+    return result;
+}
+
+SearchResult
+polishSelection(const EirProblem &prob, const EirEvaluator &eval,
+                EirSelection start, int max_passes,
+                std::size_t max_groups_per_cb)
+{
+    SearchResult result;
+    result.method = "polish";
+    while (static_cast<int>(start.size()) < prob.numCbs())
+        start.emplace_back();
+    double cur = eval.score(start);
+    ++result.evaluations;
+
+    for (int pass = 0; pass < max_passes; ++pass) {
+        bool improved = false;
+        for (int cb = 0; cb < prob.numCbs(); ++cb) {
+            // Free this CB's group, then best-respond.
+            EirSelection trial = start;
+            trial[static_cast<std::size_t>(cb)].clear();
+            std::vector<Coord> taken = takenOf(trial);
+            auto groups = prob.groupsFor(cb, taken);
+            if (groups.size() > max_groups_per_cb)
+                groups.resize(max_groups_per_cb);
+            for (auto &g : groups) {
+                trial[static_cast<std::size_t>(cb)] = std::move(g);
+                double s = eval.score(trial);
+                ++result.evaluations;
+                if (s < cur) {
+                    cur = s;
+                    start = trial;
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    result.selection = std::move(start);
+    result.eval = eval.evaluate(result.selection);
+    eqx_assert(prob.valid(result.selection),
+               "polish produced an invalid selection");
+    return result;
+}
+
+SearchResult
+randomSearch(const EirProblem &prob, const EirEvaluator &eval, int trials,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    SearchResult result;
+    result.method = "random";
+    bool first = true;
+    for (int t = 0; t < trials; ++t) {
+        EirSelection sel = randomSelection(prob, rng);
+        double s = eval.score(sel);
+        ++result.evaluations;
+        if (first || s < result.eval.score) {
+            result.selection = std::move(sel);
+            result.eval = eval.evaluate(result.selection);
+            first = false;
+        }
+    }
+    return result;
+}
+
+SearchResult
+annealSearch(const EirProblem &prob, const EirEvaluator &eval,
+             const AnnealParams &params)
+{
+    Rng rng(params.seed);
+    SearchResult result;
+    result.method = "anneal";
+
+    EirSelection cur = randomSelection(prob, rng);
+    double cur_score = eval.score(cur);
+    ++result.evaluations;
+    result.selection = cur;
+    result.eval = eval.evaluate(cur);
+
+    for (int step = 0; step < params.steps; ++step) {
+        double frac = static_cast<double>(step) / params.steps;
+        double temp = params.tStart *
+                      std::pow(params.tEnd / params.tStart, frac);
+
+        // Neighbour: re-pick one CB's group.
+        int cb = static_cast<int>(rng.nextBounded(
+            static_cast<std::uint64_t>(prob.numCbs())));
+        EirSelection next = cur;
+        next[static_cast<std::size_t>(cb)].clear();
+        next[static_cast<std::size_t>(cb)] =
+            randomGroup(prob, cb, takenOf(next), rng);
+        double next_score = eval.score(next);
+        ++result.evaluations;
+
+        bool accept = next_score <= cur_score ||
+                      rng.chance(std::exp((cur_score - next_score) /
+                                          std::max(temp, 1e-9)));
+        if (accept) {
+            cur = std::move(next);
+            cur_score = next_score;
+            if (cur_score < result.eval.score) {
+                result.selection = cur;
+                result.eval = eval.evaluate(cur);
+            }
+        }
+    }
+    return result;
+}
+
+SearchResult
+geneticSearch(const EirProblem &prob, const EirEvaluator &eval,
+              const GeneticParams &params)
+{
+    Rng rng(params.seed);
+    SearchResult result;
+    result.method = "genetic";
+
+    struct Individual
+    {
+        EirSelection sel;
+        double score = 0;
+    };
+
+    std::vector<Individual> pop;
+    pop.reserve(static_cast<std::size_t>(params.population));
+    for (int i = 0; i < params.population; ++i) {
+        Individual ind;
+        ind.sel = randomSelection(prob, rng);
+        ind.score = eval.score(ind.sel);
+        ++result.evaluations;
+        pop.push_back(std::move(ind));
+    }
+
+    auto tournament = [&]() -> const Individual & {
+        const Individual &a = pop[rng.nextBounded(pop.size())];
+        const Individual &b = pop[rng.nextBounded(pop.size())];
+        return a.score <= b.score ? a : b;
+    };
+
+    for (int gen = 0; gen < params.generations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(pop.size());
+        // Elitism: carry the best individual forward.
+        const Individual *best = &pop[0];
+        for (const auto &ind : pop)
+            if (ind.score < best->score)
+                best = &ind;
+        next.push_back(*best);
+
+        while (next.size() < pop.size()) {
+            const Individual &pa = tournament();
+            const Individual &pb = tournament();
+            Individual child;
+            // Uniform per-CB crossover followed by conflict repair.
+            for (int cb = 0; cb < prob.numCbs(); ++cb)
+                child.sel.push_back(
+                    rng.chance(0.5)
+                        ? pa.sel[static_cast<std::size_t>(cb)]
+                        : pb.sel[static_cast<std::size_t>(cb)]);
+            repair(prob, child.sel);
+            if (rng.chance(params.mutationRate)) {
+                int cb = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint64_t>(prob.numCbs())));
+                child.sel[static_cast<std::size_t>(cb)].clear();
+                child.sel[static_cast<std::size_t>(cb)] =
+                    randomGroup(prob, cb, takenOf(child.sel), rng);
+            }
+            child.score = eval.score(child.sel);
+            ++result.evaluations;
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+    }
+
+    const Individual *best = &pop[0];
+    for (const auto &ind : pop)
+        if (ind.score < best->score)
+            best = &ind;
+    result.selection = best->sel;
+    result.eval = eval.evaluate(result.selection);
+    return result;
+}
+
+} // namespace eqx

@@ -1,0 +1,159 @@
+#include "core/design_flow.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/hotzone.hh"
+#include "core/nqueen.hh"
+
+namespace eqx {
+
+const char *
+searchMethodName(SearchMethod m)
+{
+    switch (m) {
+      case SearchMethod::Mcts:    return "mcts";
+      case SearchMethod::Greedy:  return "greedy";
+      case SearchMethod::Random:  return "random";
+      case SearchMethod::Anneal:  return "anneal";
+      case SearchMethod::Genetic: return "genetic";
+    }
+    return "?";
+}
+
+int
+EquiNoxDesign::numEirs() const
+{
+    int n = 0;
+    for (const auto &g : eirGroups)
+        n += static_cast<int>(g.size());
+    return n;
+}
+
+std::map<NodeId, std::vector<NodeId>>
+EquiNoxDesign::eirGroupsByNode() const
+{
+    std::map<NodeId, std::vector<NodeId>> out;
+    for (std::size_t i = 0; i < cbs.size(); ++i) {
+        NodeId cb = static_cast<NodeId>(cbs[i].y * width + cbs[i].x);
+        std::vector<NodeId> eirs;
+        if (i < eirGroups.size()) {
+            for (const auto &e : eirGroups[i])
+                eirs.push_back(static_cast<NodeId>(e.y * width + e.x));
+        }
+        out[cb] = std::move(eirs);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+EquiNoxDesign::cbNodes() const
+{
+    std::vector<NodeId> out;
+    out.reserve(cbs.size());
+    for (const auto &c : cbs)
+        out.push_back(static_cast<NodeId>(c.y * width + c.x));
+    return out;
+}
+
+std::string
+EquiNoxDesign::ascii() const
+{
+    // Digits mark group membership: CB i prints as uppercase letter,
+    // its EIRs as the matching lowercase letter.
+    std::vector<char> grid(static_cast<std::size_t>(width * height), '.');
+    for (std::size_t i = 0; i < cbs.size(); ++i) {
+        char cb_ch = static_cast<char>('A' + (i % 26));
+        char eir_ch = static_cast<char>('a' + (i % 26));
+        grid[static_cast<std::size_t>(cbs[i].y * width + cbs[i].x)] =
+            cb_ch;
+        if (i < eirGroups.size()) {
+            for (const auto &e : eirGroups[i])
+                grid[static_cast<std::size_t>(e.y * width + e.x)] =
+                    eir_ch;
+        }
+    }
+    std::ostringstream os;
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x)
+            os << grid[static_cast<std::size_t>(y * width + x)] << ' ';
+        os << '\n';
+    }
+    return os.str();
+}
+
+EquiNoxDesign
+buildEquiNoxDesign(const DesignParams &params)
+{
+    eqx_assert(params.width == params.height,
+               "N-Queen placement assumes a square mesh");
+    EquiNoxDesign design;
+    design.width = params.width;
+    design.height = params.height;
+
+    Rng rng(params.seed);
+    if (!params.fixedPlacement.empty()) {
+        design.cbs = params.fixedPlacement;
+        design.placementPenalty =
+            placementPenalty(design.cbs, params.width, params.height);
+    } else if (params.numCbs <= params.width) {
+        ScoredPlacement sp =
+            bestNQueenPlacement(params.width, params.numCbs, rng);
+        design.cbs = std::move(sp.cbs);
+        design.placementPenalty = sp.penalty;
+    } else {
+        design.cbs = knightPlacement(params.width, params.numCbs);
+        design.placementPenalty =
+            placementPenalty(design.cbs, params.width, params.height);
+    }
+
+    EirProblem prob(params.width, params.height, design.cbs,
+                    params.maxHops, params.maxPerGroup);
+    EirEvaluator eval(&prob, params.weights);
+
+    SearchResult res;
+    switch (params.method) {
+      case SearchMethod::Mcts: {
+        MctsParams mp = params.mcts;
+        mp.seed = params.seed;
+        res = mctsSearch(prob, eval, mp);
+        break;
+      }
+      case SearchMethod::Greedy:
+        res = greedySearch(prob, eval);
+        break;
+      case SearchMethod::Random:
+        res = randomSearch(prob, eval, 2000, params.seed);
+        break;
+      case SearchMethod::Anneal: {
+        AnnealParams ap;
+        ap.seed = params.seed;
+        res = annealSearch(prob, eval, ap);
+        break;
+      }
+      case SearchMethod::Genetic: {
+        GeneticParams gp;
+        gp.seed = params.seed;
+        res = geneticSearch(prob, eval, gp);
+        break;
+      }
+    }
+
+    if (params.polishPasses > 0) {
+        SearchResult polished =
+            polishSelection(prob, eval, std::move(res.selection),
+                            params.polishPasses);
+        polished.evaluations += res.evaluations;
+        res = std::move(polished);
+    }
+
+    design.eirGroups = std::move(res.selection);
+    design.eval = res.eval;
+    design.evaluations = res.evaluations;
+    design.plan = prob.linkPlan(design.eirGroups);
+    design.rdl = design.plan.report();
+    return design;
+}
+
+} // namespace eqx

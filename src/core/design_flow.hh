@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The EquiNox design flow — the paper's end-to-end contribution:
+ * contention-aware N-Queen CB placement (scored by the hot-zone
+ * policy), MCTS-driven EIR group selection, and the resulting
+ * interposer link plan with its physical-viability report.
+ */
+
+#ifndef EQX_CORE_DESIGN_FLOW_HH
+#define EQX_CORE_DESIGN_FLOW_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/eir_problem.hh"
+#include "core/evaluation.hh"
+#include "core/search.hh"
+#include "interposer/link_plan.hh"
+
+namespace eqx {
+
+/** Which search algorithm drives EIR selection. */
+enum class SearchMethod : std::uint8_t
+{
+    Mcts,
+    Greedy,
+    Random,
+    Anneal,
+    Genetic,
+};
+
+const char *searchMethodName(SearchMethod m);
+
+/** Inputs of the design flow. */
+struct DesignParams
+{
+    int width = 8;
+    int height = 8;
+    int numCbs = 8;
+    int maxHops = 3;          ///< EIR distance limit (paper: 3)
+    int maxPerGroup = 4;      ///< EIRs per CB (paper: 4)
+    SearchMethod method = SearchMethod::Mcts;
+    std::uint64_t seed = 1;
+    MctsParams mcts;
+    EvalWeights weights;
+    /** Best-response polish passes after the global search (0 = off). */
+    int polishPasses = 4;
+    /** Override the placement instead of running N-Queen + scoring. */
+    std::vector<Coord> fixedPlacement;
+};
+
+/** A complete EquiNox design. */
+struct EquiNoxDesign
+{
+    int width = 0;
+    int height = 0;
+    std::vector<Coord> cbs;        ///< the chosen CB placement
+    int placementPenalty = 0;      ///< hot-zone score of the placement
+    EirSelection eirGroups;        ///< per-CB EIR tiles
+    EvalBreakdown eval;            ///< the 4-metric evaluation
+    LinkPlan plan{2};              ///< CB -> EIR interposer links
+    RdlReport rdl;                 ///< crossings, layers, ubumps, ...
+    std::uint64_t evaluations = 0; ///< search cost
+
+    /** Total number of EIRs across all groups. */
+    int numEirs() const;
+
+    /** CB node id -> EIR node ids, in the form NetworkSpec consumes. */
+    std::map<NodeId, std::vector<NodeId>> eirGroupsByNode() const;
+
+    /** CB node ids (row-major). */
+    std::vector<NodeId> cbNodes() const;
+
+    /** ASCII rendering of the design (Fig. 7 style). */
+    std::string ascii() const;
+};
+
+/** Run the full flow. */
+EquiNoxDesign buildEquiNoxDesign(const DesignParams &params);
+
+} // namespace eqx
+
+#endif // EQX_CORE_DESIGN_FLOW_HH

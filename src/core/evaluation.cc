@@ -1,0 +1,142 @@
+#include "core/evaluation.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "core/hotzone.hh"
+
+namespace eqx {
+
+EirEvaluator::EirEvaluator(const EirProblem *problem, EvalWeights weights)
+    : prob_(problem), weights_(weights)
+{
+    eqx_assert(prob_, "evaluator needs a problem");
+    // References from the EIR-less baseline.
+    std::set<Coord> cb_set(prob_->cbs().begin(), prob_->cbs().end());
+    double dist_sum = 0;
+    int pairs = 0;
+    for (const auto &cb : prob_->cbs()) {
+        for (int y = 0; y < prob_->height(); ++y) {
+            for (int x = 0; x < prob_->width(); ++x) {
+                Coord p{x, y};
+                if (cb_set.count(p))
+                    continue;
+                dist_sum += manhattan(cb, p);
+                ++pairs;
+            }
+        }
+    }
+    hopRef_ = pairs ? dist_sum / pairs : 1.0;
+    loadRef_ = prob_->numCbs()
+                   ? static_cast<double>(pairs) / prob_->numCbs()
+                   : 1.0;
+}
+
+EvalBreakdown
+EirEvaluator::evaluate(const EirSelection &sel) const
+{
+    EvalBreakdown out;
+    std::set<Coord> cb_set(prob_->cbs().begin(), prob_->cbs().end());
+    HotZoneMap hot(prob_->cbs(), prob_->width(), prob_->height());
+
+    // Injection-point loads, per tile. Only CBs whose group has been
+    // decided participate, so partial selections judged during search
+    // are not drowned by the still-undecided CBs.
+    std::map<Coord, double> load;
+    double hop_sum = 0;
+    double hop_weight = 0;
+    int decided = std::min<int>(prob_->numCbs(),
+                                static_cast<int>(sel.size()));
+    if (decided == 0)
+        decided = prob_->numCbs(); // empty selection = all-local design
+
+    for (int i = 0; i < decided; ++i) {
+        const Coord &cb = prob_->cbs()[static_cast<std::size_t>(i)];
+        const std::vector<Coord> *group =
+            i < static_cast<int>(sel.size())
+                ? &sel[static_cast<std::size_t>(i)]
+                : nullptr;
+
+        for (int y = 0; y < prob_->height(); ++y) {
+            for (int x = 0; x < prob_->width(); ++x) {
+                Coord p{x, y};
+                if (cb_set.count(p))
+                    continue;
+                int base = manhattan(cb, p);
+
+                // Shortest-path EIRs per the Buffer Selection policy.
+                Coord elig[2];
+                int n_elig = 0;
+                if (group) {
+                    for (const auto &e : *group) {
+                        if (manhattan(cb, e) + manhattan(e, p) == base &&
+                            n_elig < 2)
+                            elig[n_elig++] = e;
+                    }
+                }
+                bool on_axis = cb.x == p.x || cb.y == p.y;
+                if (n_elig == 0) {
+                    load[cb] += 1.0;
+                    hop_sum += base;
+                } else if (on_axis || n_elig == 1) {
+                    load[elig[0]] += 1.0;
+                    hop_sum += 1 + manhattan(elig[0], p);
+                } else {
+                    load[elig[0]] += 0.5;
+                    load[elig[1]] += 0.5;
+                    hop_sum += 0.5 * (1 + manhattan(elig[0], p)) +
+                               0.5 * (1 + manhattan(elig[1], p));
+                }
+                hop_weight += 1.0;
+            }
+        }
+    }
+
+    // Contention-aware load: an injection point inside other CBs' hot
+    // zones absorbs their surrounding traffic too, so its effective
+    // load is inflated (paper Section 3.2.4). The load metric blends
+    // the maximum (the paper's hotspot criterion) with the mean load
+    // per injection point, which captures the aggregate injection
+    // bandwidth every additional EIR contributes.
+    double load_sum = 0;
+    for (const auto &[tile, l] : load) {
+        double factor = 1.0;
+        if (!cb_set.count(tile))
+            factor += 0.3 * hot.coverage(tile);
+        out.maxLoad = std::max(out.maxLoad, l * factor);
+        load_sum += l * factor;
+    }
+    double mean_load =
+        load.empty() ? 0.0 : load_sum / static_cast<double>(load.size());
+    out.avgHops = hop_weight > 0 ? hop_sum / hop_weight : 0.0;
+
+    LinkPlan plan = prob_->linkPlan(sel);
+    out.crossings = plan.crossings();
+    out.totalLength = plan.totalLengthHops();
+
+    // Normalizers: crossings per link; link length against a full
+    // deployment of reach-length links (so the cost scales with how
+    // much wiring is actually deployed); repeater need as the fraction
+    // of links beyond the 1-cycle interposer reach of 2 hops.
+    constexpr int kReachHops = 2;
+    double n_links = std::max<double>(1.0, plan.size());
+    int over_reach = 0;
+    for (const auto &link : plan.links())
+        if (link.hops() > kReachHops)
+            ++over_reach;
+    out.repeaterFrac = plan.size() ? over_reach / n_links : 0.0;
+    double len_ref = static_cast<double>(kReachHops) * prob_->numCbs() *
+                     prob_->maxPerGroup();
+    double load_term =
+        0.5 * (out.maxLoad / loadRef_) + 0.5 * (mean_load / loadRef_);
+    out.score = weights_.load * load_term +
+                weights_.hops * (out.avgHops / hopRef_) +
+                weights_.crossings * (out.crossings / n_links) +
+                weights_.length * (out.totalLength / len_ref) +
+                weights_.repeaters * out.repeaterFrac;
+    return out;
+}
+
+} // namespace eqx

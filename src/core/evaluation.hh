@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The MCTS evaluation function (paper Section 4.3): four normalized
+ * metrics — max injection-point traffic load, average hop count, RDL
+ * intersection count and total interposer link length — summed into a
+ * single score (lower is better). The load/hop estimates follow the
+ * Buffer Selection policy exactly, assuming uniform per-PE demand.
+ */
+
+#ifndef EQX_CORE_EVALUATION_HH
+#define EQX_CORE_EVALUATION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "core/eir_problem.hh"
+
+namespace eqx {
+
+/** Relative weights of the four evaluation metrics. */
+struct EvalWeights
+{
+    double load = 1.0;
+    double hops = 1.0;
+    double crossings = 4.0; ///< weighted up: intersections cost RDLs
+    double length = 0.2;
+    /**
+     * Penalty on the fraction of links longer than the 1-cycle
+     * interposer reach (they would need repeaters and an active
+     * interposer, paper Section 3.2.3). Together with `length` this
+     * refines the paper's fourth "link length" metric.
+     */
+    double repeaters = 3.0;
+};
+
+/** The four raw metrics plus the combined score. */
+struct EvalBreakdown
+{
+    double maxLoad = 0.0;   ///< heaviest injection point (PE-equivalents)
+    double avgHops = 0.0;   ///< policy-weighted mean hops CB->PE
+    int crossings = 0;      ///< RDL wire cross-points
+    double totalLength = 0; ///< sum of link Manhattan spans
+    double repeaterFrac = 0; ///< links longer than the 1-cycle reach
+    double score = 0.0;     ///< weighted normalized sum (lower = better)
+};
+
+/** Evaluates (partial or full) EIR selections for one problem. */
+class EirEvaluator
+{
+  public:
+    explicit EirEvaluator(const EirProblem *problem,
+                          EvalWeights weights = {});
+
+    /**
+     * Evaluate a selection. Partial selections (fewer groups than CBs)
+     * are allowed during search: missing CBs inject locally only.
+     */
+    EvalBreakdown evaluate(const EirSelection &sel) const;
+
+    /** Score only (convenience for the search loops). */
+    double score(const EirSelection &sel) const
+    {
+        return evaluate(sel).score;
+    }
+
+    const EvalWeights &weights() const { return weights_; }
+
+  private:
+    const EirProblem *prob_;
+    EvalWeights weights_;
+    double hopRef_;   ///< baseline mean CB->PE distance (no EIRs)
+    double loadRef_;  ///< PEs per CB if all traffic used one point
+};
+
+} // namespace eqx
+
+#endif // EQX_CORE_EVALUATION_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Monte Carlo Tree Search for EIR selection (paper Section 4.3 and
+ * Figure 6): iterative selection / expansion / simulation /
+ * backpropagation with UCB, one tree level per CB group.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/search.hh"
+
+namespace eqx {
+
+namespace {
+
+/** Flatten the taken-EIR set of a (partial) selection. */
+std::vector<Coord>
+takenOf(const EirSelection &sel)
+{
+    std::vector<Coord> taken;
+    for (const auto &g : sel)
+        taken.insert(taken.end(), g.begin(), g.end());
+    return taken;
+}
+
+struct Node
+{
+    std::vector<Coord> group;      ///< the group this node adds
+    int depth = 0;                 ///< CBs decided including this node
+    double totalReward = 0.0;
+    int visits = 0;
+    Node *parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<std::vector<Coord>> untried;
+    bool untriedInit = false;
+};
+
+/** Reward in (0, 1]: lower evaluation scores map to higher rewards. */
+double
+rewardOf(double score)
+{
+    return 1.0 / (1.0 + score);
+}
+
+} // namespace
+
+std::vector<Coord>
+randomGroup(const EirProblem &prob, int cb_idx,
+            const std::vector<Coord> &taken, Rng &rng, double take_prob)
+{
+    std::vector<Coord> group;
+    std::vector<int> octs = {0, 1, 2, 3, 4, 5, 6, 7};
+    rng.shuffle(octs);
+
+    const Coord &cb = prob.cbs()[static_cast<std::size_t>(cb_idx)];
+    auto is_taken = [&](const Coord &c) {
+        for (const auto &t : taken)
+            if (t == c)
+                return true;
+        for (const auto &g : group)
+            if (g == c)
+                return true;
+        return false;
+    };
+
+    for (int oct : octs) {
+        if (static_cast<int>(group.size()) >= prob.maxPerGroup())
+            break;
+        if (!rng.chance(take_prob))
+            continue;
+        std::vector<Coord> opts;
+        for (const auto &c : prob.candidates(cb_idx))
+            if (directionOctant(cb, c) == oct && !is_taken(c))
+                opts.push_back(c);
+        if (opts.empty())
+            continue;
+        group.push_back(opts[rng.nextBounded(opts.size())]);
+    }
+    return group;
+}
+
+SearchResult
+mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
+           const MctsParams &params)
+{
+    Rng rng(params.seed);
+    SearchResult result;
+    result.method = "mcts";
+
+    EirSelection committed; // groups fixed so far (the evolving root)
+
+    for (int level = 0; level < prob.numCbs(); ++level) {
+        Node root;
+        root.depth = level;
+
+        auto initUntried = [&](Node &node, const EirSelection &state) {
+            auto groups = prob.groupsFor(node.depth, takenOf(state));
+            rng.shuffle(groups);
+            if (static_cast<int>(groups.size()) >
+                params.maxChildrenPerNode)
+                groups.resize(
+                    static_cast<std::size_t>(params.maxChildrenPerNode));
+            node.untried = std::move(groups);
+            node.untriedInit = true;
+        };
+
+        for (int it = 0; it < params.iterationsPerLevel; ++it) {
+            // (1) Selection: descend while fully expanded.
+            Node *node = &root;
+            EirSelection state = committed;
+            for (;;) {
+                if (node->depth >= prob.numCbs())
+                    break; // terminal
+                if (!node->untriedInit)
+                    initUntried(*node, state);
+                if (!node->untried.empty() || node->children.empty())
+                    break;
+                // UCB over children.
+                Node *best = nullptr;
+                double best_ucb = -1;
+                for (auto &ch : node->children) {
+                    double v = ch->totalReward / ch->visits;
+                    double u = v + params.ucbC *
+                                       std::sqrt(std::log(static_cast<
+                                                          double>(
+                                                     node->visits)) /
+                                                 ch->visits);
+                    if (u > best_ucb) {
+                        best_ucb = u;
+                        best = ch.get();
+                    }
+                }
+                node = best;
+                state.push_back(node->group);
+            }
+
+            // (2) Expansion.
+            if (node->depth < prob.numCbs() && !node->untried.empty()) {
+                auto group = std::move(node->untried.back());
+                node->untried.pop_back();
+                auto child = std::make_unique<Node>();
+                child->group = std::move(group);
+                child->depth = node->depth + 1;
+                child->parent = node;
+                node->children.push_back(std::move(child));
+                node = node->children.back().get();
+                state.push_back(node->group);
+            }
+
+            // (3) Simulation: random rollout for the remaining CBs.
+            EirSelection rollout = state;
+            for (int cb = static_cast<int>(rollout.size());
+                 cb < prob.numCbs(); ++cb)
+                rollout.push_back(
+                    randomGroup(prob, cb, takenOf(rollout), rng));
+            double score = eval.score(rollout);
+            ++result.evaluations;
+            double reward = rewardOf(score);
+
+            // (4) Backpropagation.
+            for (Node *n = node; n != nullptr; n = n->parent) {
+                n->totalReward += reward;
+                ++n->visits;
+            }
+        }
+
+        // Commit the level-(level+1) child with the highest accumulated
+        // score, as in the paper.
+        Node *best = nullptr;
+        for (auto &ch : root.children) {
+            if (!best || ch->totalReward > best->totalReward)
+                best = ch.get();
+        }
+        if (best) {
+            committed.push_back(best->group);
+        } else {
+            committed.emplace_back(); // no legal group at all
+        }
+    }
+
+    result.selection = std::move(committed);
+    result.eval = eval.evaluate(result.selection);
+    eqx_assert(prob.valid(result.selection),
+               "MCTS produced an invalid selection");
+    return result;
+}
+
+} // namespace eqx

@@ -1,0 +1,143 @@
+#include "core/placement.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+const char *
+placementName(PlacementKind k)
+{
+    switch (k) {
+      case PlacementKind::Top:      return "Top";
+      case PlacementKind::Side:     return "Side";
+      case PlacementKind::Diagonal: return "Diagonal";
+      case PlacementKind::Diamond:  return "Diamond";
+      case PlacementKind::NQueen:   return "NQueen";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * The diamond pattern used here is a permutation layout (no shared
+ * rows/columns) containing diagonally adjacent CB pairs — the two
+ * properties the paper's analysis of Diamond relies on. The base
+ * pattern is for 8 CBs and is scaled to other mesh sizes.
+ */
+constexpr int kDiamondX8[8] = {3, 5, 7, 6, 1, 0, 2, 4};
+
+} // namespace
+
+std::vector<Coord>
+makePlacement(PlacementKind kind, int width, int height, int num_cbs)
+{
+    eqx_assert(num_cbs >= 1, "need at least one CB");
+    eqx_assert(num_cbs <= width * height, "more CBs than tiles");
+    std::vector<Coord> cbs;
+    cbs.reserve(static_cast<std::size_t>(num_cbs));
+
+    switch (kind) {
+      case PlacementKind::Top:
+        for (int k = 0; k < num_cbs; ++k) {
+            int x = (2 * k + 1) * width / (2 * num_cbs);
+            cbs.push_back({x, 0});
+        }
+        break;
+      case PlacementKind::Side: {
+        int left = (num_cbs + 1) / 2;
+        int right = num_cbs - left;
+        for (int k = 0; k < left; ++k)
+            cbs.push_back({0, (2 * k + 1) * height / (2 * left)});
+        for (int k = 0; k < right; ++k)
+            cbs.push_back({width - 1,
+                           (2 * k + 1) * height / (2 * right)});
+        break;
+      }
+      case PlacementKind::Diagonal: {
+        int n = std::min(width, height);
+        for (int k = 0; k < num_cbs; ++k) {
+            int d = (2 * k + 1) * n / (2 * num_cbs);
+            cbs.push_back({d, d});
+        }
+        break;
+      }
+      case PlacementKind::Diamond: {
+        eqx_assert(num_cbs <= 8,
+                   "diamond pattern defined for up to 8 CBs");
+        for (int k = 0; k < num_cbs; ++k) {
+            int y = (2 * k + 1) * height / (2 * num_cbs);
+            // Scale the 8-wide base pattern to this mesh width. The
+            // row spacing above keeps rows distinct for num_cbs <= h.
+            int x = kDiamondX8[k % 8] * width / 8;
+            cbs.push_back({x, y});
+        }
+        break;
+      }
+      case PlacementKind::NQueen:
+        eqx_fatal("NQueen placements come from the solver in nqueen.hh");
+    }
+
+    // Sanity: all distinct and in bounds.
+    std::set<Coord> uniq(cbs.begin(), cbs.end());
+    eqx_assert(uniq.size() == cbs.size(), "placement has duplicates");
+    for (const auto &c : cbs)
+        eqx_assert(c.x >= 0 && c.x < width && c.y >= 0 && c.y < height,
+                   "placement out of bounds");
+    return cbs;
+}
+
+bool
+isPermutationPlacement(const std::vector<Coord> &cbs)
+{
+    std::set<int> xs, ys;
+    for (const auto &c : cbs) {
+        if (!xs.insert(c.x).second || !ys.insert(c.y).second)
+            return false;
+    }
+    return true;
+}
+
+bool
+isDiagonalFree(const std::vector<Coord> &cbs)
+{
+    std::set<int> sum, diff;
+    for (const auto &c : cbs) {
+        if (!sum.insert(c.x + c.y).second ||
+            !diff.insert(c.x - c.y).second)
+            return false;
+    }
+    return true;
+}
+
+bool
+hasDiagonalAdjacency(const std::vector<Coord> &cbs)
+{
+    for (std::size_t i = 0; i < cbs.size(); ++i)
+        for (std::size_t j = i + 1; j < cbs.size(); ++j)
+            if (chebyshev(cbs[i], cbs[j]) == 1 &&
+                cbs[i].x != cbs[j].x && cbs[i].y != cbs[j].y)
+                return true;
+    return false;
+}
+
+std::string
+placementAscii(const std::vector<Coord> &cbs, int width, int height)
+{
+    std::vector<char> grid(static_cast<std::size_t>(width * height), '.');
+    for (const auto &c : cbs)
+        grid[static_cast<std::size_t>(c.y * width + c.x)] = 'C';
+    std::ostringstream os;
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x)
+            os << grid[static_cast<std::size_t>(y * width + x)] << ' ';
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace eqx

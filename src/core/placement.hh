@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Last-level cache-bank (CB) placements on the mesh: the four classic
+ * layouts the paper analyses (Top, Side, Diagonal, Diamond, from Abts
+ * et al.) plus accessors shared by the N-Queen machinery.
+ */
+
+#ifndef EQX_CORE_PLACEMENT_HH
+#define EQX_CORE_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace eqx {
+
+/** Known CB placement strategies (paper Fig. 4). */
+enum class PlacementKind : std::uint8_t
+{
+    Top,      ///< CBs along the top row
+    Side,     ///< CBs split between the left and right columns
+    Diagonal, ///< CBs on the main diagonal
+    Diamond,  ///< permutation layout with diagonal-adjacent CBs
+    NQueen,   ///< paper's contention-aware placement (Section 4.2)
+};
+
+const char *placementName(PlacementKind k);
+
+/**
+ * Generate the classic placements for a w x h mesh with num_cbs cache
+ * banks. NQueen is produced by the solver in nqueen.hh, not here.
+ */
+std::vector<Coord> makePlacement(PlacementKind kind, int width, int height,
+                                 int num_cbs);
+
+/** True if no two CBs share a row or a column. */
+bool isPermutationPlacement(const std::vector<Coord> &cbs);
+
+/** True if no two CBs share any diagonal (N-Queen property). */
+bool isDiagonalFree(const std::vector<Coord> &cbs);
+
+/** True if some pair of CBs are diagonal neighbours (Chebyshev 1). */
+bool hasDiagonalAdjacency(const std::vector<Coord> &cbs);
+
+/** Render the placement as an ASCII grid ('C' = cache bank). */
+std::string placementAscii(const std::vector<Coord> &cbs, int width,
+                           int height);
+
+} // namespace eqx
+
+#endif // EQX_CORE_PLACEMENT_HH

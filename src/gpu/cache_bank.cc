@@ -1,0 +1,176 @@
+#include "gpu/cache_bank.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+CacheBank::CacheBank(NodeId node, const CbParams &params,
+                     PacketInjector *reply_injector,
+                     const PacketSizes *sizes)
+    : node_(node), params_(params), replyInjector_(reply_injector),
+      sizes_(sizes), l2_(params.l2),
+      hbm_(params.hbm,
+           [this](const MemRequest &r, Cycle now) { onMemComplete(r, now); })
+{
+    eqx_assert(replyInjector_ && sizes_, "cache bank needs its context");
+}
+
+bool
+CacheBank::canAccept(const PacketPtr &pkt)
+{
+    eqx_assert(isRequest(pkt->type), "CB only sinks request packets");
+    return static_cast<int>(inputQueue_.size()) <
+           params_.inputQueuePackets;
+}
+
+void
+CacheBank::accept(const PacketPtr &pkt, Cycle)
+{
+    inputQueue_.push_back(pkt);
+    stats_.inc(pkt->type == PacketType::ReadRequest ? "read_requests"
+                                                    : "write_requests");
+}
+
+PacketPtr
+CacheBank::makeReply(const PacketPtr &req) const
+{
+    bool is_read = req->type == PacketType::ReadRequest;
+    return makePacket(is_read ? PacketType::ReadReply
+                              : PacketType::WriteReply,
+                      node_, req->src,
+                      is_read ? sizes_->readReplyBits
+                              : sizes_->writeReplyBits,
+                      req->addr, req->tag);
+}
+
+bool
+CacheBank::processRequest(const PacketPtr &req, Cycle now)
+{
+    Addr line = req->addr / static_cast<Addr>(params_.l2.lineBytes);
+    bool is_write = req->type == PacketType::WriteRequest;
+
+    if (l2_.probe(line)) {
+        // Hit path gated by the reply queue: model the backpressure of
+        // a stalled reply injection point.
+        if (static_cast<int>(replyQueue_.size()) +
+                static_cast<int>(hitPipeline_.size()) >=
+            params_.replyQueuePackets) {
+            stats_.inc("stall_reply_queue");
+            return false;
+        }
+        if (is_write)
+            l2_.markDirty(line);
+        hitPipeline_.push_back(
+            {now + static_cast<Cycle>(params_.l2HitLatency),
+             makeReply(req)});
+        stats_.inc(is_write ? "l2_write_hits" : "l2_read_hits");
+        return true;
+    }
+
+    // Miss path: merge onto an in-flight fetch or start a new one.
+    auto it = missTable_.find(line);
+    if (it != missTable_.end()) {
+        if (static_cast<int>(it->second.size()) >=
+            params_.targetsPerMshr) {
+            stats_.inc("stall_mshr_targets");
+            return false;
+        }
+        it->second.push_back(req);
+        stats_.inc("l2_miss_merges");
+        return true;
+    }
+    if (static_cast<int>(missTable_.size()) >= params_.mshrs) {
+        stats_.inc("stall_mshr_full");
+        return false;
+    }
+    if (!hbm_.canEnqueue(req->addr)) {
+        stats_.inc("stall_hbm_queue");
+        return false;
+    }
+    hbm_.enqueue(MemRequest{req->addr, /*write=*/false, line}, now);
+    missTable_[line].push_back(req);
+    stats_.inc(is_write ? "l2_write_misses" : "l2_read_misses");
+    return true;
+}
+
+void
+CacheBank::onMemComplete(const MemRequest &mreq, Cycle)
+{
+    if (mreq.write) {
+        stats_.inc("writebacks_done");
+        return;
+    }
+    Addr line = mreq.tag;
+    if (!l2_.contains(line)) {
+        auto victim = l2_.insert(line, /*dirty=*/false);
+        if (victim.valid && victim.dirty)
+            writebackQueue_.push_back(victim.line);
+    }
+    auto it = missTable_.find(line);
+    eqx_assert(it != missTable_.end(), "fill for unknown miss line");
+    for (const auto &req : it->second) {
+        if (req->type == PacketType::WriteRequest)
+            l2_.markDirty(line);
+        // Fills bypass the reply-queue cap: their population is bounded
+        // by mshrs x targetsPerMshr, so the queue stays finite.
+        replyQueue_.push_back(makeReply(req));
+    }
+    missTable_.erase(it);
+    stats_.inc("fills");
+}
+
+void
+CacheBank::tick(Cycle now)
+{
+    hbm_.tick(now);
+
+    // Retry dirty-victim writebacks.
+    while (!writebackQueue_.empty()) {
+        Addr line = writebackQueue_.front();
+        Addr addr = line * static_cast<Addr>(params_.l2.lineBytes);
+        if (!hbm_.canEnqueue(addr))
+            break;
+        hbm_.enqueue(MemRequest{addr, /*write=*/true, 0}, now);
+        writebackQueue_.pop_front();
+    }
+
+    // L2 pipeline -> reply queue.
+    while (!hitPipeline_.empty() && hitPipeline_.front().dueAt <= now) {
+        replyQueue_.push_back(hitPipeline_.front().reply);
+        hitPipeline_.pop_front();
+    }
+
+    // Reply queue -> reply network. Scan past a blocked head so that a
+    // single full NI (e.g. one DA2Mesh subnet) does not stall replies
+    // bound for the others; replies to distinct PEs are unordered.
+    constexpr int kDrainScan = 8;
+    int scanned = 0;
+    for (auto it = replyQueue_.begin();
+         it != replyQueue_.end() && scanned < kDrainScan; ++scanned) {
+        if (replyInjector_->tryInject(*it)) {
+            it = replyQueue_.erase(it);
+            stats_.inc("replies_injected");
+        } else {
+            ++it;
+        }
+    }
+
+    // Service requests.
+    for (int i = 0; i < params_.requestsPerCycle; ++i) {
+        if (inputQueue_.empty())
+            break;
+        if (!processRequest(inputQueue_.front(), now))
+            break; // structural stall: head blocks the queue
+        inputQueue_.pop_front();
+    }
+}
+
+bool
+CacheBank::drained() const
+{
+    return inputQueue_.empty() && hitPipeline_.empty() &&
+           replyQueue_.empty() && writebackQueue_.empty() &&
+           missTable_.empty() && hbm_.outstanding() == 0;
+}
+
+} // namespace eqx

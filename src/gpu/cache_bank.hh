@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Last-level cache bank (CB): the few side of the many-to-few-to-many
+ * pattern. Ejects request packets from the request network through a
+ * finite input queue, services them against a real L2 slice with MSHR
+ * merging, fetches misses from its HBM stack, and injects reply
+ * packets into the reply network through a finite reply queue — the
+ * two finite queues propagate reply-injection backpressure into the
+ * request network (the paper's parking-lot effect, Section 6.4).
+ */
+
+#ifndef EQX_GPU_CACHE_BANK_HH
+#define EQX_GPU_CACHE_BANK_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/endpoint.hh"
+#include "gpu/tag_array.hh"
+#include "memory/hbm.hh"
+#include "noc/network_interface.hh"
+#include "noc/params.hh"
+
+namespace eqx {
+
+/** CB microarchitecture parameters (paper Table 1 defaults). */
+struct CbParams
+{
+    CacheGeometry l2{2 * 1024 * 1024, 64, 16}; ///< 2 MB per bank
+    int mshrs = 32;
+    int targetsPerMshr = 8;
+    int inputQueuePackets = 8;
+    int replyQueuePackets = 16;
+    int l2HitLatency = 8;
+    int requestsPerCycle = 1;
+    HbmParams hbm;
+};
+
+/** One L2 bank with its memory controller and HBM stack. */
+class CacheBank : public PacketSink
+{
+  public:
+    CacheBank(NodeId node, const CbParams &params,
+              PacketInjector *reply_injector, const PacketSizes *sizes);
+
+    NodeId node() const { return node_; }
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** No queued work anywhere in the bank. */
+    bool drained() const;
+
+    const TagArray &l2() const { return l2_; }
+    const HbmStack &hbm() const { return hbm_; }
+    const StatGroup &stats() const { return stats_; }
+
+    // PacketSink (request ejection side).
+    bool canAccept(const PacketPtr &pkt) override;
+    void accept(const PacketPtr &pkt, Cycle core_now) override;
+
+  private:
+    struct DelayedReply
+    {
+        Cycle dueAt;
+        PacketPtr reply;
+    };
+
+    /** Service the request at the input queue head; false = stall. */
+    bool processRequest(const PacketPtr &req, Cycle now);
+
+    PacketPtr makeReply(const PacketPtr &req) const;
+    void onMemComplete(const MemRequest &mreq, Cycle now);
+
+    NodeId node_;
+    CbParams params_;
+    PacketInjector *replyInjector_;
+    const PacketSizes *sizes_;
+
+    TagArray l2_;
+    HbmStack hbm_;
+
+    std::deque<PacketPtr> inputQueue_;
+    std::deque<DelayedReply> hitPipeline_; ///< replies in the L2 pipeline
+    std::deque<PacketPtr> replyQueue_;     ///< awaiting NoC injection
+    std::deque<Addr> writebackQueue_;      ///< dirty victims to memory
+
+    /** Outstanding misses: line -> requests merged onto the fetch. */
+    std::map<Addr, std::vector<PacketPtr>> missTable_;
+
+    StatGroup stats_;
+};
+
+} // namespace eqx
+
+#endif // EQX_GPU_CACHE_BANK_HH

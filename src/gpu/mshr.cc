@@ -1,0 +1,33 @@
+#include "gpu/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+MshrTable::Alloc
+MshrTable::allocate(Addr line, std::uint64_t target)
+{
+    auto it = table_.find(line);
+    if (it != table_.end()) {
+        if (static_cast<int>(it->second.size()) >= maxTargets_)
+            return Alloc::Full;
+        it->second.push_back(target);
+        return Alloc::Merged;
+    }
+    if (full())
+        return Alloc::Full;
+    table_[line].push_back(target);
+    return Alloc::NewEntry;
+}
+
+std::vector<std::uint64_t>
+MshrTable::complete(Addr line)
+{
+    auto it = table_.find(line);
+    eqx_assert(it != table_.end(), "completing a non-pending MSHR line");
+    std::vector<std::uint64_t> targets = std::move(it->second);
+    table_.erase(it);
+    return targets;
+}
+
+} // namespace eqx

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Miss Status Holding Registers with target merging: concurrent misses
+ * to the same line share one entry; per-entry target lists bound the
+ * merge fan-in.
+ */
+
+#ifndef EQX_GPU_MSHR_HH
+#define EQX_GPU_MSHR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace eqx {
+
+/** MSHR table keyed by line address. */
+class MshrTable
+{
+  public:
+    MshrTable(int entries, int targets_per_entry)
+        : maxEntries_(entries), maxTargets_(targets_per_entry)
+    {}
+
+    /** Outcome of an allocation attempt. */
+    enum class Alloc
+    {
+        NewEntry, ///< first miss to the line: fetch must be issued
+        Merged,   ///< appended to an existing entry's target list
+        Full,     ///< table or target list full: retry later
+    };
+
+    /** Try to record a miss for @p line carrying opaque @p target. */
+    Alloc allocate(Addr line, std::uint64_t target);
+
+    /** Is a fetch for this line already pending? */
+    bool pending(Addr line) const { return table_.count(line) > 0; }
+
+    /** Complete a fetch: pops and returns all merged targets. */
+    std::vector<std::uint64_t> complete(Addr line);
+
+    int occupancy() const { return static_cast<int>(table_.size()); }
+    bool full() const { return occupancy() >= maxEntries_; }
+    int maxEntries() const { return maxEntries_; }
+    int maxTargets() const { return maxTargets_; }
+
+  private:
+    int maxEntries_;
+    int maxTargets_;
+    std::map<Addr, std::vector<std::uint64_t>> table_;
+};
+
+} // namespace eqx
+
+#endif // EQX_GPU_MSHR_HH

@@ -1,0 +1,131 @@
+#include "gpu/pe.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+ProcessingElement::ProcessingElement(NodeId node, const PeParams &params,
+                                     PeTraceGen trace,
+                                     const AddressMap *amap,
+                                     PacketInjector *injector,
+                                     const PacketSizes *sizes)
+    : node_(node), params_(params), trace_(std::move(trace)), amap_(amap),
+      injector_(injector), sizes_(sizes), l1_(params.l1),
+      l1Mshr_(params.l1Mshrs, params.l1TargetsPerMshr)
+{
+    eqx_assert(amap_ && injector_ && sizes_, "PE needs its context");
+}
+
+bool
+ProcessingElement::processPendingMem()
+{
+    Addr line = amap_->lineOf(pending_.addr);
+
+    if (!pending_.isWrite) {
+        if (l1_.probe(line)) {
+            stats_.inc("l1_read_hits");
+            return true;
+        }
+        if (l1Mshr_.pending(line)) {
+            auto r = l1Mshr_.allocate(line, 0);
+            if (r == MshrTable::Alloc::Full) {
+                stats_.inc("stall_mshr_targets");
+                return false;
+            }
+            ++outstanding_;
+            stats_.inc("l1_read_merges");
+            return true;
+        }
+        if (l1Mshr_.full()) {
+            stats_.inc("stall_mshr_full");
+            return false;
+        }
+        PacketPtr pkt = makePacket(
+            PacketType::ReadRequest, node_, amap_->cbNodeOf(pending_.addr),
+            sizes_->readRequestBits, pending_.addr);
+        if (!injector_->tryInject(pkt)) {
+            stats_.inc("stall_inject");
+            return false;
+        }
+        auto r = l1Mshr_.allocate(line, 0);
+        eqx_assert(r == MshrTable::Alloc::NewEntry,
+                   "expected a fresh MSHR entry");
+        ++outstanding_;
+        stats_.inc("l1_read_misses");
+        return true;
+    }
+
+    // Write-through, no-allocate L1 (GPU-typical): every store goes to
+    // the L2 bank; the write reply closes the outstanding window slot.
+    PacketPtr pkt = makePacket(
+        PacketType::WriteRequest, node_, amap_->cbNodeOf(pending_.addr),
+        sizes_->writeRequestBits, pending_.addr);
+    if (!injector_->tryInject(pkt)) {
+        stats_.inc("stall_inject");
+        return false;
+    }
+    if (l1_.contains(line))
+        l1_.probe(line); // keep LRU state coherent with the update
+    ++outstanding_;
+    stats_.inc("writes_issued");
+    return true;
+}
+
+void
+ProcessingElement::tick(Cycle)
+{
+    for (int slot = 0; slot < params_.issueWidth; ++slot) {
+        if (outstanding_ >= params_.maxOutstanding) {
+            stats_.inc("stall_window");
+            return;
+        }
+        if (!havePending_) {
+            if (!trace_.next(pending_))
+                return; // stream exhausted
+            havePending_ = true;
+        }
+        if (!pending_.isMem) {
+            ++instsIssued_;
+            havePending_ = false;
+            continue;
+        }
+        if (!processPendingMem())
+            return; // structural stall: retry the same op next cycle
+        ++instsIssued_;
+        havePending_ = false;
+    }
+}
+
+bool
+ProcessingElement::done() const
+{
+    return trace_.remaining() == 0 && !havePending_ && outstanding_ == 0;
+}
+
+bool
+ProcessingElement::canAccept(const PacketPtr &)
+{
+    return true; // PEs always sink replies (guaranteed reply drain)
+}
+
+void
+ProcessingElement::accept(const PacketPtr &pkt, Cycle)
+{
+    if (pkt->type == PacketType::ReadReply) {
+        Addr line = amap_->lineOf(pkt->addr);
+        auto targets = l1Mshr_.complete(line);
+        eqx_assert(!targets.empty(), "read reply with no MSHR targets");
+        if (!l1_.contains(line))
+            l1_.insert(line, /*dirty=*/false); // write-through: clean
+        outstanding_ -= static_cast<int>(targets.size());
+        stats_.inc("read_replies");
+    } else if (pkt->type == PacketType::WriteReply) {
+        --outstanding_;
+        stats_.inc("write_replies");
+    } else {
+        eqx_panic("PE received a request packet");
+    }
+    eqx_assert(outstanding_ >= 0, "outstanding underflow at PE ", node_);
+}
+
+} // namespace eqx

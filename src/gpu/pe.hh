@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Processing element (streaming multiprocessor) model: issues a
+ * profile-driven instruction stream, filters memory operations through
+ * a real L1 cache with MSHR merging, and tolerates memory latency up
+ * to a bounded number of outstanding requests — the many side of the
+ * many-to-few-to-many pattern.
+ */
+
+#ifndef EQX_GPU_PE_HH
+#define EQX_GPU_PE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/endpoint.hh"
+#include "gpu/mshr.hh"
+#include "gpu/tag_array.hh"
+#include "noc/network_interface.hh"
+#include "noc/params.hh"
+#include "workloads/trace_gen.hh"
+
+namespace eqx {
+
+/** PE microarchitecture parameters (paper Table 1 defaults). */
+struct PeParams
+{
+    CacheGeometry l1{16 * 1024, 64, 4}; ///< 16 KB L1 per PE
+    int l1Mshrs = 16;
+    int l1TargetsPerMshr = 8;
+    int maxOutstanding = 32; ///< latency-tolerance window
+    int issueWidth = 2;      ///< instructions issued per cycle
+};
+
+/** One PE. Also the PacketSink for replies delivered at its node. */
+class ProcessingElement : public PacketSink
+{
+  public:
+    ProcessingElement(NodeId node, const PeParams &params,
+                      PeTraceGen trace, const AddressMap *amap,
+                      PacketInjector *injector, const PacketSizes *sizes);
+
+    NodeId node() const { return node_; }
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** Stream exhausted and every outstanding access returned. */
+    bool done() const;
+
+    std::uint64_t instsIssued() const { return instsIssued_; }
+    int outstanding() const { return outstanding_; }
+    const TagArray &l1() const { return l1_; }
+    const StatGroup &stats() const { return stats_; }
+
+    // PacketSink: replies are always consumed immediately.
+    bool canAccept(const PacketPtr &pkt) override;
+    void accept(const PacketPtr &pkt, Cycle core_now) override;
+
+  private:
+    /** Try to complete the pending memory op; false = stall. */
+    bool processPendingMem();
+
+    NodeId node_;
+    PeParams params_;
+    PeTraceGen trace_;
+    const AddressMap *amap_;
+    PacketInjector *injector_;
+    const PacketSizes *sizes_;
+
+    TagArray l1_;
+    MshrTable l1Mshr_;
+    int outstanding_ = 0;
+
+    bool havePending_ = false;
+    TraceOp pending_;
+
+    std::uint64_t instsIssued_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace eqx
+
+#endif // EQX_GPU_PE_HH

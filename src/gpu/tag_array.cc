@@ -1,0 +1,109 @@
+#include "gpu/tag_array.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+TagArray::TagArray(const CacheGeometry &geom)
+    : geom_(geom), sets_(geom.numSets())
+{
+    eqx_assert(sets_ >= 1, "cache must have at least one set");
+    eqx_assert(geom_.ways >= 1, "cache must have at least one way");
+    eqx_assert(geom_.sizeBytes ==
+                   static_cast<std::int64_t>(sets_) * geom_.ways *
+                       geom_.lineBytes,
+               "cache size must be sets*ways*line");
+    entries_.resize(static_cast<std::size_t>(sets_ * geom_.ways));
+}
+
+TagArray::Entry *
+TagArray::find(Addr line)
+{
+    int set = setOf(line);
+    for (int w = 0; w < geom_.ways; ++w) {
+        auto &e = entries_[static_cast<std::size_t>(set * geom_.ways + w)];
+        if (e.valid && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+const TagArray::Entry *
+TagArray::find(Addr line) const
+{
+    return const_cast<TagArray *>(this)->find(line);
+}
+
+bool
+TagArray::contains(Addr line) const
+{
+    return find(line) != nullptr;
+}
+
+bool
+TagArray::probe(Addr line)
+{
+    ++clock_;
+    Entry *e = find(line);
+    if (e) {
+        e->lru = clock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+TagArray::Victim
+TagArray::insert(Addr line, bool dirty)
+{
+    ++clock_;
+    eqx_assert(!contains(line), "inserting a line already present");
+    int set = setOf(line);
+    Entry *slot = nullptr;
+    for (int w = 0; w < geom_.ways; ++w) {
+        auto &e = entries_[static_cast<std::size_t>(set * geom_.ways + w)];
+        if (!e.valid) {
+            slot = &e;
+            break;
+        }
+        if (!slot || e.lru < slot->lru)
+            slot = &e;
+    }
+    Victim v;
+    if (slot->valid) {
+        v.valid = true;
+        v.line = slot->line;
+        v.dirty = slot->dirty;
+    }
+    slot->valid = true;
+    slot->line = line;
+    slot->dirty = dirty;
+    slot->lru = clock_;
+    return v;
+}
+
+bool
+TagArray::markDirty(Addr line)
+{
+    Entry *e = find(line);
+    if (!e)
+        return false;
+    e->dirty = true;
+    return true;
+}
+
+bool
+TagArray::invalidate(Addr line, bool *was_dirty)
+{
+    Entry *e = find(line);
+    if (!e)
+        return false;
+    if (was_dirty)
+        *was_dirty = e->dirty;
+    e->valid = false;
+    e->dirty = false;
+    return true;
+}
+
+} // namespace eqx

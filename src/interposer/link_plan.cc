@@ -1,0 +1,114 @@
+#include "interposer/link_plan.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "interposer/ubump.hh"
+
+namespace eqx {
+
+LinkPlan::LinkPlan(int one_cycle_reach_hops) : reach_(one_cycle_reach_hops)
+{
+    eqx_assert(reach_ >= 1, "one-cycle reach must be at least one hop");
+}
+
+void
+LinkPlan::add(const InterposerLink &link)
+{
+    eqx_assert(link.src != link.dst, "interposer link must span two tiles");
+    eqx_assert(link.widthBits > 0, "link width must be positive");
+    links_.push_back(link);
+}
+
+std::vector<Segment>
+LinkPlan::segments() const
+{
+    std::vector<Segment> segs;
+    segs.reserve(links_.size());
+    for (const auto &l : links_)
+        segs.push_back(l.segment());
+    return segs;
+}
+
+int
+LinkPlan::crossings() const
+{
+    return countCrossings(segments());
+}
+
+int
+LinkPlan::layersNeeded() const
+{
+    return rdlLayersNeeded(segments());
+}
+
+double
+LinkPlan::totalLengthHops() const
+{
+    double total = 0;
+    for (const auto &l : links_)
+        total += l.hops();
+    return total;
+}
+
+int
+LinkPlan::maxHops() const
+{
+    int m = 0;
+    for (const auto &l : links_)
+        m = std::max(m, l.hops());
+    return m;
+}
+
+bool
+LinkPlan::needsRepeaters() const
+{
+    return maxHops() > reach_;
+}
+
+RdlReport
+LinkPlan::report() const
+{
+    UbumpModel bumps;
+    RdlReport r;
+    r.numLinks = static_cast<int>(links_.size());
+    for (const auto &l : links_)
+        r.numWires += l.widthBits * (l.bidirectional ? 2 : 1);
+    r.crossings = crossings();
+    r.layersNeeded = layersNeeded();
+    r.totalLengthHops = totalLengthHops();
+    r.maxHops = maxHops();
+    r.needsRepeaters = needsRepeaters();
+    for (const auto &l : links_)
+        r.numUbumps += bumps.bumpsForLink(l, /*round_trip=*/true);
+    r.ubumpAreaMm2 = bumps.areaForBumps(r.numUbumps);
+    return r;
+}
+
+std::string
+LinkPlan::asciiMap(int width, int height) const
+{
+    // Mark link endpoints; sources as 'S', destinations as 'E', both 'B'.
+    std::vector<char> grid(static_cast<std::size_t>(width * height), '.');
+    auto at = [&](const Coord &c) -> char & {
+        return grid[static_cast<std::size_t>(c.y * width + c.x)];
+    };
+    for (const auto &l : links_) {
+        if (l.src.x >= 0 && l.src.x < width && l.src.y >= 0 &&
+            l.src.y < height)
+            at(l.src) = at(l.src) == 'E' ? 'B' : 'S';
+        if (l.dst.x >= 0 && l.dst.x < width && l.dst.y >= 0 &&
+            l.dst.y < height)
+            at(l.dst) = at(l.dst) == 'S' ? 'B' : 'E';
+    }
+    std::ostringstream os;
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x)
+            os << grid[static_cast<std::size_t>(y * width + x)] << ' ';
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace eqx

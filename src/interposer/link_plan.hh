@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Physical plan for the interposer redistribution layers (RDLs): the
+ * set of die-to-die wires a design needs, with geometric analysis of
+ * crossings, layer count, wire length and repeater requirements
+ * (paper Sections 3.2.3 and 4.3).
+ */
+
+#ifndef EQX_INTERPOSER_LINK_PLAN_HH
+#define EQX_INTERPOSER_LINK_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/types.hh"
+
+namespace eqx {
+
+/**
+ * One interposer link: a point-to-point RDL wire bundle between two
+ * tiles of the processor die (routed under the die).
+ */
+struct InterposerLink
+{
+    /** Source tile (where the driving ubump sits). */
+    Coord src;
+    /** Destination tile. */
+    Coord dst;
+    /** Bundle width in bits (one wire per bit). */
+    int widthBits = 128;
+    /** True if the link carries traffic both ways. */
+    bool bidirectional = false;
+
+    /** Manhattan span in hops (used for the repeater rule). */
+    int hops() const { return manhattan(src, dst); }
+    Segment segment() const { return {src, dst}; }
+};
+
+/** Summary of the physical viability analysis of a link plan. */
+struct RdlReport
+{
+    int numLinks = 0;
+    int numWires = 0;          ///< total signal wires (bits x directions)
+    int crossings = 0;         ///< pairwise RDL cross-points
+    int layersNeeded = 0;      ///< metal layers after crossing colouring
+    double totalLengthHops = 0; ///< sum of Manhattan link spans
+    int maxHops = 0;           ///< longest link span
+    bool needsRepeaters = false; ///< any link longer than the 1-cycle reach
+    int numUbumps = 0;         ///< see UbumpModel
+    double ubumpAreaMm2 = 0.0;
+};
+
+/**
+ * A collection of interposer links plus the geometry/viability queries
+ * the MCTS evaluation and the Section 6.6 comparison need.
+ */
+class LinkPlan
+{
+  public:
+    /** @param one_cycle_reach_hops longest span that fits one cycle
+     *         without repeaters (paper: 2 hops). */
+    explicit LinkPlan(int one_cycle_reach_hops = 2);
+
+    void add(const InterposerLink &link);
+    const std::vector<InterposerLink> &links() const { return links_; }
+    std::size_t size() const { return links_.size(); }
+    void clear() { links_.clear(); }
+
+    /** Pairwise crossing count over all link segments. */
+    int crossings() const;
+
+    /** RDL metal layers needed (>=1 when any link exists). */
+    int layersNeeded() const;
+
+    /** Sum of Manhattan spans, in hops. */
+    double totalLengthHops() const;
+
+    /** Longest Manhattan span. */
+    int maxHops() const;
+
+    /** True if any link exceeds the one-cycle reach. */
+    bool needsRepeaters() const;
+
+    /** Full physical report, including ubump accounting. */
+    RdlReport report() const;
+
+    /** Render an ASCII map of the plan on a w x h grid (debug aid). */
+    std::string asciiMap(int width, int height) const;
+
+  private:
+    std::vector<Segment> segments() const;
+
+    std::vector<InterposerLink> links_;
+    int reach_;
+};
+
+} // namespace eqx
+
+#endif // EQX_INTERPOSER_LINK_PLAN_HH

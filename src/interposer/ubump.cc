@@ -1,0 +1,29 @@
+#include "interposer/ubump.hh"
+
+#include "interposer/link_plan.hh"
+
+namespace eqx {
+
+double
+UbumpModel::bumpAreaMm2() const
+{
+    double pitch_mm = pitchUm / 1000.0;
+    return pitch_mm * pitch_mm;
+}
+
+int
+UbumpModel::bumpsForLink(const InterposerLink &link, bool round_trip) const
+{
+    int wires = link.widthBits * (link.bidirectional ? 2 : 1);
+    int per_wire = round_trip ? bumpsPerWireRoundTrip
+                              : bumpsPerWireSingleDrop;
+    return wires * per_wire;
+}
+
+double
+UbumpModel::areaForBumps(int bumps) const
+{
+    return bumps * bumpAreaMm2();
+}
+
+} // namespace eqx

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Micro-bump (ubump) accounting for 2.5D face-down integration.
+ * Every interposer wire consumes ubumps on the top die(s); at a 40 um
+ * pitch this area is a first-order cost (paper Sections 3.2.3, 6.6).
+ */
+
+#ifndef EQX_INTERPOSER_UBUMP_HH
+#define EQX_INTERPOSER_UBUMP_HH
+
+namespace eqx {
+
+struct InterposerLink;
+
+/** Parameters and formulas for ubump area accounting. */
+struct UbumpModel
+{
+    /** Bump pitch in micrometres (paper uses 40 um [22]). */
+    double pitchUm = 40.0;
+
+    /**
+     * Bumps consumed at each end of a wire that lands on a die.
+     * A processor-die-to-processor-die RDL wire (EquiNox CB->EIR link)
+     * descends and re-ascends, so it needs 2 bumps per wire; the
+     * paper's Interposer-CMesh accounting charges 1 per wire.
+     */
+    int bumpsPerWireRoundTrip = 2;
+    int bumpsPerWireSingleDrop = 1;
+
+    /** Area of one bump site at the given pitch, in mm^2. */
+    double bumpAreaMm2() const;
+
+    /** Bumps for one link; round_trip selects the 2-bump rule. */
+    int bumpsForLink(const InterposerLink &link, bool round_trip) const;
+
+    /** Total area for a bump count, in mm^2. */
+    double areaForBumps(int bumps) const;
+};
+
+} // namespace eqx
+
+#endif // EQX_INTERPOSER_UBUMP_HH

@@ -1,0 +1,139 @@
+#include "memory/hbm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+HbmStack::HbmStack(const HbmParams &params, Callback on_complete)
+    : params_(params), onComplete_(std::move(on_complete))
+{
+    eqx_assert(params_.channels >= 1 && params_.banksPerChannel >= 1,
+               "HBM geometry must be positive");
+    channels_.resize(static_cast<std::size_t>(params_.channels));
+    for (auto &ch : channels_)
+        ch.banks.resize(static_cast<std::size_t>(params_.banksPerChannel));
+}
+
+int
+HbmStack::channelOf(Addr addr) const
+{
+    return static_cast<int>((addr / static_cast<Addr>(params_.lineBytes)) %
+                            static_cast<Addr>(params_.channels));
+}
+
+int
+HbmStack::bankOf(Addr addr) const
+{
+    Addr line = addr / static_cast<Addr>(params_.lineBytes);
+    return static_cast<int>((line / static_cast<Addr>(params_.channels)) %
+                            static_cast<Addr>(params_.banksPerChannel));
+}
+
+std::int64_t
+HbmStack::rowOf(Addr addr) const
+{
+    Addr line = addr / static_cast<Addr>(params_.lineBytes);
+    // 64 lines (4 KiB rows at 64 B lines) per row.
+    return static_cast<std::int64_t>(
+        line / static_cast<Addr>(params_.channels) /
+        static_cast<Addr>(params_.banksPerChannel) / 64);
+}
+
+bool
+HbmStack::canEnqueue(Addr addr) const
+{
+    const auto &ch = channels_[static_cast<std::size_t>(channelOf(addr))];
+    return static_cast<int>(ch.queue.size()) < params_.queueDepth;
+}
+
+void
+HbmStack::enqueue(const MemRequest &req, Cycle)
+{
+    auto &ch = channels_[static_cast<std::size_t>(channelOf(req.addr))];
+    eqx_assert(static_cast<int>(ch.queue.size()) < params_.queueDepth,
+               "HBM channel queue overflow");
+    ch.queue.push_back(req);
+    ++outstanding_;
+    stats_.inc(req.write ? "writes" : "reads");
+}
+
+void
+HbmStack::issueChannel(Channel &ch, Cycle now)
+{
+    if (ch.queue.empty() || ch.busFreeAt > now)
+        return;
+    const DramTiming &t = params_.timing;
+
+    // FR-FCFS: first ready row-hit; otherwise the oldest ready request.
+    auto ready = [&](const MemRequest &r) {
+        const Bank &b =
+            ch.banks[static_cast<std::size_t>(bankOf(r.addr))];
+        return b.readyAt <= now;
+    };
+    auto rowHit = [&](const MemRequest &r) {
+        const Bank &b =
+            ch.banks[static_cast<std::size_t>(bankOf(r.addr))];
+        return b.openRow == rowOf(r.addr);
+    };
+
+    std::size_t pick = ch.queue.size();
+    for (std::size_t i = 0; i < ch.queue.size(); ++i) {
+        if (ready(ch.queue[i]) && rowHit(ch.queue[i])) {
+            pick = i;
+            break;
+        }
+    }
+    if (pick == ch.queue.size()) {
+        for (std::size_t i = 0; i < ch.queue.size(); ++i) {
+            if (ready(ch.queue[i])) {
+                pick = i;
+                break;
+            }
+        }
+    }
+    if (pick == ch.queue.size())
+        return;
+
+    MemRequest req = ch.queue[pick];
+    ch.queue.erase(ch.queue.begin() +
+                   static_cast<std::ptrdiff_t>(pick));
+
+    Bank &bank = ch.banks[static_cast<std::size_t>(bankOf(req.addr))];
+    std::int64_t row = rowOf(req.addr);
+    int access_lat;
+    if (bank.openRow == row) {
+        access_lat = t.tCL + t.tBL;
+        stats_.inc("row_hits");
+    } else if (bank.openRow >= 0) {
+        access_lat = t.tRP + t.tRCD + t.tCL + t.tBL;
+        stats_.inc("row_conflicts");
+    } else {
+        access_lat = t.tRCD + t.tCL + t.tBL;
+        stats_.inc("row_empty");
+    }
+    bank.openRow = row;
+
+    Cycle finish = now + static_cast<Cycle>(access_lat) +
+                   static_cast<Cycle>(req.write ? t.tWR : 0);
+    bank.readyAt = finish;
+    ch.busFreeAt = now + static_cast<Cycle>(t.tBL);
+    inflight_.push(Inflight{finish, req});
+}
+
+void
+HbmStack::tick(Cycle now)
+{
+    while (!inflight_.empty() && inflight_.top().finishAt <= now) {
+        MemRequest req = inflight_.top().req;
+        inflight_.pop();
+        --outstanding_;
+        stats_.inc("completions");
+        onComplete_(req, now);
+    }
+    for (auto &ch : channels_)
+        issueChannel(ch, now);
+}
+
+} // namespace eqx

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Round-robin arbiter used by the separable input-first VC and switch
+ * allocators (paper Table 1: "Separable input first").
+ */
+
+#ifndef EQX_NOC_ARBITER_HH
+#define EQX_NOC_ARBITER_HH
+
+#include <vector>
+
+namespace eqx {
+
+/**
+ * Classic rotating-priority arbiter over a fixed number of requesters.
+ * grant() scans from the slot after the last winner.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(int num_inputs = 0)
+        : numInputs_(num_inputs)
+    {}
+
+    void
+    resize(int num_inputs)
+    {
+        numInputs_ = num_inputs;
+        if (last_ >= num_inputs)
+            last_ = 0;
+    }
+
+    /**
+     * Pick one asserted requester, rotating priority. @return the
+     * granted index, or -1 if no requests.
+     */
+    int
+    grant(const std::vector<bool> &requests)
+    {
+        if (numInputs_ == 0)
+            return -1;
+        for (int i = 1; i <= numInputs_; ++i) {
+            int idx = (last_ + i) % numInputs_;
+            if (idx < static_cast<int>(requests.size()) && requests[idx]) {
+                last_ = idx;
+                return idx;
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Allocation-free variant: @p requesters lists the asserted input
+     * indices (any order). Picks the one closest after the previous
+     * winner in rotation. @return the granted index, or -1.
+     */
+    int
+    grantList(const std::vector<int> &requesters)
+    {
+        if (numInputs_ == 0 || requesters.empty())
+            return -1;
+        int best = -1;
+        int best_dist = numInputs_ + 1;
+        for (int idx : requesters) {
+            int dist = (idx - last_ - 1 + numInputs_) % numInputs_;
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = idx;
+            }
+        }
+        if (best >= 0)
+            last_ = best;
+        return best;
+    }
+
+    int numInputs() const { return numInputs_; }
+
+  private:
+    int numInputs_ = 0;
+    int last_ = 0;
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_ARBITER_HH

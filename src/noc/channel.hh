@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fixed-latency pipelined channels for flits and credits. A channel
+ * accepts at most one item per tick and delivers it latency ticks
+ * later; interposer channels carry multi-hop spans in one tick.
+ */
+
+#ifndef EQX_NOC_CHANNEL_HH
+#define EQX_NOC_CHANNEL_HH
+
+#include <deque>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace eqx {
+
+/**
+ * Pipelined point-to-point channel. T is Flit or Credit. The owner
+ * calls send() during a tick and drains arrivals at the start of the
+ * next tick(s) via receive().
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(int latency = 1) : latency_(latency)
+    {
+        eqx_assert(latency >= 1, "channel latency must be >= 1");
+    }
+
+    /** Enqueue an item at tick @p now; it arrives at now + latency. */
+    void
+    send(T item, Cycle now)
+    {
+        inflight_.emplace_back(now + static_cast<Cycle>(latency_),
+                               std::move(item));
+    }
+
+    /** Pop the next item that has arrived by tick @p now, if any. */
+    bool
+    receive(Cycle now, T &out)
+    {
+        if (inflight_.empty() || inflight_.front().first > now)
+            return false;
+        out = std::move(inflight_.front().second);
+        inflight_.pop_front();
+        return true;
+    }
+
+    bool empty() const { return inflight_.empty(); }
+    std::size_t inflightCount() const { return inflight_.size(); }
+    int latency() const { return latency_; }
+
+  private:
+    int latency_;
+    std::deque<std::pair<Cycle, T>> inflight_;
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_CHANNEL_HH

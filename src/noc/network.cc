@@ -1,0 +1,234 @@
+#include "noc/network.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+Network::Network(const NetworkSpec &spec)
+    : params_(spec.params), topo_(spec.params.width, spec.params.height)
+{
+    eqx_assert(params_.width >= 2 && params_.height >= 2,
+               "mesh must be at least 2x2");
+    eqx_assert(params_.vcsPerPort >= 1, "need at least one VC");
+    if (params_.classVcs)
+        eqx_assert(params_.vcsPerPort >= 2,
+                   "class-segregated VCs need >= 2 VCs");
+
+    int n = topo_.numNodes();
+    routers_.reserve(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i)
+        routers_.push_back(
+            std::make_unique<Router>(i, &topo_, &params_, &activity_));
+
+    auto newFlitChan = [&](int latency) {
+        flitChans_.push_back(std::make_unique<Channel<Flit>>(latency));
+        return flitChans_.back().get();
+    };
+    auto newCreditChan = [&](int latency) {
+        creditChans_.push_back(std::make_unique<Channel<Credit>>(latency));
+        return creditChans_.back().get();
+    };
+
+    // Mesh links: for every directed neighbour pair A -> B, a flit
+    // channel (A out -> B in) plus the reverse credit channel.
+    int lat = params_.channelLatencyCycles;
+    for (NodeId a = 0; a < n; ++a) {
+        Coord ca = topo_.coord(a);
+        for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
+            Coord step = dirStep(d);
+            Coord cb{ca.x + step.x, ca.y + step.y};
+            if (!topo_.inBounds(cb))
+                continue;
+            NodeId b = topo_.node(cb);
+            auto *fc = newFlitChan(lat);
+            auto *cc = newCreditChan(lat);
+            int in_idx = routerRef(b).addInputPort(PortKind::Geo,
+                                                   opposite(d), cc);
+            int out_idx = routerRef(a).addOutputPort(
+                PortKind::Geo, d, fc, params_.vcDepthFlits,
+                params_.geoLinksInterposer);
+            routerFlitWires_.push_back({fc, b, in_idx});
+            routerCreditWires_.push_back({cc, a, out_idx});
+        }
+    }
+
+    // NIs.
+    nis_.reserve(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+        NodeMods mods;
+        auto mit = spec.mods.find(i);
+        if (mit != spec.mods.end())
+            mods = mit->second;
+        bool is_eir_cb = spec.eirGroups.count(i) > 0;
+        if (is_eir_cb)
+            mods.kind = NiKind::EquiNox;
+
+        std::unique_ptr<NetworkInterface> ni;
+        switch (mods.kind) {
+          case NiKind::Basic:
+            ni = std::make_unique<BasicNi>(i, &topo_, &params_,
+                                           &activity_, &latency_);
+            break;
+          case NiKind::MultiPort:
+            ni = std::make_unique<MultiPortNi>(i, &topo_, &params_,
+                                               &activity_, &latency_);
+            break;
+          case NiKind::EquiNox:
+            ni = std::make_unique<EquiNoxNi>(i, &topo_, &params_,
+                                             &activity_, &latency_);
+            break;
+        }
+
+        // Local injection port(s).
+        for (int p = 0; p < mods.localInjPorts; ++p) {
+            auto *fc = newFlitChan(1);
+            auto *cc = newCreditChan(1);
+            int in_idx = routerRef(i).addInputPort(PortKind::LocalInj,
+                                                   Dir::Local, cc);
+            int buf = ni->addInjBuffer(1, fc, i, /*interposer=*/false);
+            routerFlitWires_.push_back({fc, i, in_idx});
+            niCreditWires_.push_back({cc, i, buf});
+        }
+
+        // Ejection port(s).
+        for (int p = 0; p < mods.localEjPorts; ++p) {
+            auto *fc = newFlitChan(1);
+            auto *cc = newCreditChan(1);
+            int ej = ni->addEjPort(cc);
+            int out_idx = routerRef(i).addOutputPort(
+                PortKind::LocalEj, Dir::Local, fc, params_.vcDepthFlits);
+            niFlitWires_.push_back({fc, i, ej});
+            routerCreditWires_.push_back({cc, i, out_idx});
+        }
+
+        nis_.push_back(std::move(ni));
+    }
+
+    // EIR interposer links: CB NI buffer -> remote router extra port.
+    // Spans within the 1-cycle interposer reach (2 hops) traverse in a
+    // single cycle; longer links would need repeaters and take a cycle
+    // per reach-length segment.
+    for (const auto &[cb, eirs] : spec.eirGroups) {
+        eqx_assert(cb >= 0 && cb < n, "EIR group CB out of range");
+        for (NodeId e : eirs) {
+            eqx_assert(e >= 0 && e < n, "EIR node out of range");
+            eqx_assert(e != cb, "a CB cannot be its own EIR");
+            int span = manhattan(topo_.coord(cb), topo_.coord(e));
+            int lat = (span + 1) / 2;
+            if (lat < 1)
+                lat = 1;
+            auto *fc = newFlitChan(lat);
+            auto *cc = newCreditChan(lat);
+            int in_idx = routerRef(e).addInputPort(PortKind::RemoteInj,
+                                                   Dir::Local, cc);
+            int buf = nis_[static_cast<std::size_t>(cb)]->addInjBuffer(
+                1, fc, e, /*interposer=*/true);
+            routerFlitWires_.push_back({fc, e, in_idx});
+            niCreditWires_.push_back({cc, cb, buf});
+            ++remoteInjPorts_;
+        }
+    }
+}
+
+void
+Network::coreTick(Cycle core_cycle)
+{
+    coreCycle_ = core_cycle;
+    int ticks = (core_cycle % 2 == 0) ? params_.ticksEvenCycle
+                                      : params_.ticksOddCycle;
+    for (int i = 0; i < ticks; ++i)
+        internalTick();
+}
+
+void
+Network::internalTick()
+{
+    ++tick_;
+    deliver();
+    for (auto &r : routers_)
+        r->switchAllocStage(tick_);
+    for (auto &r : routers_)
+        r->vcAllocStage(tick_);
+    for (auto &r : routers_)
+        r->routeComputeStage(tick_);
+    for (auto &ni : nis_)
+        ni->tick(tick_, coreCycle_);
+}
+
+void
+Network::deliver()
+{
+    Flit f;
+    for (auto &w : routerFlitWires_)
+        while (w.chan->receive(tick_, f))
+            routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+                w.port, std::move(f), tick_);
+    for (auto &w : niFlitWires_)
+        while (w.chan->receive(tick_, f))
+            nis_[static_cast<std::size_t>(w.ni)]->acceptEjectedFlit(
+                w.ejPort, std::move(f));
+    Credit c;
+    for (auto &w : routerCreditWires_)
+        while (w.chan->receive(tick_, c))
+            routers_[static_cast<std::size_t>(w.router)]->creditArrived(
+                w.port, c.vc);
+    for (auto &w : niCreditWires_)
+        while (w.chan->receive(tick_, c))
+            nis_[static_cast<std::size_t>(w.ni)]->creditArrived(w.buf,
+                                                                c.vc);
+}
+
+bool
+Network::inject(NodeId node, const PacketPtr &pkt)
+{
+    eqx_assert(node >= 0 && node < topo_.numNodes(), "inject: bad node");
+    return nis_[static_cast<std::size_t>(node)]->inject(pkt, tick_);
+}
+
+bool
+Network::canInject(NodeId node) const
+{
+    return nis_[static_cast<std::size_t>(node)]->canInject();
+}
+
+void
+Network::setSink(NodeId node, PacketSink *sink)
+{
+    nis_[static_cast<std::size_t>(node)]->setSink(sink);
+}
+
+std::vector<double>
+Network::routerResidenceMeans() const
+{
+    std::vector<double> means;
+    means.reserve(routers_.size());
+    for (const auto &r : routers_)
+        means.push_back(r->residenceStat().mean());
+    return means;
+}
+
+double
+Network::residenceVariance() const
+{
+    RunningStat rs;
+    for (double m : routerResidenceMeans())
+        rs.add(m);
+    return rs.variance();
+}
+
+bool
+Network::drained() const
+{
+    for (const auto &r : routers_)
+        if (r->hasBufferedFlits())
+            return false;
+    for (const auto &ni : nis_)
+        if (!ni->idle())
+            return false;
+    for (const auto &c : flitChans_)
+        if (!c->empty())
+            return false;
+    return true;
+}
+
+} // namespace eqx

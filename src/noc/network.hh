@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A complete mesh network: routers, channels, NIs and statistics.
+ * One Network models one physical NoC; full-system schemes compose
+ * several (request + reply, CMesh overlay, DA2Mesh subnets).
+ */
+
+#ifndef EQX_NOC_NETWORK_HH
+#define EQX_NOC_NETWORK_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/channel.hh"
+#include "noc/network_interface.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "noc/router.hh"
+
+namespace eqx {
+
+/** NI microarchitecture choice per node. */
+enum class NiKind : std::uint8_t { Basic, MultiPort, EquiNox };
+
+/** Per-node structural customization. */
+struct NodeMods
+{
+    NiKind kind = NiKind::Basic;
+    int localInjPorts = 1; ///< >1 for MultiPort CB routers
+    int localEjPorts = 1;  ///< >1 for MultiPort CB routers
+};
+
+/** Build-time description of one network. */
+struct NetworkSpec
+{
+    NocParams params;
+    /** Nodes that deviate from the default Basic 1-inj/1-ej NI. */
+    std::map<NodeId, NodeMods> mods;
+    /**
+     * EquiNox EIR groups: CB node -> its equivalent injection routers.
+     * Implies an EquiNoxNi at the CB and an extra RemoteInj input port
+     * on every listed EIR, connected by a 1-cycle interposer channel.
+     */
+    std::map<NodeId, std::vector<NodeId>> eirGroups;
+};
+
+/**
+ * The network proper. Owns all hardware, advances on coreTick(), and
+ * exposes injection/ejection endpoints plus statistics.
+ */
+class Network
+{
+  public:
+    explicit Network(const NetworkSpec &spec);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    const NocParams &params() const { return params_; }
+    const Topology &topology() const { return topo_; }
+
+    /** Advance by one core clock cycle (runs 1+ internal ticks). */
+    void coreTick(Cycle core_cycle);
+
+    /** Endpoint API. */
+    bool inject(NodeId node, const PacketPtr &pkt);
+    bool canInject(NodeId node) const;
+    void setSink(NodeId node, PacketSink *sink);
+
+    /** Statistics. */
+    const NetworkActivity &activity() const { return activity_; }
+    const LatencyStats &latency() const { return latency_; }
+    Cycle currentTick() const { return tick_; }
+
+    /** Per-router mean flit residence (Fig. 4 heat maps). */
+    std::vector<double> routerResidenceMeans() const;
+    /** Population variance of the per-router residence means. */
+    double residenceVariance() const;
+
+    /** True when no flit is buffered or in flight anywhere. */
+    bool drained() const;
+
+    int numRouters() const { return static_cast<int>(routers_.size()); }
+    const Router &router(NodeId n) const
+    {
+        return *routers_[static_cast<std::size_t>(n)];
+    }
+    const NetworkInterface &ni(NodeId n) const
+    {
+        return *nis_[static_cast<std::size_t>(n)];
+    }
+
+    /** Total extra (RemoteInj) ports added for EIRs. */
+    int numRemoteInjPorts() const { return remoteInjPorts_; }
+
+  private:
+    void internalTick();
+    void deliver();
+
+    Router &routerRef(NodeId n)
+    {
+        return *routers_[static_cast<std::size_t>(n)];
+    }
+
+    NocParams params_;
+    Topology topo_;
+    NetworkActivity activity_;
+    LatencyStats latency_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+
+    std::vector<std::unique_ptr<Channel<Flit>>> flitChans_;
+    std::vector<std::unique_ptr<Channel<Credit>>> creditChans_;
+
+    struct RouterFlitWire { Channel<Flit> *chan; int router; int port; };
+    struct NiFlitWire { Channel<Flit> *chan; int ni; int ejPort; };
+    struct RouterCreditWire { Channel<Credit> *chan; int router; int port; };
+    struct NiCreditWire { Channel<Credit> *chan; int ni; int buf; };
+
+    std::vector<RouterFlitWire> routerFlitWires_;
+    std::vector<NiFlitWire> niFlitWires_;
+    std::vector<RouterCreditWire> routerCreditWires_;
+    std::vector<NiCreditWire> niCreditWires_;
+
+    Cycle tick_ = 0;
+    Cycle coreCycle_ = 0;
+    int remoteInjPorts_ = 0;
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_NETWORK_HH

@@ -1,0 +1,312 @@
+#include "noc/network_interface.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+NetworkInterface::NetworkInterface(NodeId node, const Topology *topo,
+                                   const NocParams *params,
+                                   NetworkActivity *activity,
+                                   LatencyStats *latency)
+    : node_(node), topo_(topo), params_(params), activity_(activity),
+      latency_(latency), coreCapacity_(params->niInjBufPackets)
+{
+    eqx_assert(coreCapacity_ >= 1, "NI core queue needs capacity");
+}
+
+int
+NetworkInterface::addInjBuffer(int capacity_packets, Channel<Flit> *out,
+                               NodeId target_router, bool interposer)
+{
+    InjBuffer b;
+    b.capacityPackets = capacity_packets;
+    b.out = out;
+    b.targetRouter = target_router;
+    b.targetCoord = topo_->coord(target_router);
+    b.interposer = interposer;
+    b.credits.assign(static_cast<std::size_t>(params_->vcsPerPort),
+                     params_->vcDepthFlits);
+    bufs_.push_back(std::move(b));
+    return static_cast<int>(bufs_.size()) - 1;
+}
+
+int
+NetworkInterface::addEjPort(Channel<Credit> *credit_up)
+{
+    EjPort p;
+    p.vcs.assign(static_cast<std::size_t>(params_->vcsPerPort),
+                 VcBuffer(params_->vcDepthFlits));
+    p.creditUp = credit_up;
+    p.arb.resize(params_->vcsPerPort);
+    ejPorts_.push_back(std::move(p));
+    return static_cast<int>(ejPorts_.size()) - 1;
+}
+
+bool
+NetworkInterface::canInject() const
+{
+    return static_cast<int>(coreQueue_.size()) < coreCapacity_;
+}
+
+bool
+NetworkInterface::inject(const PacketPtr &pkt, Cycle now_ticks)
+{
+    eqx_assert(params_->classes.accepts(pkt->type),
+               "packet class not admitted by network ", params_->name);
+    if (!canInject())
+        return false;
+    pkt->cycleCreated = now_ticks;
+    coreQueue_.push_back(pkt);
+    return true;
+}
+
+void
+NetworkInterface::creditArrived(int buf, int vc)
+{
+    auto &b = bufs_[static_cast<std::size_t>(buf)];
+    ++b.credits[static_cast<std::size_t>(vc)];
+    eqx_assert(b.credits[static_cast<std::size_t>(vc)] <=
+                   params_->vcDepthFlits,
+               "injection credit overflow");
+}
+
+void
+NetworkInterface::acceptEjectedFlit(int ej_port, Flit f)
+{
+    auto &p = ejPorts_[static_cast<std::size_t>(ej_port)];
+    p.vcs[static_cast<std::size_t>(f.vc)].push(std::move(f));
+}
+
+void
+NetworkInterface::allowedVcs(PacketType t, int &lo, int &hi) const
+{
+    int v = params_->vcsPerPort;
+    lo = 0;
+    hi = v - 1;
+    if (!params_->classVcs)
+        return;
+    int half = v / 2;
+    if (half == 0)
+        half = 1;
+    if (isRequest(t)) {
+        hi = std::min(half, v) - 1;
+    } else {
+        lo = std::min(half, v - 1);
+    }
+}
+
+void
+NetworkInterface::tickEjection(Cycle now_ticks)
+{
+    for (auto &p : ejPorts_) {
+        if (static_cast<int>(delivered_.size()) >=
+            params_->niEjectQueuePackets)
+            return; // assembled-packet queue full: apply backpressure
+        int v = params_->vcsPerPort;
+        std::vector<bool> reqs(static_cast<std::size_t>(v), false);
+        bool got = false;
+        for (int i = 0; i < v; ++i) {
+            if (!p.vcs[static_cast<std::size_t>(i)].empty()) {
+                reqs[static_cast<std::size_t>(i)] = true;
+                got = true;
+            }
+        }
+        if (!got)
+            continue;
+        int vc = p.arb.grant(reqs);
+        Flit f = p.vcs[static_cast<std::size_t>(vc)].pop();
+        if (p.creditUp)
+            p.creditUp->send(Credit{0, vc}, now_ticks);
+        if (f.isTail) {
+            f.pkt->cycleEjected = now_ticks;
+            int c = LatencyStats::classIdx(f.pkt->type);
+            latency_->queueLat[c].add(
+                static_cast<double>(f.pkt->queueLatency()));
+            latency_->netLat[c].add(
+                static_cast<double>(f.pkt->networkLatency()));
+            latency_->totalLat[c].add(
+                static_cast<double>(f.pkt->totalLatency()));
+            ++latency_->packets[c];
+            delivered_.push_back(f.pkt);
+        }
+    }
+}
+
+void
+NetworkInterface::serializeBuffer(InjBuffer &b, Cycle now_ticks)
+{
+    if (!b.current) {
+        if (b.queue.empty())
+            return;
+        b.current = b.queue.front();
+        b.queue.pop_front();
+        b.numFlits = params_->flitsForBits(b.current->bits);
+        b.flitsSent = 0;
+        b.vc = -1;
+    }
+    if (b.vc < 0) {
+        // Atomic VC acquisition: the target input VC must be empty.
+        int lo, hi;
+        allowedVcs(b.current->type, lo, hi);
+        for (int vc = lo; vc <= hi; ++vc) {
+            if (b.credits[static_cast<std::size_t>(vc)] ==
+                params_->vcDepthFlits) {
+                b.vc = vc;
+                break;
+            }
+        }
+        if (b.vc < 0)
+            return; // all candidate VCs occupied: retry next tick
+    }
+    if (b.credits[static_cast<std::size_t>(b.vc)] <= 0)
+        return;
+
+    Flit f;
+    f.pkt = b.current;
+    f.index = b.flitsSent;
+    f.isHead = b.flitsSent == 0;
+    f.isTail = b.flitsSent == b.numFlits - 1;
+    f.vc = b.vc;
+    if (f.isHead) {
+        b.current->cycleInjected = now_ticks;
+        b.current->entryRouter = b.targetRouter;
+        if (isRequest(b.current->type))
+            activity_->requestBits += static_cast<std::uint64_t>(
+                b.current->bits);
+        else
+            activity_->replyBits += static_cast<std::uint64_t>(
+                b.current->bits);
+    }
+    --b.credits[static_cast<std::size_t>(b.vc)];
+    if (b.interposer)
+        ++activity_->interposerLinkFlits;
+    else
+        ++activity_->linkFlits;
+    bool tail = f.isTail;
+    b.out->send(std::move(f), now_ticks);
+    ++b.flitsSent;
+    if (tail) {
+        b.current.reset();
+        b.vc = -1;
+    }
+}
+
+void
+NetworkInterface::tickInjection(Cycle now_ticks)
+{
+    // NI core logic dispatches at most one packet per tick to a buffer.
+    if (!coreQueue_.empty()) {
+        int idx = selectBuffer(coreQueue_.front());
+        if (idx >= 0) {
+            auto &b = bufs_[static_cast<std::size_t>(idx)];
+            eqx_assert(static_cast<int>(b.queue.size()) <
+                           b.capacityPackets,
+                       "selectBuffer returned a full buffer");
+            b.queue.push_back(coreQueue_.front());
+            coreQueue_.pop_front();
+        }
+    }
+    for (auto &b : bufs_)
+        serializeBuffer(b, now_ticks);
+}
+
+void
+NetworkInterface::tick(Cycle now_ticks, Cycle core_now)
+{
+    tickEjection(now_ticks);
+    while (!delivered_.empty() && sink_ &&
+           sink_->canAccept(delivered_.front())) {
+        PacketPtr pkt = delivered_.front();
+        delivered_.pop_front();
+        sink_->accept(pkt, core_now);
+    }
+    if (!sink_) {
+        // Pure traffic-sink mode: consume unconditionally.
+        delivered_.clear();
+    }
+    tickInjection(now_ticks);
+}
+
+bool
+NetworkInterface::idle() const
+{
+    if (!coreQueue_.empty() || !delivered_.empty())
+        return false;
+    for (const auto &b : bufs_)
+        if (!b.idle())
+            return false;
+    for (const auto &p : ejPorts_)
+        for (const auto &vc : p.vcs)
+            if (!vc.empty())
+                return false;
+    return true;
+}
+
+int
+BasicNi::selectBuffer(const PacketPtr &)
+{
+    eqx_assert(!bufs_.empty(), "BasicNi has no buffer");
+    auto &b = bufs_[0];
+    return static_cast<int>(b.queue.size()) < b.capacityPackets ? 0 : -1;
+}
+
+int
+MultiPortNi::selectBuffer(const PacketPtr &)
+{
+    int n = numInjBuffers();
+    for (int i = 0; i < n; ++i) {
+        int idx = (rr_ + 1 + i) % n;
+        const auto &b = bufs_[static_cast<std::size_t>(idx)];
+        if (static_cast<int>(b.queue.size()) < b.capacityPackets) {
+            rr_ = idx;
+            return idx;
+        }
+    }
+    return -1;
+}
+
+int
+EquiNoxNi::selectBuffer(const PacketPtr &pkt)
+{
+    // Buffer 0 = local router; buffers 1..n = EIRs over the interposer.
+    Coord src = topo_->coord(node_);
+    Coord dst = topo_->coord(pkt->dst);
+    eqx_assert(!(src == dst), "CB does not send packets to itself");
+    int base = manhattan(src, dst);
+
+    // Collect EIR buffers that lie on a shortest path and are free.
+    int free_eligible[2] = {-1, -1};
+    int num_free = 0;
+    for (int i = 1; i < numInjBuffers(); ++i) {
+        const auto &b = bufs_[static_cast<std::size_t>(i)];
+        Coord e = b.targetCoord;
+        if (manhattan(src, e) + manhattan(e, dst) != base)
+            continue;
+        if (b.availableForDispatch() && num_free < 2)
+            free_eligible[num_free++] = i;
+    }
+
+    bool on_axis = src.x == dst.x || src.y == dst.y;
+    const auto &local = bufs_[0];
+    bool local_free =
+        static_cast<int>(local.queue.size()) < local.capacityPackets;
+
+    if (on_axis) {
+        // At most one shortest-path EIR exists; use it, else local.
+        if (num_free >= 1)
+            return free_eligible[0];
+        return local_free ? 0 : -1;
+    }
+    // Quadrant destination: up to two shortest-path EIRs.
+    if (num_free == 2) {
+        rr_ ^= 1;
+        return free_eligible[rr_];
+    }
+    if (num_free == 1)
+        return free_eligible[0];
+    return local_free ? 0 : -1;
+}
+
+} // namespace eqx

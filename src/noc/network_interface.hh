@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Network interfaces: the boundary between endpoints (PEs, cache
+ * banks) and the routers. Three injection-side microarchitectures are
+ * modelled (paper Section 4.4):
+ *
+ *  - BasicNi: a single injection buffer feeding the local router;
+ *  - MultiPortNi: k single-packet buffers all feeding extra injection
+ *    ports of the *local* router (the MultiPort comparison scheme);
+ *  - EquiNoxNi: five single-packet buffers — four feeding remote EIRs
+ *    over 1-cycle interposer links plus one feeding the local router —
+ *    steered by the paper's "Buffer Selection 1" policy.
+ */
+
+#ifndef EQX_NOC_NETWORK_INTERFACE_HH
+#define EQX_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/channel.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "noc/router.hh"
+#include "noc/vc_buffer.hh"
+
+namespace eqx {
+
+/** Endpoint-side consumer of packets leaving the network at a node. */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+    /** May the NI hand over this packet right now? */
+    virtual bool canAccept(const PacketPtr &pkt) = 0;
+    /** Take ownership of a fully reassembled packet. */
+    virtual void accept(const PacketPtr &pkt, Cycle core_now) = 0;
+};
+
+/** Per-class latency accumulators for one network (in network ticks). */
+struct LatencyStats
+{
+    RunningStat queueLat[2];   ///< [0]=request, [1]=reply
+    RunningStat netLat[2];
+    RunningStat totalLat[2];
+    std::uint64_t packets[2] = {0, 0};
+
+    static int classIdx(PacketType t) { return isRequest(t) ? 0 : 1; }
+};
+
+/**
+ * Base NI: ejection reassembly (common to all variants) plus a
+ * dispatch/serialize injection engine over one or more buffers.
+ */
+class NetworkInterface
+{
+  public:
+    /** One injection buffer and its serializer onto a router port. */
+    struct InjBuffer
+    {
+        std::deque<PacketPtr> queue;
+        int capacityPackets = 1;
+        Channel<Flit> *out = nullptr;   ///< to a router injection port
+        bool interposer = false;        ///< EIR link (energy accounting)
+        NodeId targetRouter = kInvalidNode;
+        Coord targetCoord;              ///< cached for buffer selection
+
+        PacketPtr current;              ///< packet mid-serialization
+        int numFlits = 0;
+        int flitsSent = 0;
+        int vc = -1;                    ///< granted router input VC
+        std::vector<int> credits;       ///< per-VC credits at the port
+
+        bool
+        availableForDispatch() const
+        {
+            return !current &&
+                   static_cast<int>(queue.size()) < capacityPackets;
+        }
+        bool idle() const { return !current && queue.empty(); }
+    };
+
+    /** One ejection port fed by a router LocalEj output. */
+    struct EjPort
+    {
+        std::vector<VcBuffer> vcs;
+        Channel<Credit> *creditUp = nullptr;
+        RoundRobinArbiter arb;
+    };
+
+    NetworkInterface(NodeId node, const Topology *topo,
+                     const NocParams *params, NetworkActivity *activity,
+                     LatencyStats *latency);
+    virtual ~NetworkInterface() = default;
+
+    NodeId node() const { return node_; }
+
+    /** Wire an injection buffer (construction time). @return index. */
+    int addInjBuffer(int capacity_packets, Channel<Flit> *out,
+                     NodeId target_router, bool interposer);
+    /** Wire an ejection port. @return index. */
+    int addEjPort(Channel<Credit> *credit_up);
+
+    /** Endpoint call: enqueue a packet for injection. */
+    bool inject(const PacketPtr &pkt, Cycle now_ticks);
+    /** Space available in the NI core queue? */
+    bool canInject() const;
+
+    void setSink(PacketSink *sink) { sink_ = sink; }
+
+    /** Credit returned by the router for injection buffer @p buf. */
+    void creditArrived(int buf, int vc);
+
+    /** Flit arriving from a router ejection port. */
+    void acceptEjectedFlit(int ej_port, Flit f);
+
+    /** Run one network tick: ejection, sink delivery, injection. */
+    void tick(Cycle now_ticks, Cycle core_now);
+
+    /** True when nothing is queued, mid-flight or awaiting delivery. */
+    bool idle() const;
+
+    int numInjBuffers() const { return static_cast<int>(bufs_.size()); }
+    const InjBuffer &injBuffer(int i) const
+    {
+        return bufs_[static_cast<std::size_t>(i)];
+    }
+
+  protected:
+    /**
+     * Pick the injection buffer for the packet at the head of the core
+     * queue, or -1 to retry next tick. Variants implement the policy.
+     */
+    virtual int selectBuffer(const PacketPtr &pkt) = 0;
+
+    /** Allowed VC window for a class (classVcs networks). */
+    void allowedVcs(PacketType t, int &lo, int &hi) const;
+
+    NodeId node_;
+    const Topology *topo_;
+    const NocParams *params_;
+    NetworkActivity *activity_;
+    LatencyStats *latency_;
+
+    std::deque<PacketPtr> coreQueue_;
+    int coreCapacity_;
+    std::vector<InjBuffer> bufs_;
+    std::vector<EjPort> ejPorts_;
+    std::deque<PacketPtr> delivered_;
+    PacketSink *sink_ = nullptr;
+
+  private:
+    void tickEjection(Cycle now_ticks);
+    void tickInjection(Cycle now_ticks);
+    void serializeBuffer(InjBuffer &b, Cycle now_ticks);
+};
+
+/** Single-buffer NI (baseline for PEs and non-EquiNox CBs). */
+class BasicNi : public NetworkInterface
+{
+  public:
+    using NetworkInterface::NetworkInterface;
+
+  protected:
+    int selectBuffer(const PacketPtr &pkt) override;
+};
+
+/** k buffers round-robined onto k local injection ports (MultiPort). */
+class MultiPortNi : public NetworkInterface
+{
+  public:
+    using NetworkInterface::NetworkInterface;
+
+  protected:
+    int selectBuffer(const PacketPtr &pkt) override;
+
+  private:
+    int rr_ = 0;
+};
+
+/**
+ * The EquiNox CB NI: buffer 0 is the local router, buffers 1..n are
+ * EIRs reached over interposer links. Dispatch follows the paper's
+ * Buffer Selection 1 policy: only shortest-path EIRs are eligible;
+ * quadrant destinations round-robin between the two eligible EIRs;
+ * fall back to the local buffer; otherwise retry next cycle.
+ */
+class EquiNoxNi : public NetworkInterface
+{
+  public:
+    using NetworkInterface::NetworkInterface;
+
+  protected:
+    int selectBuffer(const PacketPtr &pkt) override;
+
+  private:
+    int rr_ = 0;
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_NETWORK_INTERFACE_HH

@@ -1,0 +1,27 @@
+#include "noc/packet.hh"
+
+namespace eqx {
+
+std::uint64_t
+nextPacketId()
+{
+    static std::uint64_t id = 0;
+    return ++id;
+}
+
+PacketPtr
+makePacket(PacketType type, NodeId src, NodeId dst, int bits, Addr addr,
+           std::uint64_t tag)
+{
+    auto p = std::make_shared<Packet>();
+    p->id = nextPacketId();
+    p->type = type;
+    p->src = src;
+    p->dst = dst;
+    p->bits = bits;
+    p->addr = addr;
+    p->tag = tag;
+    return p;
+}
+
+} // namespace eqx

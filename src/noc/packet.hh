@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Packets and flits. A packet is the unit endpoints exchange; the
+ * network serializes it into flits sized to the link width.
+ */
+
+#ifndef EQX_NOC_PACKET_HH
+#define EQX_NOC_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace eqx {
+
+/**
+ * One in-flight message. Latency book-keeping fields are stamped by
+ * the NI/network as the packet progresses, in *core* cycles.
+ */
+struct Packet
+{
+    std::uint64_t id = 0;
+    PacketType type = PacketType::ReadRequest;
+    NodeId src = kInvalidNode;    ///< logical source node (tile)
+    NodeId dst = kInvalidNode;    ///< logical destination node (tile)
+    Addr addr = 0;                ///< memory line address (for endpoints)
+    int bits = 128;               ///< payload size
+
+    /** Opaque tag endpoints may use to match replies to requests. */
+    std::uint64_t tag = 0;
+
+    Cycle cycleCreated = 0;   ///< enqueued at the source NI
+    Cycle cycleInjected = 0;  ///< head flit entered the first router
+    Cycle cycleEjected = 0;   ///< tail flit delivered to the sink
+
+    /** Router the packet physically enters (EIR injection may differ
+     *  from src); set by the NI. */
+    NodeId entryRouter = kInvalidNode;
+
+    /**
+     * Final destination in the *tile* namespace when the packet rides
+     * an overlay network whose own node ids differ (Interposer-CMesh):
+     * dst then names the overlay exit router and finalDst the tile.
+     */
+    NodeId finalDst = kInvalidNode;
+
+    Cycle queueLatency() const { return cycleInjected - cycleCreated; }
+    Cycle networkLatency() const { return cycleEjected - cycleInjected; }
+    Cycle totalLatency() const { return cycleEjected - cycleCreated; }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** One link-width slice of a packet. */
+struct Flit
+{
+    PacketPtr pkt;
+    int index = 0;            ///< position within the packet
+    bool isHead = false;
+    bool isTail = false;
+    int vc = 0;               ///< VC on the current link / input buffer
+
+    /** Scratch: cycle this flit entered the current router's buffer
+     *  (internal network ticks), for per-router residence stats. */
+    Cycle arrived = 0;
+};
+
+/** A flow-control credit returned upstream for one freed buffer slot. */
+struct Credit
+{
+    int port = 0; ///< the *downstream receiver's* input port (upstream out port context)
+    int vc = 0;
+};
+
+/** Process-wide packet id allocator (monotonic, not thread safe). */
+std::uint64_t nextPacketId();
+
+/** Convenience constructor. */
+PacketPtr makePacket(PacketType type, NodeId src, NodeId dst, int bits,
+                     Addr addr = 0, std::uint64_t tag = 0);
+
+} // namespace eqx
+
+#endif // EQX_NOC_PACKET_HH

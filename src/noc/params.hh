@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Configuration parameters for one physical network. A full-system
+ * scheme (Section 5 of the paper) instantiates one or more networks,
+ * each with its own NocParams.
+ */
+
+#ifndef EQX_NOC_PARAMS_HH
+#define EQX_NOC_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace eqx {
+
+/** Routing algorithms supported by the router's route-compute stage. */
+enum class RoutingMode : std::uint8_t
+{
+    /** Deterministic dimension-order (X then Y). */
+    XY,
+    /**
+     * Minimal adaptive with a Duato-style escape VC: the highest VC
+     * index is reserved for XY routing only; adaptive VCs may pick any
+     * minimal direction and may drop into the escape VC when blocked.
+     */
+    MinimalAdaptive,
+};
+
+/** Which message classes a network carries. */
+struct ClassMask
+{
+    bool request = true;
+    bool reply = true;
+
+    bool
+    accepts(PacketType t) const
+    {
+        return isRequest(t) ? request : reply;
+    }
+};
+
+/** Parameters of one physical mesh network (paper Table 1 defaults). */
+struct NocParams
+{
+    std::string name = "net";
+
+    int width = 8;             ///< mesh columns
+    int height = 8;            ///< mesh rows
+
+    int vcsPerPort = 2;        ///< virtual channels per port
+    int vcDepthFlits = 5;      ///< buffer depth per VC (1 packet)
+    int flitBits = 128;        ///< link/flit width
+
+    RoutingMode routing = RoutingMode::MinimalAdaptive;
+
+    /**
+     * Single-network mode: VC classes are segregated (VC0.. for
+     * requests, the rest for replies) and routing is forced to XY for
+     * per-class deadlock freedom.
+     */
+    bool classVcs = false;
+
+    /**
+     * VC-Monopolization [Jang et al., DAC'15]: in classVcs mode, a
+     * packet may allocate a VC of the other class when no flit of that
+     * class has passed the router within vcMonoWindow cycles.
+     */
+    bool vcMono = false;
+    int vcMonoWindow = 64;
+
+    int channelLatencyCycles = 1; ///< router-to-router link latency
+
+    /**
+     * Mesh links routed through the interposer RDLs (the CMesh overlay
+     * of Interposer-CMesh): counted as interposer traversals by the
+     * power model.
+     */
+    bool geoLinksInterposer = false;
+
+    int niInjBufPackets = 2;   ///< default NI injection queue (packets)
+    int niEjectQueuePackets = 4; ///< assembled packets awaiting the sink
+
+    ClassMask classes;         ///< which packet classes are admitted
+
+    /**
+     * Internal network ticks per core cycle, alternating even/odd core
+     * cycles. {1,1} = core clock; DA2Mesh subnets use {3,2} = 2.5x.
+     */
+    int ticksEvenCycle = 1;
+    int ticksOddCycle = 1;
+
+    int numNodes() const { return width * height; }
+    /** Flits needed for a packet of the given payload size. */
+    int
+    flitsForBits(int bits) const
+    {
+        int f = (bits + flitBits - 1) / flitBits;
+        return f < 1 ? 1 : f;
+    }
+    /** Average internal ticks per core cycle (e.g. 2.5 for DA2Mesh). */
+    double
+    clockRatio() const
+    {
+        return (ticksEvenCycle + ticksOddCycle) / 2.0;
+    }
+};
+
+/** Payload sizes in bits for the four packet types (64 B lines). */
+struct PacketSizes
+{
+    int readRequestBits = 128;
+    int writeRequestBits = 640;
+    int readReplyBits = 640;
+    int writeReplyBits = 128;
+
+    int
+    bitsFor(PacketType t) const
+    {
+        switch (t) {
+          case PacketType::ReadRequest:  return readRequestBits;
+          case PacketType::WriteRequest: return writeRequestBits;
+          case PacketType::ReadReply:    return readReplyBits;
+          case PacketType::WriteReply:   return writeReplyBits;
+        }
+        return 128;
+    }
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_PARAMS_HH

@@ -1,0 +1,386 @@
+#include "noc/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "noc/routing.hh"
+
+namespace eqx {
+
+Router::Router(NodeId id, const Topology *topo, const NocParams *params,
+               NetworkActivity *activity)
+    : id_(id), topo_(topo), params_(params), activity_(activity)
+{
+    eqx_assert(topo_ && params_ && activity_, "router needs its context");
+}
+
+int
+Router::addInputPort(PortKind kind, Dir dir, Channel<Credit> *credit_up)
+{
+    eqx_assert(kind != PortKind::LocalEj, "LocalEj is an output kind");
+    InputPort p;
+    p.kind = kind;
+    p.dir = dir;
+    p.vcs.assign(static_cast<std::size_t>(params_->vcsPerPort),
+                 VcBuffer(params_->vcDepthFlits));
+    p.creditUp = credit_up;
+    p.saArb.resize(params_->vcsPerPort);
+    inputs_.push_back(std::move(p));
+    return static_cast<int>(inputs_.size()) - 1;
+}
+
+int
+Router::addOutputPort(PortKind kind, Dir dir, Channel<Flit> *out,
+                      int downstream_depth, bool interposer)
+{
+    eqx_assert(kind == PortKind::Geo || kind == PortKind::LocalEj,
+               "outputs connect to neighbours or the NI ejection side");
+    OutputPort p;
+    p.kind = kind;
+    p.dir = dir;
+    p.out = out;
+    p.interposer = interposer;
+    p.vcs.assign(static_cast<std::size_t>(params_->vcsPerPort), OutputVc{});
+    for (auto &vc : p.vcs)
+        vc.credits = downstream_depth;
+    p.vaArbs.assign(static_cast<std::size_t>(params_->vcsPerPort),
+                    RoundRobinArbiter(0));
+    outputs_.push_back(std::move(p));
+    int idx = static_cast<int>(outputs_.size()) - 1;
+    if (kind == PortKind::LocalEj)
+        ejPorts_.push_back(idx);
+    return idx;
+}
+
+void
+Router::acceptFlit(int in_port, Flit f, Cycle now)
+{
+    eqx_assert(in_port >= 0 && in_port < numInputPorts(),
+               "bad input port ", in_port, " at router ", id_);
+    auto &ip = inputs_[static_cast<std::size_t>(in_port)];
+    eqx_assert(f.vc >= 0 && f.vc < static_cast<int>(ip.vcs.size()),
+               "bad VC on arriving flit");
+    f.arrived = now;
+    int cls = isRequest(f.pkt->type) ? 0 : 1;
+    lastSeenClass_[cls] = now;
+    seenClass_[cls] = true;
+    ip.vcs[static_cast<std::size_t>(f.vc)].push(std::move(f));
+    ++activity_->bufferWrites;
+}
+
+void
+Router::creditArrived(int out_port, int vc)
+{
+    auto &op = outputs_[static_cast<std::size_t>(out_port)];
+    auto &ovc = op.vcs[static_cast<std::size_t>(vc)];
+    ++ovc.credits;
+}
+
+int
+Router::geoOutPort(Dir d) const
+{
+    for (int i = 0; i < numOutputPorts(); ++i) {
+        if (outputs_[static_cast<std::size_t>(i)].kind == PortKind::Geo &&
+            outputs_[static_cast<std::size_t>(i)].dir == d)
+            return i;
+    }
+    return -1;
+}
+
+void
+Router::classVcRange(PacketType t, int &lo, int &hi) const
+{
+    int v = params_->vcsPerPort;
+    int half = v / 2;
+    if (half == 0)
+        half = 1;
+    if (isRequest(t)) {
+        lo = 0;
+        hi = std::min(half, v) - 1;
+    } else {
+        lo = std::min(half, v - 1);
+        hi = v - 1;
+    }
+}
+
+bool
+Router::monopolyAllowed(PacketType t, Cycle now) const
+{
+    if (!params_->vcMono)
+        return false;
+    // Only replies may monopolize request-class VCs: replies are always
+    // sunk at PE NIs, so borrowed request VCs still drain. Letting
+    // requests borrow reply VCs would close the classic request/reply
+    // protocol-deadlock cycle.
+    if (isRequest(t))
+        return false;
+    if (!seenClass_[0])
+        return true;
+    return now - lastSeenClass_[0] >
+           static_cast<Cycle>(params_->vcMonoWindow);
+}
+
+void
+Router::routeComputeStage(Cycle)
+{
+    Coord here = coord();
+    for (auto &ip : inputs_) {
+        for (auto &vcb : ip.vcs) {
+            if (vcb.state != VcState::Idle || vcb.empty())
+                continue;
+            const Flit &f = vcb.front();
+            if (!f.isHead)
+                continue;
+            Coord dest = topo_->coord(f.pkt->dst);
+            vcb.routeCandidates.clear();
+            if (dest == here) {
+                vcb.routeCandidates = ejPorts_;
+                eqx_assert(!vcb.routeCandidates.empty(),
+                           "router ", id_, " has no ejection port");
+            } else if (params_->routing == RoutingMode::XY ||
+                       params_->classVcs) {
+                int p = geoOutPort(xyDirection(here, dest));
+                eqx_assert(p >= 0, "XY direction port missing");
+                vcb.routeCandidates.push_back(p);
+            } else {
+                // Minimal adaptive: x-dimension candidate first so that
+                // routeCandidates[0] is always the XY (escape) port.
+                for (Dir d : minimalDirections(here, dest)) {
+                    int p = geoOutPort(d);
+                    eqx_assert(p >= 0, "minimal direction port missing");
+                    vcb.routeCandidates.push_back(p);
+                }
+            }
+            vcb.state = VcState::RouteComputed;
+        }
+    }
+}
+
+bool
+Router::chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
+                        int &req_port, int &req_vc)
+{
+    const auto &vcb = ip.vcs[static_cast<std::size_t>(in_vc)];
+    const Flit &f = vcb.front();
+    PacketType t = f.pkt->type;
+    int v = params_->vcsPerPort;
+
+    auto available = [&](int port, int vc) {
+        const auto &op = outputs_[static_cast<std::size_t>(port)];
+        const auto &ovc = op.vcs[static_cast<std::size_t>(vc)];
+        // Atomic VC buffers: require the downstream VC idle and empty.
+        return !ovc.busy && ovc.credits >= params_->vcDepthFlits;
+    };
+
+    // Determine the permitted VC window on non-ejection ports.
+    int lo = 0, hi = v - 1;
+    bool adaptive = params_->routing == RoutingMode::MinimalAdaptive &&
+                    !params_->classVcs;
+    if (params_->classVcs && !monopolyAllowed(t, now))
+        classVcRange(t, lo, hi);
+
+    int best_port = -1, best_vc = -1, best_credits = -1;
+    auto consider = [&](int port, int vc) {
+        if (!available(port, vc))
+            return;
+        int c = outputs_[static_cast<std::size_t>(port)]
+                    .vcs[static_cast<std::size_t>(vc)]
+                    .credits;
+        if (c > best_credits) {
+            best_credits = c;
+            best_port = port;
+            best_vc = vc;
+        }
+    };
+
+    bool ejecting =
+        outputs_[static_cast<std::size_t>(vcb.routeCandidates.front())]
+            .kind == PortKind::LocalEj;
+
+    if (ejecting) {
+        for (int port : vcb.routeCandidates)
+            for (int vc = 0; vc < v; ++vc)
+                consider(port, vc);
+    } else if (adaptive) {
+        if (in_vc == escapeVc() && v > 1) {
+            // Escape discipline: stay on the escape VC along XY.
+            consider(vcb.routeCandidates.front(), escapeVc());
+        } else {
+            for (int port : vcb.routeCandidates)
+                for (int vc = 0; vc < std::max(1, v - 1); ++vc)
+                    consider(port, vc);
+            if (best_port < 0 && v > 1) {
+                // Blocked on all adaptive VCs: fall into escape.
+                consider(vcb.routeCandidates.front(), escapeVc());
+            }
+        }
+    } else {
+        for (int port : vcb.routeCandidates)
+            for (int vc = lo; vc <= hi; ++vc)
+                consider(port, vc);
+    }
+
+    if (best_port < 0)
+        return false;
+    req_port = best_port;
+    req_vc = best_vc;
+    return true;
+}
+
+void
+Router::vcAllocStage(Cycle now)
+{
+    int v = params_->vcsPerPort;
+    int num_in = numInputPorts();
+    int flat = num_in * v;
+
+    // Input-first: each waiting input VC nominates one (port, vc).
+    vaWants_.clear();
+    for (int pi = 0; pi < num_in; ++pi) {
+        auto &ip = inputs_[static_cast<std::size_t>(pi)];
+        for (int vi = 0; vi < v; ++vi) {
+            auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+            if (vcb.state != VcState::RouteComputed)
+                continue;
+            int rp = -1, rv = -1;
+            if (chooseVcRequest(ip, vi, now, rp, rv))
+                vaWants_.push_back(VaWant{pi * v + vi, rp, rv});
+        }
+    }
+    if (vaWants_.empty())
+        return;
+
+    // Output side: arbitrate per requested output VC.
+    for (std::size_t i = 0; i < vaWants_.size(); ++i) {
+        if (vaWants_[i].inFlat < 0)
+            continue; // already resolved as part of an earlier group
+        int po = vaWants_[i].port;
+        int vo = vaWants_[i].vc;
+        scratchReqs_.clear();
+        for (std::size_t j = i; j < vaWants_.size(); ++j) {
+            if (vaWants_[j].inFlat >= 0 && vaWants_[j].port == po &&
+                vaWants_[j].vc == vo) {
+                scratchReqs_.push_back(vaWants_[j].inFlat);
+                vaWants_[j].inFlat = -1;
+            }
+        }
+        auto &op = outputs_[static_cast<std::size_t>(po)];
+        auto &arb = op.vaArbs[static_cast<std::size_t>(vo)];
+        if (arb.numInputs() != flat)
+            arb.resize(flat);
+        int winner = arb.grantList(scratchReqs_);
+        if (winner < 0)
+            continue;
+        auto &ip = inputs_[static_cast<std::size_t>(winner / v)];
+        auto &vcb = ip.vcs[static_cast<std::size_t>(winner % v)];
+        vcb.state = VcState::Active;
+        vcb.outPort = po;
+        vcb.outVc = vo;
+        op.vcs[static_cast<std::size_t>(vo)].busy = true;
+        ++activity_->vaGrants;
+    }
+}
+
+void
+Router::switchAllocStage(Cycle now)
+{
+    int v = params_->vcsPerPort;
+    int num_in = numInputPorts();
+
+    // Phase 1: one candidate VC per input port.
+    saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
+    bool any = false;
+    for (int pi = 0; pi < num_in; ++pi) {
+        auto &ip = inputs_[static_cast<std::size_t>(pi)];
+        scratchReqs_.clear();
+        for (int vi = 0; vi < v; ++vi) {
+            auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+            if (vcb.state != VcState::Active || vcb.empty())
+                continue;
+            const auto &ovc =
+                outputs_[static_cast<std::size_t>(vcb.outPort)]
+                    .vcs[static_cast<std::size_t>(vcb.outVc)];
+            if (ovc.credits <= 0)
+                continue;
+            scratchReqs_.push_back(vi);
+        }
+        if (!scratchReqs_.empty()) {
+            saChosenVc_[static_cast<std::size_t>(pi)] =
+                ip.saArb.grantList(scratchReqs_);
+            any = true;
+        }
+    }
+    if (!any)
+        return;
+
+    // Phase 2: one input per output port.
+    for (int po = 0; po < numOutputPorts(); ++po) {
+        auto &op = outputs_[static_cast<std::size_t>(po)];
+        scratchReqs_.clear();
+        for (int pi = 0; pi < num_in; ++pi) {
+            int vi = saChosenVc_[static_cast<std::size_t>(pi)];
+            if (vi < 0)
+                continue;
+            const auto &vcb =
+                inputs_[static_cast<std::size_t>(pi)]
+                    .vcs[static_cast<std::size_t>(vi)];
+            if (vcb.outPort == po)
+                scratchReqs_.push_back(pi);
+        }
+        if (scratchReqs_.empty())
+            continue;
+        if (op.saArb.numInputs() != num_in)
+            op.saArb.resize(num_in);
+        int pi = op.saArb.grantList(scratchReqs_);
+        if (pi < 0)
+            continue;
+
+        auto &ip = inputs_[static_cast<std::size_t>(pi)];
+        int vi = saChosenVc_[static_cast<std::size_t>(pi)];
+        auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+        Flit f = vcb.pop();
+        residence_.add(static_cast<double>(now - f.arrived + 1));
+        ++flitsForwarded_;
+        ++activity_->bufferReads;
+        ++activity_->xbarTraversals;
+        ++activity_->saGrants;
+        if (op.kind == PortKind::Geo) {
+            if (op.interposer)
+                ++activity_->interposerLinkFlits;
+            else
+                ++activity_->linkFlits;
+        }
+
+        auto &ovc = op.vcs[static_cast<std::size_t>(vcb.outVc)];
+        --ovc.credits;
+        eqx_assert(ovc.credits >= 0, "credit underflow at router ", id_);
+
+        bool tail = f.isTail;
+        f.vc = vcb.outVc;
+        eqx_assert(op.out, "output port without a channel");
+        op.out->send(std::move(f), now);
+
+        // Return a credit for the freed input slot.
+        if (ip.creditUp) {
+            ip.creditUp->send(Credit{pi, vi}, now);
+            ++activity_->creditsSent;
+        }
+
+        if (tail) {
+            ovc.busy = false;
+            vcb.release();
+        }
+    }
+}
+
+bool
+Router::hasBufferedFlits() const
+{
+    for (const auto &ip : inputs_)
+        for (const auto &vcb : ip.vcs)
+            if (!vcb.empty())
+                return true;
+    return false;
+}
+
+} // namespace eqx

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Input-queued virtual-channel router with a two-stage pipeline
+ * (RC+VA, SA+ST), credit-based flow control, atomic VC buffers and
+ * separable input-first allocation — a BookSim-class model.
+ *
+ * Port layout is flexible: besides the four mesh directions and the
+ * local NI port, a router may carry extra injection input ports (the
+ * EIR extra port of EquiNox, or MultiPort's additional ports) and
+ * extra ejection output ports (MultiPort).
+ */
+
+#ifndef EQX_NOC_ROUTER_HH
+#define EQX_NOC_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/arbiter.hh"
+#include "noc/channel.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "noc/vc_buffer.hh"
+
+namespace eqx {
+
+/** What a router port connects to. */
+enum class PortKind : std::uint8_t
+{
+    Geo,       ///< a neighbouring router (mesh link)
+    LocalInj,  ///< the node's own NI injection buffer (input only)
+    LocalEj,   ///< the node's own NI ejection buffer (output only)
+    RemoteInj, ///< an interposer link from a remote CB NI (EIR port)
+};
+
+/** Aggregate activity counters shared across a network (power model). */
+struct NetworkActivity
+{
+    std::uint64_t bufferWrites = 0;   ///< flits written into VC buffers
+    std::uint64_t bufferReads = 0;    ///< flits read out of VC buffers
+    std::uint64_t xbarTraversals = 0; ///< switch traversals
+    std::uint64_t vaGrants = 0;
+    std::uint64_t saGrants = 0;
+    std::uint64_t linkFlits = 0;          ///< on-chip link traversals
+    std::uint64_t interposerLinkFlits = 0;///< interposer link traversals
+    std::uint64_t creditsSent = 0;
+    std::uint64_t requestBits = 0;    ///< payload bits injected, by class
+    std::uint64_t replyBits = 0;
+
+    void
+    merge(const NetworkActivity &o)
+    {
+        bufferWrites += o.bufferWrites;
+        bufferReads += o.bufferReads;
+        xbarTraversals += o.xbarTraversals;
+        vaGrants += o.vaGrants;
+        saGrants += o.saGrants;
+        linkFlits += o.linkFlits;
+        interposerLinkFlits += o.interposerLinkFlits;
+        creditsSent += o.creditsSent;
+        requestBits += o.requestBits;
+        replyBits += o.replyBits;
+    }
+};
+
+/** Node-id -> coordinate mapping provided by the owning network. */
+class Topology
+{
+  public:
+    Topology(int width, int height) : w_(width), h_(height) {}
+
+    int width() const { return w_; }
+    int height() const { return h_; }
+    int numNodes() const { return w_ * h_; }
+
+    Coord
+    coord(NodeId n) const
+    {
+        return {static_cast<int>(n) % w_, static_cast<int>(n) / w_};
+    }
+
+    NodeId
+    node(const Coord &c) const
+    {
+        return static_cast<NodeId>(c.y * w_ + c.x);
+    }
+
+    bool
+    inBounds(const Coord &c) const
+    {
+        return c.x >= 0 && c.x < w_ && c.y >= 0 && c.y < h_;
+    }
+
+  private:
+    int w_;
+    int h_;
+};
+
+/**
+ * The router proper. The owning network wires channels to ports and
+ * calls the pipeline stages each internal tick in the order
+ * SA -> VA -> RC (so a stage's result is consumed one tick later).
+ */
+class Router
+{
+  public:
+    struct InputPort
+    {
+        PortKind kind = PortKind::Geo;
+        Dir dir = Dir::Local;          ///< for Geo: which neighbour side
+        std::vector<VcBuffer> vcs;
+        Channel<Credit> *creditUp = nullptr; ///< credits back upstream
+        RoundRobinArbiter saArb;
+    };
+
+    struct OutputPort
+    {
+        PortKind kind = PortKind::Geo;
+        Dir dir = Dir::Local;
+        std::vector<OutputVc> vcs;
+        Channel<Flit> *out = nullptr;  ///< flits downstream
+        bool interposer = false;       ///< counts as interposer traversal
+        std::vector<RoundRobinArbiter> vaArbs; ///< one per output VC
+        RoundRobinArbiter saArb;
+    };
+
+    Router(NodeId id, const Topology *topo, const NocParams *params,
+           NetworkActivity *activity);
+
+    NodeId id() const { return id_; }
+    Coord coord() const { return topo_->coord(id_); }
+
+    /** Add ports during network construction; returns the port index. */
+    int addInputPort(PortKind kind, Dir dir, Channel<Credit> *credit_up);
+    int addOutputPort(PortKind kind, Dir dir, Channel<Flit> *out,
+                      int downstream_depth, bool interposer = false);
+
+    int numInputPorts() const { return static_cast<int>(inputs_.size()); }
+    int numOutputPorts() const { return static_cast<int>(outputs_.size()); }
+    const InputPort &inputPort(int i) const { return inputs_[i]; }
+    const OutputPort &outputPort(int i) const { return outputs_[i]; }
+
+    /** Deliver a flit arriving on an input port (from a channel). */
+    void acceptFlit(int in_port, Flit f, Cycle now);
+
+    /** Deliver a credit for (out_port, vc). */
+    void creditArrived(int out_port, int vc);
+
+    /** Pipeline stages; the network calls these once per internal tick. */
+    void switchAllocStage(Cycle now);
+    void vcAllocStage(Cycle now);
+    void routeComputeStage(Cycle now);
+
+    /** Mean cycles a flit spends resident in this router. */
+    const RunningStat &residenceStat() const { return residence_; }
+
+    /** Total flits forwarded through this router. */
+    std::uint64_t flitsForwarded() const { return flitsForwarded_; }
+
+    /** True if any VC in any input port holds flits (drain check). */
+    bool hasBufferedFlits() const;
+
+  private:
+    /** Output-port index for a geographic direction (-1 if absent). */
+    int geoOutPort(Dir d) const;
+    /** All ejection output ports. */
+    const std::vector<int> &ejectionPorts() const { return ejPorts_; }
+
+    /** VC index of the escape VC (adaptive mode). */
+    int escapeVc() const { return params_->vcsPerPort - 1; }
+
+    /** Allowed output VC range for a packet class in classVcs mode. */
+    void classVcRange(PacketType t, int &lo, int &hi) const;
+
+    /** True when VC-Mono lets class @p t borrow the other class's VCs. */
+    bool monopolyAllowed(PacketType t, Cycle now) const;
+
+    /** Pick the (port, vc) request for an input VC; false if none. */
+    bool chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
+                         int &req_port, int &req_vc);
+
+    NodeId id_;
+    const Topology *topo_;
+    const NocParams *params_;
+    NetworkActivity *activity_;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    std::vector<int> ejPorts_;
+
+    /** Last tick a flit of each class (0=req, 1=reply) was seen. */
+    Cycle lastSeenClass_[2] = {0, 0};
+    bool seenClass_[2] = {false, false};
+
+    RunningStat residence_;
+    std::uint64_t flitsForwarded_ = 0;
+
+    /** Allocation-free scratch state for the allocator stages. */
+    struct VaWant
+    {
+        int inFlat;
+        int port;
+        int vc;
+    };
+    std::vector<VaWant> vaWants_;
+    std::vector<int> scratchReqs_;
+    std::vector<int> saChosenVc_;
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_ROUTER_HH

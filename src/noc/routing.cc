@@ -1,0 +1,44 @@
+#include "noc/routing.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+Dir
+xyDirection(const Coord &here, const Coord &dest)
+{
+    if (dest.x > here.x)
+        return Dir::East;
+    if (dest.x < here.x)
+        return Dir::West;
+    if (dest.y > here.y)
+        return Dir::South;
+    if (dest.y < here.y)
+        return Dir::North;
+    return Dir::Local;
+}
+
+std::vector<Dir>
+minimalDirections(const Coord &here, const Coord &dest)
+{
+    std::vector<Dir> dirs;
+    if (dest.x > here.x)
+        dirs.push_back(Dir::East);
+    else if (dest.x < here.x)
+        dirs.push_back(Dir::West);
+    if (dest.y > here.y)
+        dirs.push_back(Dir::South);
+    else if (dest.y < here.y)
+        dirs.push_back(Dir::North);
+    return dirs;
+}
+
+bool
+isMinimalStep(const Coord &here, const Coord &dest, Dir d)
+{
+    Coord step = dirStep(d);
+    Coord next{here.x + step.x, here.y + step.y};
+    return manhattan(next, dest) < manhattan(here, dest);
+}
+
+} // namespace eqx

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Route-compute helpers: XY and minimal-adaptive candidate sets on a
+ * 2D mesh. Deadlock freedom for the adaptive mode comes from the
+ * escape VC discipline enforced by the router's VC allocator.
+ */
+
+#ifndef EQX_NOC_ROUTING_HH
+#define EQX_NOC_ROUTING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/params.hh"
+
+namespace eqx {
+
+/** The XY (dimension-order) direction from @p here toward @p dest. */
+Dir xyDirection(const Coord &here, const Coord &dest);
+
+/**
+ * All minimal (productive) directions from @p here toward @p dest:
+ * one or two entries; empty when already at the destination.
+ */
+std::vector<Dir> minimalDirections(const Coord &here, const Coord &dest);
+
+/** True if stepping in @p d from @p here reduces distance to @p dest. */
+bool isMinimalStep(const Coord &here, const Coord &dest, Dir d);
+
+} // namespace eqx
+
+#endif // EQX_NOC_ROUTING_HH

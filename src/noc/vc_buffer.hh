@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-VC input buffer and its allocation state machine. Buffers are
+ * atomic (one packet at a time), matching the paper's 1 pkt/VC
+ * configuration.
+ */
+
+#ifndef EQX_NOC_VC_BUFFER_HH
+#define EQX_NOC_VC_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "noc/packet.hh"
+
+namespace eqx {
+
+/** Allocation state of one input VC. */
+enum class VcState : std::uint8_t
+{
+    Idle,           ///< no packet resident
+    RouteComputed,  ///< head flit routed, waiting for VC allocation
+    Active,         ///< output VC granted, flits competing for the switch
+};
+
+/** One virtual-channel FIFO plus routing/allocation bookkeeping. */
+class VcBuffer
+{
+  public:
+    explicit VcBuffer(int depth_flits = 5) : depth_(depth_flits) {}
+
+    bool
+    push(Flit f)
+    {
+        eqx_assert(static_cast<int>(fifo_.size()) < depth_,
+                   "VC buffer overflow: flow control violated");
+        fifo_.push_back(std::move(f));
+        return true;
+    }
+
+    Flit
+    pop()
+    {
+        eqx_assert(!fifo_.empty(), "pop from empty VC buffer");
+        Flit f = std::move(fifo_.front());
+        fifo_.pop_front();
+        return f;
+    }
+
+    const Flit &front() const { return fifo_.front(); }
+    bool empty() const { return fifo_.empty(); }
+    bool full() const { return static_cast<int>(fifo_.size()) >= depth_; }
+    int occupancy() const { return static_cast<int>(fifo_.size()); }
+    int depth() const { return depth_; }
+
+    VcState state = VcState::Idle;
+
+    /** Route candidates computed by RC (output port indices). */
+    std::vector<int> routeCandidates;
+    /** Granted output port / VC once Active. */
+    int outPort = -1;
+    int outVc = -1;
+
+    void
+    release()
+    {
+        state = VcState::Idle;
+        routeCandidates.clear();
+        outPort = -1;
+        outVc = -1;
+    }
+
+  private:
+    int depth_;
+    std::deque<Flit> fifo_;
+};
+
+/** Output-side VC bookkeeping: busy flag and downstream credits. */
+struct OutputVc
+{
+    bool busy = false;  ///< a packet currently owns this downstream VC
+    int credits = 0;    ///< free slots in the downstream input buffer
+};
+
+} // namespace eqx
+
+#endif // EQX_NOC_VC_BUFFER_HH

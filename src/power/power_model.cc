@@ -1,0 +1,85 @@
+#include "power/power_model.hh"
+
+namespace eqx {
+
+PowerModel::PowerModel(PowerParams params) : params_(params) {}
+
+double
+PowerModel::routerAreaMm2(int in_ports, int out_ports, int vcs,
+                          int vc_depth_flits, int flit_bits) const
+{
+    double xbar = params_.aXbarPerPortBit * in_ports * out_ports *
+                  flit_bits;
+    double bufs = params_.aBufPerBit * in_ports * vcs * vc_depth_flits *
+                  flit_bits;
+    double alloc = params_.aAllocPerReq *
+                   static_cast<double>(in_ports + out_ports) *
+                   (in_ports + out_ports) * vcs * vcs;
+    double vcctl = params_.aVcControlPerBit * in_ports * vcs * flit_bits;
+    return xbar + bufs + alloc + vcctl;
+}
+
+double
+PowerModel::niAreaMm2(int num_buffers, int vc_depth_flits,
+                      int flit_bits) const
+{
+    double bufs = params_.aBufPerBit * num_buffers * vc_depth_flits *
+                  flit_bits;
+    return params_.aNiLogicPerBit * flit_bits +
+           params_.aNiPerBuffer * num_buffers + bufs;
+}
+
+double
+PowerModel::networkAreaMm2(const Network &net) const
+{
+    const NocParams &p = net.params();
+    double area = 0;
+    for (NodeId n = 0; n < net.topology().numNodes(); ++n) {
+        const Router &r = net.router(n);
+        area += routerAreaMm2(r.numInputPorts(), r.numOutputPorts(),
+                              p.vcsPerPort, p.vcDepthFlits, p.flitBits);
+        area += niAreaMm2(net.ni(n).numInjBuffers(), p.vcDepthFlits,
+                          p.flitBits);
+    }
+    return area;
+}
+
+double
+PowerModel::networkLeakageMw(const Network &net) const
+{
+    return networkAreaMm2(net) * params_.leakageMwPerMm2;
+}
+
+EnergyBreakdown
+PowerModel::networkEnergyPj(const Network &net, Cycle core_cycles,
+                            double intp_link_hops) const
+{
+    const NocParams &p = net.params();
+    const NetworkActivity &a = net.activity();
+    double bits = p.flitBits;
+
+    EnergyBreakdown e;
+    e.buffer = (a.bufferWrites * params_.eBufWritePerBit +
+                a.bufferReads * params_.eBufReadPerBit) *
+               bits;
+    e.crossbar = a.xbarTraversals * params_.eXbarPerBit * bits;
+    e.allocators = (a.vaGrants + a.saGrants) * params_.eAllocPerGrant;
+
+    double hop_mm = params_.tilePitchMm;
+    e.links = a.linkFlits * params_.eLinkPerBitMm * bits * hop_mm;
+    e.interposerLinks = a.interposerLinkFlits *
+                        params_.eIntpLinkPerBitMm * bits *
+                        (intp_link_hops * hop_mm);
+
+    double time_ns = cyclesToNs(core_cycles);
+    e.leakage = networkLeakageMw(net) * time_ns; // mW * ns = pJ
+    return e;
+}
+
+double
+PowerModel::cyclesToNs(Cycle cycles) const
+{
+    return static_cast<double>(cycles) / params_.freqGhz;
+}
+
+} // namespace eqx

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * DSENT-lite analytical power and area model for the NoC (28 nm-class
+ * constants). Follows DSENT's component decomposition — input buffers,
+ * crossbar, allocators, links (on-chip and interposer), leakage — and
+ * is driven by the activity counters the networks collect, so relative
+ * comparisons across schemes mirror the paper's methodology.
+ */
+
+#ifndef EQX_POWER_POWER_MODEL_HH
+#define EQX_POWER_POWER_MODEL_HH
+
+#include "noc/network.hh"
+
+namespace eqx {
+
+/** Technology / circuit constants. */
+struct PowerParams
+{
+    double freqGhz = 1.126;   ///< PE/NoC clock (paper Table 1)
+    double tilePitchMm = 1.2; ///< mesh hop wire length
+
+    // Dynamic energy (pJ per bit unless noted).
+    double eBufWritePerBit = 0.015;
+    double eBufReadPerBit = 0.012;
+    double eXbarPerBit = 0.020;
+    double eAllocPerGrant = 0.50;      ///< pJ per VA/SA grant
+    double eLinkPerBitMm = 0.060;      ///< on-chip RC wire
+    double eIntpLinkPerBitMm = 0.045;  ///< interposer RDL wire
+
+    // Area (mm^2 per unit).
+    double aXbarPerPortBit = 1.6e-5;   ///< x inPorts x outPorts x bits
+    double aBufPerBit = 3.1e-6;
+    double aAllocPerReq = 6.0e-6;      ///< x ports^2 x vcs^2
+    double aVcControlPerBit = 1.0e-6;  ///< x ports x vcs x bits
+    double aNiLogicPerBit = 3.1e-5;    ///< NI core datapath, x flit bits
+    double aNiPerBuffer = 0.001;       ///< demux/selector per buffer
+
+    // Leakage: proportional to area.
+    double leakageMwPerMm2 = 15.0;
+};
+
+/** One network's energy decomposition, in pJ. */
+struct EnergyBreakdown
+{
+    double buffer = 0;
+    double crossbar = 0;
+    double allocators = 0;
+    double links = 0;
+    double interposerLinks = 0;
+    double leakage = 0;
+
+    double
+    total() const
+    {
+        return buffer + crossbar + allocators + links + interposerLinks +
+               leakage;
+    }
+};
+
+/** Analytic model over constructed Network objects. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(PowerParams params = {});
+
+    const PowerParams &params() const { return params_; }
+
+    /** Area of one router from its structure. */
+    double routerAreaMm2(int in_ports, int out_ports, int vcs,
+                         int vc_depth_flits, int flit_bits) const;
+
+    /** Area of one NI from its buffer count and flit width. */
+    double niAreaMm2(int num_buffers, int vc_depth_flits,
+                     int flit_bits) const;
+
+    /** Total area of a constructed network (routers + NIs). */
+    double networkAreaMm2(const Network &net) const;
+
+    /** Leakage power of a network, mW. */
+    double networkLeakageMw(const Network &net) const;
+
+    /**
+     * Dynamic + leakage energy of a network over elapsed core cycles.
+     * Interposer link span defaults to 2 mesh hops (the EIR links).
+     */
+    EnergyBreakdown networkEnergyPj(const Network &net,
+                                    Cycle core_cycles,
+                                    double intp_link_hops = 2.0) const;
+
+    /** Core cycles -> nanoseconds at the configured clock. */
+    double cyclesToNs(Cycle cycles) const;
+
+    /** Energy-delay product in pJ*ns. */
+    static double
+    edp(double energy_pj, double time_ns)
+    {
+        return energy_pj * time_ns;
+    }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace eqx
+
+#endif // EQX_POWER_POWER_MODEL_HH

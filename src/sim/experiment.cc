@@ -1,0 +1,166 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace eqx {
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : cfg_(std::move(config))
+{
+    eqx_assert(!cfg_.workloads.empty(), "experiment needs workloads");
+}
+
+const EquiNoxDesign &
+ExperimentRunner::equinoxDesign()
+{
+    if (!designBuilt_) {
+        DesignParams dp;
+        dp.width = cfg_.width;
+        dp.height = cfg_.height;
+        dp.numCbs = cfg_.numCbs;
+        dp.seed = cfg_.seed;
+        design_ = buildEquiNoxDesign(dp);
+        designBuilt_ = true;
+        if (cfg_.verbose)
+            eqx_inform("EquiNox design: ", design_.numEirs(), " EIRs, ",
+                       design_.rdl.crossings, " crossings, score ",
+                       design_.eval.score);
+    }
+    return design_;
+}
+
+SystemConfig
+ExperimentRunner::makeSystemConfig(Scheme scheme) const
+{
+    SystemConfig sc;
+    sc.width = cfg_.width;
+    sc.height = cfg_.height;
+    sc.numCbs = cfg_.numCbs;
+    sc.scheme = scheme;
+    sc.seed = cfg_.seed;
+    if (cfg_.tweak)
+        cfg_.tweak(sc);
+    return sc;
+}
+
+RunResult
+ExperimentRunner::runOne(Scheme scheme, const WorkloadProfile &profile)
+{
+    SystemConfig sc = makeSystemConfig(scheme);
+    // The tweak hook may have pinned its own design (ablations do).
+    if (scheme == Scheme::EquiNox && !sc.preDesign)
+        sc.preDesign = &equinoxDesign();
+
+    WorkloadProfile wp = profile;
+    wp.instsPerPe = static_cast<std::uint64_t>(
+        static_cast<double>(wp.instsPerPe) * cfg_.instScale);
+    if (wp.instsPerPe < 64)
+        wp.instsPerPe = 64;
+
+    System sys(sc, wp);
+    return sys.run();
+}
+
+std::vector<CellResult>
+ExperimentRunner::runMatrix()
+{
+    std::vector<CellResult> cells;
+    for (const auto &wp : cfg_.workloads) {
+        for (Scheme s : cfg_.schemes) {
+            if (cfg_.verbose)
+                eqx_inform("running ", wp.name, " on ", schemeName(s));
+            cells.push_back({s, wp.name, runOne(s, wp)});
+        }
+    }
+    return cells;
+}
+
+void
+writeCellsCsv(const std::vector<CellResult> &cells,
+              const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        eqx_fatal("cannot open '", path, "' for writing");
+    std::fprintf(f,
+                 "benchmark,scheme,completed,cycles,exec_ns,total_insts,"
+                 "ipc,energy_pj,edp,area_mm2,req_queue_ns,req_net_ns,"
+                 "rep_queue_ns,rep_net_ns,req_packets,rep_packets,"
+                 "request_bits,reply_bits\n");
+    for (const auto &c : cells) {
+        const RunResult &r = c.result;
+        std::fprintf(f,
+                     "%s,%s,%d,%llu,%.3f,%llu,%.4f,%.1f,%.6g,%.4f,%.3f,"
+                     "%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu\n",
+                     c.benchmark.c_str(), schemeName(c.scheme),
+                     r.completed ? 1 : 0,
+                     static_cast<unsigned long long>(r.cycles), r.execNs,
+                     static_cast<unsigned long long>(r.totalInsts),
+                     r.ipc, r.energyPj, r.edp, r.areaMm2, r.reqQueueNs,
+                     r.reqNetNs, r.repQueueNs, r.repNetNs,
+                     static_cast<unsigned long long>(r.reqPackets),
+                     static_cast<unsigned long long>(r.repPackets),
+                     static_cast<unsigned long long>(r.requestBits),
+                     static_cast<unsigned long long>(r.replyBits));
+    }
+    std::fclose(f);
+}
+
+double
+schemeGeomean(const std::vector<CellResult> &cells, Scheme scheme,
+              const std::function<double(const RunResult &)> &metric)
+{
+    std::vector<double> vals;
+    for (const auto &c : cells)
+        if (c.scheme == scheme)
+            vals.push_back(metric(c.result));
+    return geomean(vals);
+}
+
+void
+printNormalizedTable(const std::vector<CellResult> &cells,
+                     const std::vector<Scheme> &schemes,
+                     const std::string &metric_name,
+                     const std::function<double(const RunResult &)> &metric,
+                     Scheme baseline)
+{
+    // benchmark -> scheme -> value
+    std::map<std::string, std::map<Scheme, double>> table;
+    std::vector<std::string> bench_order;
+    for (const auto &c : cells) {
+        if (!table.count(c.benchmark))
+            bench_order.push_back(c.benchmark);
+        table[c.benchmark][c.scheme] = metric(c.result);
+    }
+
+    std::printf("\n%s (normalized to %s)\n", metric_name.c_str(),
+                schemeName(baseline));
+    std::printf("%-16s", "benchmark");
+    for (Scheme s : schemes)
+        std::printf(" %16s", schemeName(s));
+    std::printf("\n");
+
+    std::map<Scheme, std::vector<double>> norm_per_scheme;
+    for (const auto &b : bench_order) {
+        double base = table[b].count(baseline) ? table[b][baseline] : 0;
+        std::printf("%-16s", b.c_str());
+        for (Scheme s : schemes) {
+            double v = table[b].count(s) ? table[b][s] : 0;
+            double norm = base > 0 ? v / base : 0;
+            norm_per_scheme[s].push_back(norm);
+            std::printf(" %16.3f", norm);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "geomean");
+    for (Scheme s : schemes)
+        std::printf(" %16.3f", geomean(norm_per_scheme[s]));
+    std::printf("\n");
+}
+
+} // namespace eqx

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment runner shared by the bench harness: runs scheme x
+ * benchmark matrices with a cached EquiNox design, and formats the
+ * normalized tables the paper's figures report.
+ */
+
+#ifndef EQX_SIM_EXPERIMENT_HH
+#define EQX_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace eqx {
+
+/** One (scheme, benchmark) cell of a result matrix. */
+struct CellResult
+{
+    Scheme scheme;
+    std::string benchmark;
+    RunResult result;
+};
+
+/** Configuration of a full experiment matrix. */
+struct ExperimentConfig
+{
+    int width = 8;
+    int height = 8;
+    int numCbs = 8;
+    std::uint64_t seed = 1;
+    std::vector<Scheme> schemes = allSchemes();
+    std::vector<WorkloadProfile> workloads;
+    /** Scale factor on instsPerPe (benches shrink runs for speed). */
+    double instScale = 1.0;
+    bool verbose = false;
+    /** Applied to every per-run SystemConfig before construction. */
+    std::function<void(SystemConfig &)> tweak;
+};
+
+/** Runs the matrix; caches the EquiNox design across benchmarks. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig config);
+
+    /** The (cached) EquiNox design used for every EquiNox run. */
+    const EquiNoxDesign &equinoxDesign();
+
+    /** Run one cell. */
+    RunResult runOne(Scheme scheme, const WorkloadProfile &profile);
+
+    /** Run every (scheme, workload) pair. */
+    std::vector<CellResult> runMatrix();
+
+    const ExperimentConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig makeSystemConfig(Scheme scheme) const;
+
+    ExperimentConfig cfg_;
+    EquiNoxDesign design_;
+    bool designBuilt_ = false;
+};
+
+/**
+ * Print a benchmark x scheme table of metric values normalized to
+ * @p baseline, followed by a geometric-mean row (paper Fig. 9 style).
+ */
+void printNormalizedTable(
+    const std::vector<CellResult> &cells,
+    const std::vector<Scheme> &schemes,
+    const std::string &metric_name,
+    const std::function<double(const RunResult &)> &metric,
+    Scheme baseline);
+
+/** Geomean of a metric for one scheme across all benchmarks. */
+double schemeGeomean(const std::vector<CellResult> &cells, Scheme scheme,
+                     const std::function<double(const RunResult &)> &metric);
+
+/**
+ * Dump the raw result matrix as CSV (one row per cell, every RunResult
+ * field), for external plotting. Fatal if the file cannot be written.
+ */
+void writeCellsCsv(const std::vector<CellResult> &cells,
+                   const std::string &path);
+
+} // namespace eqx
+
+#endif // EQX_SIM_EXPERIMENT_HH

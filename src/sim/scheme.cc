@@ -1,0 +1,36 @@
+#include "sim/scheme.hh"
+
+namespace eqx {
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::SingleBase:      return "SingleBase";
+      case Scheme::VcMono:          return "VC-Mono";
+      case Scheme::InterposerCMesh: return "Interposer-CMesh";
+      case Scheme::SeparateBase:    return "SeparateBase";
+      case Scheme::Da2Mesh:         return "DA2Mesh";
+      case Scheme::MultiPort:       return "MultiPort";
+      case Scheme::EquiNox:         return "EquiNox";
+    }
+    return "?";
+}
+
+std::vector<Scheme>
+allSchemes()
+{
+    return {Scheme::SingleBase,   Scheme::VcMono,
+            Scheme::InterposerCMesh, Scheme::SeparateBase,
+            Scheme::Da2Mesh,      Scheme::MultiPort,
+            Scheme::EquiNox};
+}
+
+bool
+isSingleNetwork(Scheme s)
+{
+    return s == Scheme::SingleBase || s == Scheme::VcMono ||
+           s == Scheme::InterposerCMesh;
+}
+
+} // namespace eqx

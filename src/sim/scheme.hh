@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The seven compared NoC schemes (paper Section 5) and the full-system
+ * configuration that instantiates them.
+ */
+
+#ifndef EQX_SIM_SCHEME_HH
+#define EQX_SIM_SCHEME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design_flow.hh"
+#include "gpu/cache_bank.hh"
+#include "gpu/pe.hh"
+#include "noc/params.hh"
+
+namespace eqx {
+
+/** The compared schemes, in the paper's order. */
+enum class Scheme : std::uint8_t
+{
+    SingleBase = 0,  ///< one shared physical network, Diamond placement
+    VcMono,          ///< + VC monopolization [Jang et al.]
+    InterposerCMesh, ///< + concentrated interposer overlay [Jerger et al.]
+    SeparateBase,    ///< split request/reply physical networks
+    Da2Mesh,         ///< reply net split into 8 narrow 2.5x subnets [5]
+    MultiPort,       ///< multi-ported CB routers [Bakhoda et al.]
+    EquiNox,         ///< the paper's proposal
+};
+
+const char *schemeName(Scheme s);
+std::vector<Scheme> allSchemes();
+
+/** True for schemes with one shared physical network. */
+bool isSingleNetwork(Scheme s);
+
+/** Full-system configuration. */
+struct SystemConfig
+{
+    int width = 8;
+    int height = 8;
+    int numCbs = 8;
+    Scheme scheme = Scheme::SeparateBase;
+    std::uint64_t seed = 1;
+
+    PeParams pe;
+    CbParams cb;
+    PacketSizes sizes;
+
+    // Base NoC parameters applied to every network the scheme builds.
+    int vcsPerPort = 2;
+    int vcDepthFlits = 5;
+    int flitBits = 128;
+
+    // Scheme-specific knobs. MultiPort doubles the CB router's
+    // injection and ejection ports (Bakhoda et al. add ports rather
+    // than replicate the NI fourfold); the abl_eir_count bench sweeps
+    // higher port counts.
+    int multiPortInjPorts = 2;
+    int multiPortEjPorts = 2;
+    int da2Subnets = 8;        ///< reply subnets, each 1/8 flit width
+    int cmeshMinHops = 3;      ///< mesh distance that prefers the overlay
+    int cmeshFlitBits = 256;
+
+    /**
+     * EquiNox design to deploy. When null and scheme == EquiNox, the
+     * system runs the full design flow itself (seeded by `seed`).
+     * Benches reuse one design across all benchmarks via this pointer.
+     */
+    const EquiNoxDesign *preDesign = nullptr;
+    DesignParams design; ///< used when preDesign is null
+
+    Cycle maxCycles = 2'000'000; ///< runaway guard
+};
+
+} // namespace eqx
+
+#endif // EQX_SIM_SCHEME_HH

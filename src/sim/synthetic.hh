@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic-traffic harness over a single network: few-to-many reply
+ * injection (the paper's Fig. 4 heat maps), uniform-random traffic,
+ * and latency-throughput sweeps for the examples.
+ */
+
+#ifndef EQX_SIM_SYNTHETIC_HH
+#define EQX_SIM_SYNTHETIC_HH
+
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/network.hh"
+
+namespace eqx {
+
+/** Traffic patterns supported by the synthetic runner. */
+enum class TrafficPattern : std::uint8_t
+{
+    FewToMany,  ///< CBs inject replies to uniformly random PEs
+    ManyToFew,  ///< PEs inject requests to uniformly random CBs
+    Uniform,    ///< every node to every other node
+};
+
+/** Inputs of one synthetic run. */
+struct SyntheticParams
+{
+    int width = 8;
+    int height = 8;
+    std::vector<Coord> cbs;        ///< sources/destinations of F2M/M2F
+    TrafficPattern pattern = TrafficPattern::FewToMany;
+    double injectionRate = 0.05;   ///< packets/cycle per source node
+    int packetBits = 640;          ///< 5 flits at 128-bit links
+    Cycle warmupCycles = 2000;
+    Cycle measureCycles = 10000;
+    Cycle drainCycles = 30000;
+    std::uint64_t seed = 1;
+    /** Optional EquiNox EIR deployment on this network. */
+    std::map<NodeId, std::vector<NodeId>> eirGroups;
+    NocParams noc;                 ///< width/height overwritten
+};
+
+/** Outputs: heat map, variance, latency, throughput. */
+struct SyntheticResult
+{
+    std::vector<double> routerHeat;  ///< mean flit residence per router
+    double heatVariance = 0;
+    double avgTotalLatency = 0;      ///< ticks, measured packets
+    double avgQueueLatency = 0;
+    double avgNetLatency = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    double offeredLoad = 0;          ///< packets/cycle/source
+    double throughput = 0;           ///< delivered packets/cycle (whole net)
+};
+
+/** Run the synthetic experiment. */
+SyntheticResult runSynthetic(const SyntheticParams &params);
+
+/** Render a heat map as an ASCII grid with one decimal per tile. */
+std::string heatAscii(const std::vector<double> &heat, int width,
+                      int height);
+
+} // namespace eqx
+
+#endif // EQX_SIM_SYNTHETIC_HH

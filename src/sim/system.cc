@@ -1,0 +1,490 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/placement.hh"
+
+namespace eqx {
+
+namespace {
+
+/** Injects at a fixed node of a fixed network. */
+class DirectInjector : public PacketInjector
+{
+  public:
+    DirectInjector(Network *net, NodeId node) : net_(net), node_(node) {}
+
+    bool
+    tryInject(const PacketPtr &pkt) override
+    {
+        return net_->inject(node_, pkt);
+    }
+
+  private:
+    Network *net_;
+    NodeId node_;
+};
+
+/** Stripes reply packets across the DA2Mesh subnets by destination. */
+class SubnetInjector : public PacketInjector
+{
+  public:
+    SubnetInjector(std::vector<Network *> subnets, NodeId node)
+        : subnets_(std::move(subnets)), node_(node)
+    {}
+
+    bool
+    tryInject(const PacketPtr &pkt) override
+    {
+        auto idx = static_cast<std::size_t>(pkt->dst) % subnets_.size();
+        return subnets_[idx]->inject(node_, pkt);
+    }
+
+  private:
+    std::vector<Network *> subnets_;
+    NodeId node_;
+};
+
+/** CMesh tile -> overlay node mapping (2x2 concentration). */
+struct CmeshMap
+{
+    int tileW;
+    int cmW;
+
+    NodeId
+    overlayNode(NodeId tile) const
+    {
+        int x = static_cast<int>(tile) % tileW;
+        int y = static_cast<int>(tile) / tileW;
+        return static_cast<NodeId>((y / 2) * cmW + x / 2);
+    }
+};
+
+/**
+ * Interposer-CMesh injection: distant destinations ride the overlay,
+ * near ones (or an overlay-full fallback) take the mesh.
+ */
+class OverlayInjector : public PacketInjector
+{
+  public:
+    OverlayInjector(Network *mesh, Network *overlay, NodeId node,
+                    CmeshMap map, int min_hops)
+        : mesh_(mesh), overlay_(overlay), node_(node), map_(map),
+          minHops_(min_hops)
+    {}
+
+    bool
+    tryInject(const PacketPtr &pkt) override
+    {
+        const Topology &t = mesh_->topology();
+        int dist = manhattan(t.coord(node_), t.coord(pkt->dst));
+        NodeId entry = map_.overlayNode(node_);
+        NodeId exit = map_.overlayNode(pkt->dst);
+        if (dist >= minHops_ && entry != exit) {
+            NodeId tile_dst = pkt->dst;
+            pkt->finalDst = tile_dst;
+            pkt->dst = exit;
+            if (overlay_->inject(entry, pkt))
+                return true;
+            pkt->dst = tile_dst; // fall back to the mesh
+            pkt->finalDst = kInvalidNode;
+        }
+        return mesh_->inject(node_, pkt);
+    }
+
+  private:
+    Network *mesh_;
+    Network *overlay_;
+    NodeId node_;
+    CmeshMap map_;
+    int minHops_;
+};
+
+/** Overlay exit: hands packets to the endpoint of their finalDst tile. */
+class CmeshExitSink : public PacketSink
+{
+  public:
+    explicit CmeshExitSink(const std::vector<PacketSink *> *tile_sinks)
+        : tileSinks_(tile_sinks)
+    {}
+
+    bool
+    canAccept(const PacketPtr &pkt) override
+    {
+        return sinkOf(pkt)->canAccept(pkt);
+    }
+
+    void
+    accept(const PacketPtr &pkt, Cycle core_now) override
+    {
+        PacketSink *s = sinkOf(pkt);
+        // Restore the tile-namespace destination for the endpoint.
+        pkt->dst = pkt->finalDst;
+        s->accept(pkt, core_now);
+    }
+
+  private:
+    PacketSink *
+    sinkOf(const PacketPtr &pkt) const
+    {
+        eqx_assert(pkt->finalDst != kInvalidNode,
+                   "overlay packet without finalDst");
+        PacketSink *s =
+            (*tileSinks_)[static_cast<std::size_t>(pkt->finalDst)];
+        eqx_assert(s, "overlay packet for a tile without an endpoint");
+        return s;
+    }
+
+    const std::vector<PacketSink *> *tileSinks_;
+};
+
+} // namespace
+
+System::System(const SystemConfig &config, const WorkloadProfile &profile)
+    : cfg_(config)
+{
+    eqx_assert(cfg_.numCbs >= 1, "need at least one cache bank");
+    buildPlacement();
+    buildNetworks();
+    buildEndpoints(profile);
+}
+
+System::~System() = default;
+
+void
+System::buildPlacement()
+{
+    if (cfg_.scheme == Scheme::EquiNox) {
+        if (cfg_.preDesign) {
+            designUsed_ = cfg_.preDesign;
+        } else {
+            DesignParams dp = cfg_.design;
+            dp.width = cfg_.width;
+            dp.height = cfg_.height;
+            dp.numCbs = cfg_.numCbs;
+            dp.seed = cfg_.seed;
+            ownedDesign_ = buildEquiNoxDesign(dp);
+            designUsed_ = &ownedDesign_;
+        }
+        eqx_assert(designUsed_->width == cfg_.width &&
+                       designUsed_->height == cfg_.height,
+                   "EquiNox design size mismatch");
+        cbCoords_ = designUsed_->cbs;
+    } else {
+        cbCoords_ = makePlacement(PlacementKind::Diamond, cfg_.width,
+                                  cfg_.height, cfg_.numCbs);
+    }
+}
+
+void
+System::buildNetworks()
+{
+    auto base = [&](const std::string &name) {
+        NocParams p;
+        p.name = name;
+        p.width = cfg_.width;
+        p.height = cfg_.height;
+        p.vcsPerPort = cfg_.vcsPerPort;
+        p.vcDepthFlits = cfg_.vcDepthFlits;
+        p.flitBits = cfg_.flitBits;
+        return p;
+    };
+
+    std::vector<NodeId> cb_nodes;
+    for (const auto &c : cbCoords_)
+        cb_nodes.push_back(
+            static_cast<NodeId>(c.y * cfg_.width + c.x));
+
+    switch (cfg_.scheme) {
+      case Scheme::SingleBase:
+      case Scheme::VcMono: {
+        NetworkSpec spec;
+        spec.params = base("single");
+        spec.params.classVcs = true;
+        spec.params.routing = RoutingMode::XY;
+        spec.params.vcMono = cfg_.scheme == Scheme::VcMono;
+        nets_.push_back(std::make_unique<Network>(spec));
+        break;
+      }
+      case Scheme::InterposerCMesh: {
+        NetworkSpec mesh;
+        mesh.params = base("single");
+        mesh.params.classVcs = true;
+        mesh.params.routing = RoutingMode::XY;
+        nets_.push_back(std::make_unique<Network>(mesh));
+
+        NetworkSpec overlay;
+        overlay.params = base("cmesh");
+        overlay.params.width = (cfg_.width + 1) / 2;
+        overlay.params.height = (cfg_.height + 1) / 2;
+        overlay.params.flitBits = cfg_.cmeshFlitBits;
+        overlay.params.classVcs = true;
+        overlay.params.routing = RoutingMode::XY;
+        overlay.params.geoLinksInterposer = true;
+        for (NodeId n = 0; n < overlay.params.numNodes(); ++n) {
+            NodeMods m;
+            m.kind = NiKind::MultiPort;
+            m.localInjPorts = 4; // one per concentrated tile
+            m.localEjPorts = 4;
+            overlay.mods[n] = m;
+        }
+        nets_.push_back(std::make_unique<Network>(overlay));
+        break;
+      }
+      case Scheme::SeparateBase:
+      case Scheme::Da2Mesh:
+      case Scheme::MultiPort:
+      case Scheme::EquiNox: {
+        NetworkSpec req;
+        req.params = base("request");
+        req.params.classes = {true, false};
+        req.params.routing = RoutingMode::MinimalAdaptive;
+        if (cfg_.scheme == Scheme::MultiPort) {
+            for (NodeId n : cb_nodes) {
+                NodeMods m;
+                m.localEjPorts = cfg_.multiPortEjPorts;
+                req.mods[n] = m;
+            }
+        }
+        nets_.push_back(std::make_unique<Network>(req));
+
+        if (cfg_.scheme == Scheme::Da2Mesh) {
+            for (int s = 0; s < cfg_.da2Subnets; ++s) {
+                NetworkSpec sub;
+                sub.params = base("reply-sub" + std::to_string(s));
+                sub.params.classes = {false, true};
+                sub.params.flitBits =
+                    std::max(1, cfg_.flitBits / cfg_.da2Subnets);
+                sub.params.routing = RoutingMode::XY;
+                // Narrow wormhole buffers: packets span several
+                // routers rather than fitting one VC, which is how the
+                // original DA2Mesh keeps its subnets cheap.
+                sub.params.vcDepthFlits = 8;
+                // 2.5x clock: 3 ticks on even core cycles, 2 on odd.
+                sub.params.ticksEvenCycle = 3;
+                sub.params.ticksOddCycle = 2;
+                nets_.push_back(std::make_unique<Network>(sub));
+            }
+            break;
+        }
+
+        NetworkSpec rep;
+        rep.params = base("reply");
+        rep.params.classes = {false, true};
+        rep.params.routing = RoutingMode::MinimalAdaptive;
+        if (cfg_.scheme == Scheme::MultiPort) {
+            for (NodeId n : cb_nodes) {
+                NodeMods m;
+                m.kind = NiKind::MultiPort;
+                m.localInjPorts = cfg_.multiPortInjPorts;
+                rep.mods[n] = m;
+            }
+        }
+        if (cfg_.scheme == Scheme::EquiNox)
+            rep.eirGroups = designUsed_->eirGroupsByNode();
+        nets_.push_back(std::make_unique<Network>(rep));
+        break;
+      }
+    }
+}
+
+void
+System::buildEndpoints(const WorkloadProfile &profile)
+{
+    int num_nodes = cfg_.width * cfg_.height;
+    std::vector<bool> is_cb(static_cast<std::size_t>(num_nodes), false);
+    amap_.lineBytes = 64;
+    amap_.cbNodes.clear();
+    for (const auto &c : cbCoords_) {
+        NodeId n = static_cast<NodeId>(c.y * cfg_.width + c.x);
+        is_cb[static_cast<std::size_t>(n)] = true;
+        amap_.cbNodes.push_back(n);
+    }
+
+    Network *net0 = nets_[0].get();
+    Network *reply_net =
+        (!isSingleNetwork(cfg_.scheme) && cfg_.scheme != Scheme::Da2Mesh)
+            ? nets_[1].get()
+            : nullptr;
+
+    // Tile-indexed sink table (used by the CMesh exit sinks too).
+    tileSinks_.assign(static_cast<std::size_t>(num_nodes), nullptr);
+
+    CmeshMap cmap{cfg_.width, (cfg_.width + 1) / 2};
+
+    auto makeInjector = [&](NodeId node, bool for_reply)
+        -> PacketInjector * {
+        std::unique_ptr<PacketInjector> inj;
+        switch (cfg_.scheme) {
+          case Scheme::SingleBase:
+          case Scheme::VcMono:
+            inj = std::make_unique<DirectInjector>(net0, node);
+            break;
+          case Scheme::InterposerCMesh:
+            inj = std::make_unique<OverlayInjector>(
+                net0, nets_[1].get(), node, cmap, cfg_.cmeshMinHops);
+            break;
+          case Scheme::SeparateBase:
+          case Scheme::MultiPort:
+          case Scheme::EquiNox:
+            inj = std::make_unique<DirectInjector>(
+                for_reply ? reply_net : net0, node);
+            break;
+          case Scheme::Da2Mesh:
+            if (for_reply) {
+                std::vector<Network *> subs;
+                for (std::size_t i = 1; i < nets_.size(); ++i)
+                    subs.push_back(nets_[i].get());
+                inj = std::make_unique<SubnetInjector>(std::move(subs),
+                                                       node);
+            } else {
+                inj = std::make_unique<DirectInjector>(net0, node);
+            }
+            break;
+        }
+        injectors_.push_back(std::move(inj));
+        return injectors_.back().get();
+    };
+
+    // Endpoints.
+    int pe_index = 0;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        if (is_cb[static_cast<std::size_t>(n)]) {
+            auto *inj = makeInjector(n, /*for_reply=*/true);
+            cbs_.push_back(std::make_unique<CacheBank>(n, cfg_.cb, inj,
+                                                       &cfg_.sizes));
+            tileSinks_[static_cast<std::size_t>(n)] = cbs_.back().get();
+        } else {
+            auto *inj = makeInjector(n, /*for_reply=*/false);
+            PeTraceGen gen(profile, pe_index, cfg_.seed);
+            pes_.push_back(std::make_unique<ProcessingElement>(
+                n, cfg_.pe, std::move(gen), &amap_, inj, &cfg_.sizes));
+            tileSinks_[static_cast<std::size_t>(n)] = pes_.back().get();
+            ++pe_index;
+        }
+    }
+
+    // Wire sinks to the networks.
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        PacketSink *s = tileSinks_[static_cast<std::size_t>(n)];
+        if (isSingleNetwork(cfg_.scheme)) {
+            net0->setSink(n, s);
+        } else {
+            // Requests eject at CBs; replies eject at PEs.
+            if (is_cb[static_cast<std::size_t>(n)]) {
+                net0->setSink(n, s);
+            } else {
+                for (std::size_t i = 1; i < nets_.size(); ++i)
+                    nets_[i]->setSink(n, s);
+            }
+        }
+    }
+
+    if (cfg_.scheme == Scheme::InterposerCMesh) {
+        auto sink = std::make_unique<CmeshExitSink>(&tileSinks_);
+        for (NodeId n = 0; n < nets_[1]->topology().numNodes(); ++n)
+            nets_[1]->setSink(n, sink.get());
+        overlaySinks_.push_back(std::move(sink));
+    }
+}
+
+void
+System::step()
+{
+    ++cycle_;
+    for (auto &net : nets_)
+        net->coreTick(cycle_);
+    for (auto &cb : cbs_)
+        cb->tick(cycle_);
+    for (auto &pe : pes_)
+        pe->tick(cycle_);
+}
+
+bool
+System::finished() const
+{
+    for (const auto &pe : pes_)
+        if (!pe->done())
+            return false;
+    for (const auto &cb : cbs_)
+        if (!cb->drained())
+            return false;
+    for (const auto &net : nets_)
+        if (!net->drained())
+            return false;
+    return true;
+}
+
+double
+System::areaMm2() const
+{
+    double area = 0;
+    for (const auto &net : nets_)
+        area += power_.networkAreaMm2(*net);
+    return area;
+}
+
+void
+System::collect(RunResult &out) const
+{
+    out.cycles = cycle_;
+    out.execNs = power_.cyclesToNs(cycle_);
+    out.totalInsts = 0;
+    for (const auto &pe : pes_)
+        out.totalInsts += pe->instsIssued();
+    out.ipc = cycle_ ? static_cast<double>(out.totalInsts) / cycle_ : 0;
+
+    out.energy = EnergyBreakdown{};
+    for (const auto &net : nets_) {
+        EnergyBreakdown e = power_.networkEnergyPj(*net, cycle_);
+        out.energy.buffer += e.buffer;
+        out.energy.crossbar += e.crossbar;
+        out.energy.allocators += e.allocators;
+        out.energy.links += e.links;
+        out.energy.interposerLinks += e.interposerLinks;
+        out.energy.leakage += e.leakage;
+    }
+    out.energyPj = out.energy.total();
+    out.edp = PowerModel::edp(out.energyPj, out.execNs);
+    out.areaMm2 = areaMm2();
+
+    // Latency, converted to ns per network clock and packet-weighted.
+    double freq = power_.params().freqGhz;
+    double rq = 0, rn = 0, pq = 0, pn = 0;
+    std::uint64_t rpk = 0, ppk = 0;
+    for (const auto &net : nets_) {
+        double tick_ns = 1.0 / (freq * net->params().clockRatio());
+        const LatencyStats &ls = net->latency();
+        rq += ls.queueLat[0].sum() * tick_ns;
+        rn += ls.netLat[0].sum() * tick_ns;
+        pq += ls.queueLat[1].sum() * tick_ns;
+        pn += ls.netLat[1].sum() * tick_ns;
+        rpk += ls.packets[0];
+        ppk += ls.packets[1];
+        out.requestBits += net->activity().requestBits;
+        out.replyBits += net->activity().replyBits;
+    }
+    out.reqPackets = rpk;
+    out.repPackets = ppk;
+    out.reqQueueNs = rpk ? rq / rpk : 0;
+    out.reqNetNs = rpk ? rn / rpk : 0;
+    out.repQueueNs = ppk ? pq / ppk : 0;
+    out.repNetNs = ppk ? pn / ppk : 0;
+}
+
+RunResult
+System::run()
+{
+    while (!finished() && cycle_ < cfg_.maxCycles)
+        step();
+    RunResult out;
+    out.completed = finished();
+    collect(out);
+    if (!out.completed)
+        eqx_warn("system run hit maxCycles=", cfg_.maxCycles,
+                 " before draining (", schemeName(cfg_.scheme), ")");
+    return out;
+}
+
+} // namespace eqx

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The full interposer-based throughput processor: PEs with L1s, the
+ * NoC scheme under test, cache banks with their HBM stacks, and the
+ * cycle loop that runs one benchmark to completion.
+ */
+
+#ifndef EQX_SIM_SYSTEM_HH
+#define EQX_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/cache_bank.hh"
+#include "gpu/endpoint.hh"
+#include "gpu/pe.hh"
+#include "noc/network.hh"
+#include "power/power_model.hh"
+#include "sim/scheme.hh"
+#include "workloads/profiles.hh"
+
+namespace eqx {
+
+/** Aggregated outcome of one (scheme, benchmark) run. */
+struct RunResult
+{
+    bool completed = false;  ///< drained before maxCycles
+    Cycle cycles = 0;
+    double execNs = 0;
+    std::uint64_t totalInsts = 0;
+    double ipc = 0;
+
+    double energyPj = 0;
+    EnergyBreakdown energy;
+    double edp = 0;          ///< pJ * ns
+    double areaMm2 = 0;
+
+    // NoC latency decomposition (ns, per packet, averaged).
+    double reqQueueNs = 0;
+    double reqNetNs = 0;
+    double repQueueNs = 0;
+    double repNetNs = 0;
+    std::uint64_t reqPackets = 0;
+    std::uint64_t repPackets = 0;
+
+    std::uint64_t requestBits = 0;
+    std::uint64_t replyBits = 0;
+
+    double totalLatencyNs() const
+    {
+        return reqQueueNs + reqNetNs + repQueueNs + repNetNs;
+    }
+};
+
+/**
+ * One complete simulated system. Construct with a scheme config and a
+ * workload; call run(); inspect the RunResult and the raw components.
+ */
+class System
+{
+  public:
+    System(const SystemConfig &config, const WorkloadProfile &profile);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Execute the workload to completion (or maxCycles). */
+    RunResult run();
+
+    /** Advance one core cycle (exposed for tests). */
+    void step();
+    bool finished() const;
+    Cycle now() const { return cycle_; }
+
+    /** NoC area of this scheme instance (no simulation needed). */
+    double areaMm2() const;
+
+    const std::vector<Coord> &cbPlacement() const { return cbCoords_; }
+    int numNetworks() const { return static_cast<int>(nets_.size()); }
+    const Network &network(int i) const { return *nets_[i]; }
+    int numPes() const { return static_cast<int>(pes_.size()); }
+    const ProcessingElement &pe(int i) const { return *pes_[i]; }
+    const CacheBank &cacheBank(int i) const { return *cbs_[i]; }
+    int numCacheBanks() const { return static_cast<int>(cbs_.size()); }
+    const EquiNoxDesign *design() const { return designUsed_; }
+
+  private:
+    void buildPlacement();
+    void buildNetworks();
+    void buildEndpoints(const WorkloadProfile &profile);
+    void collect(RunResult &out) const;
+
+    SystemConfig cfg_;
+    PowerModel power_;
+
+    std::vector<Coord> cbCoords_;
+    AddressMap amap_;
+
+    EquiNoxDesign ownedDesign_;       ///< when the flow runs in-system
+    const EquiNoxDesign *designUsed_ = nullptr;
+
+    std::vector<std::unique_ptr<Network>> nets_;
+    // nets_[0]: the single/request network.
+    // separate-network schemes: nets_[1] = reply (or subnets 1..8).
+    // InterposerCMesh: nets_[1] = the CMesh overlay.
+
+    std::vector<std::unique_ptr<ProcessingElement>> pes_;
+    std::vector<std::unique_ptr<CacheBank>> cbs_;
+    std::vector<std::unique_ptr<PacketInjector>> injectors_;
+    std::vector<std::unique_ptr<PacketSink>> overlaySinks_;
+    std::vector<PacketSink *> tileSinks_; ///< tile id -> endpoint
+
+    Cycle cycle_ = 0;
+};
+
+} // namespace eqx
+
+#endif // EQX_SIM_SYSTEM_HH

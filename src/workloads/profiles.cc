@@ -1,0 +1,85 @@
+#include "workloads/profiles.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+namespace {
+
+/**
+ * Per-benchmark parameters. Intensity classes follow the published
+ * characterizations of Rodinia / CUDA SDK kernels: streaming kernels
+ * (backprop, bfs, kmeans, fastWalshTransform, scan, ...) are memory-
+ * intensive with large working sets; myocyte / gaussian / lavaMD are
+ * compute-bound; stencil kernels (hotspot, srad, pathfinder) sit in
+ * between with strong sequential locality.
+ */
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    // name, insts, memRatio, readFrac, privLines, sharedLines,
+    // sharedFrac, seqProb
+    return {
+        // --- Rodinia ---
+        {"backprop",        3000, 0.42, 0.72, 6144, 8192, 0.25, 0.70},
+        {"bfs",             2800, 0.45, 0.88, 8192, 16384, 0.45, 0.15},
+        {"b+tree",          2600, 0.38, 0.90, 6144, 12288, 0.40, 0.20},
+        {"cfd",             3200, 0.40, 0.80, 8192, 8192, 0.20, 0.60},
+        {"dwt2d",           2800, 0.35, 0.75, 4096, 4096, 0.15, 0.75},
+        {"gaussian",        3600, 0.10, 0.85, 1024, 2048, 0.30, 0.65},
+        {"heartwall",       3000, 0.44, 0.82, 8192, 8192, 0.25, 0.55},
+        {"hotspot",         3000, 0.30, 0.78, 4096, 4096, 0.15, 0.80},
+        {"hotspot3D",       3000, 0.34, 0.78, 6144, 6144, 0.15, 0.75},
+        {"huffman",         2400, 0.36, 0.85, 4096, 8192, 0.35, 0.30},
+        {"kmeans",          3000, 0.48, 0.85, 8192, 12288, 0.35, 0.60},
+        {"lavaMD",          3600, 0.14, 0.80, 1536, 2048, 0.20, 0.55},
+        {"leukocyte",       3200, 0.26, 0.82, 3072, 4096, 0.20, 0.60},
+        {"lud",             3000, 0.28, 0.80, 3072, 6144, 0.30, 0.55},
+        {"myocyte",         4000, 0.06, 0.80,  512, 1024, 0.20, 0.60},
+        {"nn",              2400, 0.40, 0.92, 6144, 8192, 0.30, 0.70},
+        {"nw",              2600, 0.36, 0.80, 4096, 8192, 0.30, 0.55},
+        {"particlefilter",  3000, 0.42, 0.84, 8192, 8192, 0.30, 0.45},
+        {"pathfinder",      2800, 0.32, 0.82, 4096, 4096, 0.15, 0.80},
+        {"srad",            3000, 0.38, 0.78, 6144, 6144, 0.15, 0.75},
+        {"streamcluster",   2800, 0.46, 0.86, 8192, 16384, 0.40, 0.50},
+        // --- NVIDIA CUDA SDK ---
+        {"blackScholes",    3000, 0.30, 0.70, 4096, 2048, 0.10, 0.85},
+        {"fastWalshTrans",  2800, 0.46, 0.80, 8192, 8192, 0.25, 0.55},
+        {"monteCarlo",      3200, 0.40, 0.86, 8192, 8192, 0.30, 0.35},
+        {"reduction",       2600, 0.38, 0.90, 6144, 6144, 0.25, 0.75},
+        {"scan",            2600, 0.46, 0.82, 8192, 8192, 0.25, 0.70},
+        {"sortingNetworks", 2800, 0.44, 0.80, 8192, 8192, 0.30, 0.40},
+        {"transpose",       2600, 0.42, 0.76, 6144, 6144, 0.15, 0.65},
+        {"vectorAdd",       2400, 0.40, 0.70, 6144, 2048, 0.05, 0.90},
+    };
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+workloadSuite()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadProfile &
+workloadByName(const std::string &name)
+{
+    for (const auto &p : workloadSuite())
+        if (p.name == name)
+            return p;
+    eqx_fatal("unknown workload '", name, "'");
+}
+
+std::vector<WorkloadProfile>
+workloadSubset(std::size_t count)
+{
+    const auto &suite = workloadSuite();
+    std::vector<WorkloadProfile> out;
+    for (std::size_t i = 0; i < suite.size() && i < count; ++i)
+        out.push_back(suite[i]);
+    return out;
+}
+
+} // namespace eqx

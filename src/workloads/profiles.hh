@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Synthetic workload profiles standing in for the paper's 29 Rodinia
+ * and NVIDIA CUDA SDK benchmarks. Each profile parameterizes a per-PE
+ * instruction/memory stream (intensity, read mix, locality,
+ * burstiness) so that the NoC sees the same class of many-to-few-
+ * to-many load the real binaries generate. See DESIGN.md Section 2
+ * for the substitution rationale.
+ */
+
+#ifndef EQX_WORKLOADS_PROFILES_HH
+#define EQX_WORKLOADS_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eqx {
+
+/** Parameters of one benchmark's synthetic memory behaviour. */
+struct WorkloadProfile
+{
+    std::string name;
+    std::uint64_t instsPerPe = 3000; ///< instructions per PE
+    double memRatio = 0.3;   ///< fraction of instructions touching memory
+    double readFrac = 0.8;   ///< fraction of memory ops that are loads
+    int privateLines = 2048; ///< per-PE private working set (64 B lines)
+    int sharedLines = 4096;  ///< globally shared region size
+    double sharedFrac = 0.2; ///< accesses hitting the shared region
+    double seqProb = 0.6;    ///< sequential-walk continuation probability
+};
+
+/** The full 29-benchmark suite (21 Rodinia + 8 CUDA SDK). */
+const std::vector<WorkloadProfile> &workloadSuite();
+
+/** Look up a profile by name; fatal if unknown. */
+const WorkloadProfile &workloadByName(const std::string &name);
+
+/** A reduced suite for quick runs (used by tests and examples). */
+std::vector<WorkloadProfile> workloadSubset(std::size_t count);
+
+} // namespace eqx
+
+#endif // EQX_WORKLOADS_PROFILES_HH

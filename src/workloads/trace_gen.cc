@@ -1,0 +1,71 @@
+#include "workloads/trace_gen.hh"
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+PeTraceGen::PeTraceGen(const WorkloadProfile &profile, int pe_index,
+                       std::uint64_t seed)
+    : profile_(profile), pe_(pe_index),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL *
+                   static_cast<std::uint64_t>(pe_index + 1))),
+      remaining_(profile.instsPerPe)
+{
+    eqx_assert(profile_.privateLines > 0 && profile_.sharedLines > 0,
+               "workload regions must be non-empty");
+    seqLine_ = rng_.nextBounded(
+        static_cast<std::uint64_t>(profile_.privateLines));
+}
+
+Addr
+PeTraceGen::privateBase() const
+{
+    // Each PE's private region lives in its own 1 GiB window above the
+    // shared region, so regions never alias.
+    return (static_cast<Addr>(pe_) + 1) << 30;
+}
+
+Addr
+PeTraceGen::lineToAddr(Addr region_base, std::uint64_t line) const
+{
+    return region_base + line * kLineBytes;
+}
+
+bool
+PeTraceGen::next(TraceOp &op)
+{
+    if (remaining_ == 0)
+        return false;
+    --remaining_;
+
+    op = TraceOp{};
+    if (!rng_.chance(profile_.memRatio))
+        return true; // plain ALU instruction
+
+    op.isMem = true;
+    op.isWrite = !rng_.chance(profile_.readFrac);
+
+    // Continue the current walk or start a new one.
+    bool continue_seq = rng_.chance(profile_.seqProb);
+    if (!continue_seq) {
+        inShared_ = rng_.chance(profile_.sharedFrac);
+        std::uint64_t region = inShared_
+                                   ? static_cast<std::uint64_t>(
+                                         profile_.sharedLines)
+                                   : static_cast<std::uint64_t>(
+                                         profile_.privateLines);
+        seqLine_ = rng_.nextBounded(region);
+    } else {
+        std::uint64_t region = inShared_
+                                   ? static_cast<std::uint64_t>(
+                                         profile_.sharedLines)
+                                   : static_cast<std::uint64_t>(
+                                         profile_.privateLines);
+        seqLine_ = (seqLine_ + 1) % region;
+    }
+    Addr base = inShared_ ? 0 : privateBase();
+    op.addr = lineToAddr(base, seqLine_);
+    return true;
+}
+
+} // namespace eqx

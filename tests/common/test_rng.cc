@@ -1,0 +1,127 @@
+/** @file Deterministic RNG behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BurstLengthRespectsCap)
+{
+    Rng r(23);
+    for (int i = 0; i < 1000; ++i) {
+        int len = r.burstLength(0.9, 5);
+        EXPECT_GE(len, 1);
+        EXPECT_LE(len, 5);
+    }
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng a(31);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace eqx

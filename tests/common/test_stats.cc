@@ -1,0 +1,131 @@
+/** @file RunningStat / Histogram / StatGroup behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace eqx {
+namespace {
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = i * 0.7 - 3;
+        if (i % 2)
+            a.add(x);
+        else
+            b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(3.0);
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // copy
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 5); // [0,50) + overflow
+    h.add(0);
+    h.add(9.99);
+    h.add(10);
+    h.add(49);
+    h.add(50);
+    h.add(1000);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Histogram, PercentileMonotonic)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i);
+    double p50 = h.percentile(0.5);
+    double p90 = h.percentile(0.9);
+    EXPECT_LT(p50, p90);
+    EXPECT_NEAR(p50, 50.0, 2.0);
+    EXPECT_NEAR(p90, 90.0, 2.0);
+}
+
+TEST(StatGroup, IncSetGet)
+{
+    StatGroup g;
+    EXPECT_FALSE(g.has("x"));
+    g.inc("x");
+    g.inc("x", 2.5);
+    EXPECT_DOUBLE_EQ(g.get("x"), 3.5);
+    g.set("x", 1.0);
+    EXPECT_DOUBLE_EQ(g.get("x"), 1.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+}
+
+TEST(StatGroup, MergeAdds)
+{
+    StatGroup a, b;
+    a.inc("x", 1);
+    b.inc("x", 2);
+    b.inc("y", 5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // Non-positive entries ignored.
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0, 0.0, -3.0}), 2.0);
+}
+
+} // namespace
+} // namespace eqx

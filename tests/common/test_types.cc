@@ -1,0 +1,63 @@
+/** @file Coordinates, directions and packet-type helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Types, ManhattanAndChebyshev)
+{
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+    EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+    EXPECT_EQ(chebyshev({1, 1}, {2, 2}), 1);
+    EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Types, DirStepRoundTrip)
+{
+    for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
+        Coord s = dirStep(d);
+        Coord o = dirStep(opposite(d));
+        EXPECT_EQ(s.x + o.x, 0);
+        EXPECT_EQ(s.y + o.y, 0);
+    }
+    EXPECT_EQ(opposite(Dir::North), Dir::South);
+    EXPECT_EQ(opposite(Dir::East), Dir::West);
+}
+
+TEST(Types, YGrowsSouth)
+{
+    EXPECT_EQ(dirStep(Dir::South).y, 1);
+    EXPECT_EQ(dirStep(Dir::North).y, -1);
+}
+
+TEST(Types, PacketClassPredicates)
+{
+    EXPECT_TRUE(isRequest(PacketType::ReadRequest));
+    EXPECT_TRUE(isRequest(PacketType::WriteRequest));
+    EXPECT_FALSE(isRequest(PacketType::ReadReply));
+    EXPECT_FALSE(isRequest(PacketType::WriteReply));
+    EXPECT_TRUE(isReply(PacketType::WriteReply));
+}
+
+TEST(Types, Names)
+{
+    EXPECT_STREQ(dirName(Dir::North), "N");
+    EXPECT_STREQ(dirName(Dir::Local), "L");
+    EXPECT_STREQ(packetTypeName(PacketType::ReadReply), "ReadReply");
+}
+
+TEST(Types, CoordOrderingAndHash)
+{
+    Coord a{1, 2}, b{2, 1};
+    EXPECT_TRUE(b < a); // row-major: y first
+    EXPECT_NE(std::hash<Coord>{}(a), std::hash<Coord>{}(b));
+    EXPECT_TRUE(a == (Coord{1, 2}));
+    EXPECT_TRUE(a != b);
+}
+
+} // namespace
+} // namespace eqx

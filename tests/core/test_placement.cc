@@ -1,0 +1,107 @@
+/** @file Classic CB placements and their structural properties. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/placement.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Placement, TopRowOnly)
+{
+    auto cbs = makePlacement(PlacementKind::Top, 8, 8, 8);
+    ASSERT_EQ(cbs.size(), 8u);
+    for (const auto &c : cbs)
+        EXPECT_EQ(c.y, 0);
+    std::set<int> xs;
+    for (const auto &c : cbs)
+        xs.insert(c.x);
+    EXPECT_EQ(xs.size(), 8u);
+}
+
+TEST(Placement, SideSplitsColumns)
+{
+    auto cbs = makePlacement(PlacementKind::Side, 8, 8, 8);
+    int left = 0, right = 0;
+    for (const auto &c : cbs) {
+        if (c.x == 0)
+            ++left;
+        else if (c.x == 7)
+            ++right;
+        else
+            FAIL() << "side CB not on an edge column";
+    }
+    EXPECT_EQ(left, 4);
+    EXPECT_EQ(right, 4);
+}
+
+TEST(Placement, DiagonalOnMainDiagonal)
+{
+    auto cbs = makePlacement(PlacementKind::Diagonal, 8, 8, 8);
+    for (const auto &c : cbs)
+        EXPECT_EQ(c.x, c.y);
+    EXPECT_TRUE(isPermutationPlacement(cbs));
+    EXPECT_TRUE(hasDiagonalAdjacency(cbs));
+    EXPECT_FALSE(isDiagonalFree(cbs));
+}
+
+TEST(Placement, DiamondIsPermutationWithDiagonalAdjacency)
+{
+    // The two structural properties the paper's Section 4.2 analysis
+    // of Diamond relies on.
+    auto cbs = makePlacement(PlacementKind::Diamond, 8, 8, 8);
+    EXPECT_TRUE(isPermutationPlacement(cbs));
+    EXPECT_TRUE(hasDiagonalAdjacency(cbs));
+}
+
+TEST(Placement, ScalesToLargerMeshes)
+{
+    for (int n : {12, 16}) {
+        for (auto kind : {PlacementKind::Top, PlacementKind::Side,
+                          PlacementKind::Diagonal,
+                          PlacementKind::Diamond}) {
+            auto cbs = makePlacement(kind, n, n, 8);
+            ASSERT_EQ(cbs.size(), 8u) << placementName(kind);
+            std::set<Coord> uniq(cbs.begin(), cbs.end());
+            EXPECT_EQ(uniq.size(), 8u);
+            for (const auto &c : cbs) {
+                EXPECT_GE(c.x, 0);
+                EXPECT_LT(c.x, n);
+                EXPECT_GE(c.y, 0);
+                EXPECT_LT(c.y, n);
+            }
+        }
+    }
+}
+
+TEST(Placement, NQueenKindMustUseSolver)
+{
+    EXPECT_THROW(makePlacement(PlacementKind::NQueen, 8, 8, 8),
+                 std::runtime_error);
+}
+
+TEST(Placement, AsciiRendersCbs)
+{
+    auto cbs = makePlacement(PlacementKind::Diagonal, 4, 4, 4);
+    std::string art = placementAscii(cbs, 4, 4);
+    int count = 0;
+    for (char ch : art)
+        if (ch == 'C')
+            ++count;
+    EXPECT_EQ(count, 4);
+}
+
+TEST(Placement, PredicateCounterexamples)
+{
+    EXPECT_FALSE(isPermutationPlacement({{0, 0}, {0, 3}}));
+    EXPECT_FALSE(isPermutationPlacement({{1, 2}, {5, 2}}));
+    EXPECT_TRUE(isDiagonalFree({{0, 1}, {3, 2}}));
+    EXPECT_FALSE(isDiagonalFree({{0, 0}, {2, 2}}));
+    EXPECT_FALSE(hasDiagonalAdjacency({{0, 0}, {0, 1}})); // same col
+    EXPECT_TRUE(hasDiagonalAdjacency({{0, 0}, {1, 1}}));
+}
+
+} // namespace
+} // namespace eqx

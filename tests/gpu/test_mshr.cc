@@ -1,0 +1,68 @@
+/** @file MSHR allocation, merging and completion. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/mshr.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Mshr, NewEntryThenMerge)
+{
+    MshrTable m(2, 4);
+    EXPECT_EQ(m.allocate(10, 1), MshrTable::Alloc::NewEntry);
+    EXPECT_TRUE(m.pending(10));
+    EXPECT_EQ(m.allocate(10, 2), MshrTable::Alloc::Merged);
+    EXPECT_EQ(m.occupancy(), 1);
+}
+
+TEST(Mshr, EntryLimit)
+{
+    MshrTable m(2, 4);
+    m.allocate(1, 0);
+    m.allocate(2, 0);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.allocate(3, 0), MshrTable::Alloc::Full);
+    // Merging into an existing line still works when full.
+    EXPECT_EQ(m.allocate(1, 1), MshrTable::Alloc::Merged);
+}
+
+TEST(Mshr, TargetLimit)
+{
+    MshrTable m(4, 2);
+    m.allocate(5, 0);
+    m.allocate(5, 1);
+    EXPECT_EQ(m.allocate(5, 2), MshrTable::Alloc::Full);
+}
+
+TEST(Mshr, CompleteReturnsAllTargetsInOrder)
+{
+    MshrTable m(4, 8);
+    m.allocate(7, 11);
+    m.allocate(7, 22);
+    m.allocate(7, 33);
+    auto targets = m.complete(7);
+    ASSERT_EQ(targets.size(), 3u);
+    EXPECT_EQ(targets[0], 11u);
+    EXPECT_EQ(targets[2], 33u);
+    EXPECT_FALSE(m.pending(7));
+    EXPECT_EQ(m.occupancy(), 0);
+}
+
+TEST(Mshr, CompleteUnknownLinePanics)
+{
+    MshrTable m(2, 2);
+    EXPECT_THROW(m.complete(99), std::logic_error);
+}
+
+TEST(Mshr, FreedEntryReusable)
+{
+    MshrTable m(1, 2);
+    m.allocate(1, 0);
+    EXPECT_EQ(m.allocate(2, 0), MshrTable::Alloc::Full);
+    m.complete(1);
+    EXPECT_EQ(m.allocate(2, 0), MshrTable::Alloc::NewEntry);
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,107 @@
+/** @file Set-associative tag array with LRU. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/tag_array.hh"
+
+namespace eqx {
+namespace {
+
+CacheGeometry
+tiny()
+{
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    return {512, 64, 2};
+}
+
+TEST(TagArray, GeometryChecks)
+{
+    TagArray t(tiny());
+    EXPECT_EQ(t.geometry().numSets(), 4);
+    // Inconsistent size panics.
+    CacheGeometry bad{500, 64, 2};
+    EXPECT_THROW(TagArray{bad}, std::logic_error);
+}
+
+TEST(TagArray, MissThenHit)
+{
+    TagArray t(tiny());
+    EXPECT_FALSE(t.probe(10));
+    t.insert(10, false);
+    EXPECT_TRUE(t.probe(10));
+    EXPECT_EQ(t.hits(), 1u);
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(TagArray, LruEviction)
+{
+    TagArray t(tiny());
+    // Lines 0, 4, 8 map to set 0 (line % 4).
+    t.insert(0, false);
+    t.insert(4, false);
+    t.probe(0); // 0 now MRU, 4 is LRU
+    auto v = t.insert(8, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.line, 4u);
+    EXPECT_TRUE(t.contains(0));
+    EXPECT_TRUE(t.contains(8));
+    EXPECT_FALSE(t.contains(4));
+}
+
+TEST(TagArray, VictimCarriesDirtyBit)
+{
+    TagArray t(tiny());
+    t.insert(0, false);
+    t.markDirty(0);
+    t.insert(4, false);
+    auto v = t.insert(8, false); // evicts 0 (LRU) which is dirty
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.line, 0u);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(TagArray, InsertIntoFreeWayHasNoVictim)
+{
+    TagArray t(tiny());
+    auto v = t.insert(3, true);
+    EXPECT_FALSE(v.valid);
+}
+
+TEST(TagArray, MarkDirtyOnAbsentLineFails)
+{
+    TagArray t(tiny());
+    EXPECT_FALSE(t.markDirty(42));
+}
+
+TEST(TagArray, InvalidateReportsDirty)
+{
+    TagArray t(tiny());
+    t.insert(5, false);
+    t.markDirty(5);
+    bool dirty = false;
+    EXPECT_TRUE(t.invalidate(5, &dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_FALSE(t.contains(5));
+    EXPECT_FALSE(t.invalidate(5));
+}
+
+TEST(TagArray, DoubleInsertPanics)
+{
+    TagArray t(tiny());
+    t.insert(1, false);
+    EXPECT_THROW(t.insert(1, false), std::logic_error);
+}
+
+TEST(TagArray, SetsAreIndependent)
+{
+    TagArray t(tiny());
+    // Fill set 0 beyond capacity; set 1 lines unaffected.
+    t.insert(0, false);
+    t.insert(4, false);
+    t.insert(1, false); // set 1
+    t.insert(8, false); // evicts within set 0
+    EXPECT_TRUE(t.contains(1));
+}
+
+} // namespace
+} // namespace eqx

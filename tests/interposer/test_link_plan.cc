@@ -1,0 +1,91 @@
+/** @file Interposer link-plan geometry and physical-viability report. */
+
+#include <gtest/gtest.h>
+
+#include "interposer/link_plan.hh"
+
+namespace eqx {
+namespace {
+
+TEST(LinkPlan, EmptyPlan)
+{
+    LinkPlan plan;
+    EXPECT_EQ(plan.crossings(), 0);
+    EXPECT_EQ(plan.layersNeeded(), 0);
+    EXPECT_DOUBLE_EQ(plan.totalLengthHops(), 0);
+    EXPECT_FALSE(plan.needsRepeaters());
+    RdlReport r = plan.report();
+    EXPECT_EQ(r.numLinks, 0);
+    EXPECT_EQ(r.numUbumps, 0);
+}
+
+TEST(LinkPlan, SingleTwoHopLink)
+{
+    LinkPlan plan(2);
+    plan.add({{2, 2}, {4, 2}, 128, false});
+    EXPECT_EQ(plan.maxHops(), 2);
+    EXPECT_FALSE(plan.needsRepeaters());
+    RdlReport r = plan.report();
+    EXPECT_EQ(r.numLinks, 1);
+    EXPECT_EQ(r.numWires, 128);
+    // Round-trip link: 2 bumps per wire.
+    EXPECT_EQ(r.numUbumps, 256);
+    EXPECT_EQ(r.layersNeeded, 1);
+}
+
+TEST(LinkPlan, ThreeHopLinkNeedsRepeaters)
+{
+    LinkPlan plan(2);
+    plan.add({{0, 0}, {3, 0}, 128, false});
+    EXPECT_TRUE(plan.needsRepeaters());
+}
+
+TEST(LinkPlan, BidirectionalDoublesWires)
+{
+    LinkPlan plan;
+    plan.add({{0, 0}, {2, 0}, 128, true});
+    RdlReport r = plan.report();
+    EXPECT_EQ(r.numWires, 256);
+    EXPECT_EQ(r.numUbumps, 512);
+}
+
+TEST(LinkPlan, CrossingLinksNeedTwoLayers)
+{
+    LinkPlan plan;
+    plan.add({{0, 1}, {4, 1}, 128, false});
+    plan.add({{2, 0}, {2, 3}, 128, false});
+    EXPECT_EQ(plan.crossings(), 1);
+    EXPECT_EQ(plan.layersNeeded(), 2);
+}
+
+TEST(LinkPlan, FanOutFromOneCbSharesLayer)
+{
+    // A CB fanning out to four EIRs: all share the source tile,
+    // so no crossings and one RDL layer suffices (the paper's result).
+    LinkPlan plan;
+    Coord cb{4, 4};
+    for (Coord e : {Coord{6, 4}, Coord{2, 4}, Coord{4, 6}, Coord{4, 2}})
+        plan.add({cb, e, 128, false});
+    EXPECT_EQ(plan.crossings(), 0);
+    EXPECT_EQ(plan.layersNeeded(), 1);
+    EXPECT_DOUBLE_EQ(plan.totalLengthHops(), 8.0);
+}
+
+TEST(LinkPlan, SelfLinkRejected)
+{
+    LinkPlan plan;
+    EXPECT_THROW(plan.add({{1, 1}, {1, 1}, 128, false}),
+                 std::logic_error);
+}
+
+TEST(LinkPlan, AsciiMapMarksEndpoints)
+{
+    LinkPlan plan;
+    plan.add({{0, 0}, {2, 0}, 128, false});
+    std::string map = plan.asciiMap(3, 1);
+    EXPECT_NE(map.find('S'), std::string::npos);
+    EXPECT_NE(map.find('E'), std::string::npos);
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,60 @@
+/** @file ubump accounting (paper Section 6.6 arithmetic). */
+
+#include <gtest/gtest.h>
+
+#include "interposer/link_plan.hh"
+#include "interposer/ubump.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Ubump, PaperEquiNoxCount)
+{
+    // 24 unidirectional 128-bit links, 2 bumps per wire -> 6144.
+    UbumpModel m;
+    InterposerLink link{{0, 0}, {2, 0}, 128, false};
+    int per_link = m.bumpsForLink(link, /*round_trip=*/true);
+    EXPECT_EQ(per_link, 256);
+    EXPECT_EQ(24 * per_link, 6144);
+}
+
+TEST(Ubump, PaperCMeshCount)
+{
+    // 128 unidirectional 256-bit attachment links, 1 bump per wire
+    // at the processor die -> 32768.
+    UbumpModel m;
+    InterposerLink link{{0, 0}, {1, 0}, 256, false};
+    int per_link = m.bumpsForLink(link, /*round_trip=*/false);
+    EXPECT_EQ(per_link, 256);
+    EXPECT_EQ(128 * per_link, 32768);
+}
+
+TEST(Ubump, PaperSavingIs81Percent)
+{
+    double saving = 1.0 - 6144.0 / 32768.0;
+    EXPECT_NEAR(saving, 0.8125, 1e-9);
+}
+
+TEST(Ubump, AreaAt40umPitch)
+{
+    UbumpModel m;
+    EXPECT_NEAR(m.bumpAreaMm2(), 0.0016, 1e-9); // (40 um)^2
+    // A 128-bit bidirectional round-trip link: 512 bumps.
+    InterposerLink link{{0, 0}, {2, 0}, 128, true};
+    int bumps = m.bumpsForLink(link, true);
+    EXPECT_EQ(bumps, 512);
+    EXPECT_NEAR(m.areaForBumps(bumps), 0.8192, 1e-6);
+}
+
+TEST(Ubump, PitchScalesAreaQuadratically)
+{
+    UbumpModel fine;
+    fine.pitchUm = 20.0;
+    UbumpModel coarse;
+    coarse.pitchUm = 40.0;
+    EXPECT_NEAR(coarse.areaForBumps(100) / fine.areaForBumps(100), 4.0,
+                1e-9);
+}
+
+} // namespace
+} // namespace eqx

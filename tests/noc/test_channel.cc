@@ -1,0 +1,77 @@
+/** @file Pipelined channel latency and ordering. */
+
+#include <gtest/gtest.h>
+
+#include "noc/channel.hh"
+#include "noc/packet.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Channel, DeliversAfterLatency)
+{
+    Channel<int> ch(3);
+    ch.send(42, 10);
+    int out = 0;
+    EXPECT_FALSE(ch.receive(12, out));
+    EXPECT_TRUE(ch.receive(13, out));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, FifoOrder)
+{
+    Channel<int> ch(1);
+    ch.send(1, 0);
+    ch.send(2, 1);
+    ch.send(3, 2);
+    int out = 0;
+    ASSERT_TRUE(ch.receive(1, out));
+    EXPECT_EQ(out, 1);
+    ASSERT_TRUE(ch.receive(2, out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(ch.receive(2, out)); // 3 not due yet
+    ASSERT_TRUE(ch.receive(3, out));
+    EXPECT_EQ(out, 3);
+}
+
+TEST(Channel, LateDrainDeliversEverything)
+{
+    Channel<int> ch(2);
+    for (int i = 0; i < 5; ++i)
+        ch.send(i, static_cast<Cycle>(i));
+    int out = 0, n = 0;
+    while (ch.receive(100, out))
+        ++n;
+    EXPECT_EQ(n, 5);
+}
+
+TEST(Channel, ZeroLatencyRejected)
+{
+    EXPECT_THROW(Channel<int>(0), std::logic_error);
+}
+
+TEST(Channel, CarriesFlits)
+{
+    Channel<Flit> ch(1);
+    Flit f;
+    f.pkt = makePacket(PacketType::ReadReply, 1, 2, 640);
+    f.isHead = true;
+    ch.send(std::move(f), 5);
+    Flit out;
+    ASSERT_TRUE(ch.receive(6, out));
+    EXPECT_TRUE(out.isHead);
+    EXPECT_EQ(out.pkt->dst, 2);
+}
+
+TEST(Channel, InflightCount)
+{
+    Channel<int> ch(4);
+    EXPECT_EQ(ch.inflightCount(), 0u);
+    ch.send(1, 0);
+    ch.send(2, 1);
+    EXPECT_EQ(ch.inflightCount(), 2u);
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,217 @@
+/** @file NI injection policies, including the paper's Buffer Selection. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "noc/network_interface.hh"
+
+namespace eqx {
+namespace {
+
+/** Expose the protected dispatch policy and buffers for testing. */
+template <typename Base>
+class ExposedNi : public Base
+{
+  public:
+    using Base::Base;
+    using Base::selectBuffer;
+
+    NetworkInterface::InjBuffer &
+    buffer(int i)
+    {
+        return this->bufs_[static_cast<std::size_t>(i)];
+    }
+
+    void
+    occupy(int i)
+    {
+        buffer(i).queue.push_back(
+            makePacket(PacketType::ReadReply, 0, 1, 640));
+    }
+};
+
+/** Test fixture wiring an NI at CB (3,3) with four axis EIRs. */
+class EquiNoxNiTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        topo = std::make_unique<Topology>(8, 8);
+        ni = std::make_unique<ExposedNi<EquiNoxNi>>(
+            cb, topo.get(), &params, &activity, &latency);
+        // Buffer 0: local; buffers 1..4: E(5,3), W(1,3), S(3,5), N(3,1).
+        chans.reserve(5);
+        for (int i = 0; i < 5; ++i)
+            chans.push_back(std::make_unique<Channel<Flit>>(1));
+        ni->addInjBuffer(1, chans[0].get(), cb, false);
+        ni->addInjBuffer(1, chans[1].get(), topo->node({5, 3}), true);
+        ni->addInjBuffer(1, chans[2].get(), topo->node({1, 3}), true);
+        ni->addInjBuffer(1, chans[3].get(), topo->node({3, 5}), true);
+        ni->addInjBuffer(1, chans[4].get(), topo->node({3, 1}), true);
+    }
+
+    PacketPtr
+    replyTo(Coord dest)
+    {
+        return makePacket(PacketType::ReadReply, cb, topo->node(dest),
+                          640);
+    }
+
+    NodeId cb = 27; // (3,3)
+    NocParams params;
+    NetworkActivity activity;
+    LatencyStats latency;
+    std::unique_ptr<Topology> topo;
+    std::vector<std::unique_ptr<Channel<Flit>>> chans;
+    std::unique_ptr<ExposedNi<EquiNoxNi>> ni;
+};
+
+TEST_F(EquiNoxNiTest, AxisDestUsesTheOneShortestPathEir)
+{
+    // (7,3): due east; only the east EIR (buffer 1) is on a shortest
+    // path.
+    EXPECT_EQ(ni->selectBuffer(replyTo({7, 3})), 1);
+    EXPECT_EQ(ni->selectBuffer(replyTo({0, 3})), 2);
+    EXPECT_EQ(ni->selectBuffer(replyTo({3, 7})), 3);
+    EXPECT_EQ(ni->selectBuffer(replyTo({3, 0})), 4);
+}
+
+TEST_F(EquiNoxNiTest, AxisDestFallsBackToLocalWhenEirBusy)
+{
+    ni->occupy(1);
+    EXPECT_EQ(ni->selectBuffer(replyTo({7, 3})), 0);
+}
+
+TEST_F(EquiNoxNiTest, AxisDestRetriesWhenEirAndLocalBusy)
+{
+    ni->occupy(1);
+    ni->occupy(0);
+    EXPECT_EQ(ni->selectBuffer(replyTo({7, 3})), -1);
+}
+
+TEST_F(EquiNoxNiTest, QuadrantDestRoundRobinsBetweenTwoEirs)
+{
+    // (6,6): south-east quadrant; east and south EIRs both lie on
+    // shortest paths.
+    int a = ni->selectBuffer(replyTo({6, 6}));
+    int b = ni->selectBuffer(replyTo({6, 6}));
+    EXPECT_TRUE(a == 1 || a == 3);
+    EXPECT_TRUE(b == 1 || b == 3);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(EquiNoxNiTest, QuadrantDestSingleFreeEirWins)
+{
+    ni->occupy(1);
+    EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), 3);
+}
+
+TEST_F(EquiNoxNiTest, QuadrantDestAllEirsBusyUsesLocal)
+{
+    ni->occupy(1);
+    ni->occupy(3);
+    EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), 0);
+}
+
+TEST_F(EquiNoxNiTest, NearDestinationBehindEirUsesLocal)
+{
+    // (4,3) is 1 hop east: the east EIR at (5,3) would overshoot
+    // (not on a shortest path), so the local router is used.
+    EXPECT_EQ(ni->selectBuffer(replyTo({4, 3})), 0);
+}
+
+TEST(BasicNiTest, SingleBufferUntilFull)
+{
+    Topology topo(4, 4);
+    NocParams params;
+    NetworkActivity act;
+    LatencyStats lat;
+    ExposedNi<BasicNi> ni(0, &topo, &params, &act, &lat);
+    Channel<Flit> ch(1);
+    ni.addInjBuffer(1, &ch, 0, false);
+    auto pkt = makePacket(PacketType::ReadRequest, 0, 5, 128);
+    EXPECT_EQ(ni.selectBuffer(pkt), 0);
+    ni.occupy(0);
+    EXPECT_EQ(ni.selectBuffer(pkt), -1);
+}
+
+TEST(MultiPortNiTest, RoundRobinSkipsFullBuffers)
+{
+    Topology topo(4, 4);
+    NocParams params;
+    NetworkActivity act;
+    LatencyStats lat;
+    ExposedNi<MultiPortNi> ni(0, &topo, &params, &act, &lat);
+    std::vector<std::unique_ptr<Channel<Flit>>> chans;
+    for (int i = 0; i < 3; ++i) {
+        chans.push_back(std::make_unique<Channel<Flit>>(1));
+        ni.addInjBuffer(1, chans.back().get(), 0, false);
+    }
+    auto pkt = makePacket(PacketType::ReadReply, 0, 5, 640);
+    int a = ni.selectBuffer(pkt);
+    ni.occupy(a);
+    int b = ni.selectBuffer(pkt);
+    ni.occupy(b);
+    int c = ni.selectBuffer(pkt);
+    ni.occupy(c);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(ni.selectBuffer(pkt), -1);
+}
+
+TEST(NiInjection, SerializesAndStampsPacket)
+{
+    Topology topo(4, 4);
+    NocParams params;
+    NetworkActivity act;
+    LatencyStats lat;
+    BasicNi ni(0, &topo, &params, &act, &lat);
+    Channel<Flit> ch(1);
+    ni.addInjBuffer(1, &ch, 0, false);
+    auto pkt = makePacket(PacketType::ReadReply, 0, 5, 640); // 5 flits
+    ASSERT_TRUE(ni.inject(pkt, 10));
+    Cycle t = 10;
+    for (int i = 0; i < 10; ++i)
+        ni.tick(++t, t);
+    // 5 flits must have been sent, head first.
+    int n = 0;
+    Flit f;
+    bool saw_head = false, saw_tail = false;
+    while (ch.receive(t + 1, f)) {
+        if (n == 0)
+            saw_head = f.isHead;
+        saw_tail = f.isTail;
+        ++n;
+    }
+    EXPECT_EQ(n, 5);
+    EXPECT_TRUE(saw_head);
+    EXPECT_TRUE(saw_tail);
+    EXPECT_GE(pkt->cycleInjected, 10u);
+    EXPECT_EQ(pkt->entryRouter, 0);
+    EXPECT_EQ(act.replyBits, 640u);
+}
+
+TEST(NiInjection, CoreQueueCapacityBounds)
+{
+    Topology topo(4, 4);
+    NocParams params;
+    params.niInjBufPackets = 2;
+    NetworkActivity act;
+    LatencyStats lat;
+    BasicNi ni(0, &topo, &params, &act, &lat);
+    Channel<Flit> ch(1);
+    ni.addInjBuffer(1, &ch, 0, false);
+    auto mk = [] {
+        return makePacket(PacketType::ReadRequest, 0, 5, 128);
+    };
+    EXPECT_TRUE(ni.inject(mk(), 0));
+    EXPECT_TRUE(ni.inject(mk(), 0));
+    EXPECT_FALSE(ni.inject(mk(), 0)); // core queue full
+    EXPECT_FALSE(ni.canInject());
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,67 @@
+/** @file XY and minimal-adaptive route computation. */
+
+#include <gtest/gtest.h>
+
+#include "noc/routing.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Routing, XyPrefersXFirst)
+{
+    EXPECT_EQ(xyDirection({0, 0}, {3, 3}), Dir::East);
+    EXPECT_EQ(xyDirection({5, 5}, {2, 7}), Dir::West);
+    EXPECT_EQ(xyDirection({2, 2}, {2, 7}), Dir::South);
+    EXPECT_EQ(xyDirection({2, 7}, {2, 2}), Dir::North);
+    EXPECT_EQ(xyDirection({4, 4}, {4, 4}), Dir::Local);
+}
+
+TEST(Routing, MinimalDirectionsQuadrant)
+{
+    auto dirs = minimalDirections({2, 2}, {5, 0});
+    ASSERT_EQ(dirs.size(), 2u);
+    EXPECT_EQ(dirs[0], Dir::East);  // x candidate first (escape dir)
+    EXPECT_EQ(dirs[1], Dir::North);
+}
+
+TEST(Routing, MinimalDirectionsAxis)
+{
+    auto dirs = minimalDirections({2, 2}, {2, 6});
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], Dir::South);
+}
+
+TEST(Routing, MinimalDirectionsAtDestination)
+{
+    EXPECT_TRUE(minimalDirections({3, 3}, {3, 3}).empty());
+}
+
+TEST(Routing, FirstCandidateMatchesXy)
+{
+    // The escape-VC discipline relies on candidates[0] == XY port.
+    for (int sx = 0; sx < 4; ++sx) {
+        for (int sy = 0; sy < 4; ++sy) {
+            for (int dx = 0; dx < 4; ++dx) {
+                for (int dy = 0; dy < 4; ++dy) {
+                    Coord s{sx, sy}, d{dx, dy};
+                    if (s == d)
+                        continue;
+                    auto dirs = minimalDirections(s, d);
+                    ASSERT_FALSE(dirs.empty());
+                    EXPECT_EQ(dirs[0], xyDirection(s, d));
+                }
+            }
+        }
+    }
+}
+
+TEST(Routing, IsMinimalStep)
+{
+    EXPECT_TRUE(isMinimalStep({2, 2}, {5, 5}, Dir::East));
+    EXPECT_TRUE(isMinimalStep({2, 2}, {5, 5}, Dir::South));
+    EXPECT_FALSE(isMinimalStep({2, 2}, {5, 5}, Dir::West));
+    EXPECT_FALSE(isMinimalStep({2, 2}, {5, 5}, Dir::North));
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,113 @@
+/** @file DSENT-lite power/area model properties. */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace eqx {
+namespace {
+
+NetworkSpec
+meshSpec(int w, int h)
+{
+    NetworkSpec spec;
+    spec.params.width = w;
+    spec.params.height = h;
+    return spec;
+}
+
+TEST(PowerModel, RouterAreaGrowsWithPortsVcsWidth)
+{
+    PowerModel pm;
+    double base = pm.routerAreaMm2(5, 5, 2, 5, 128);
+    EXPECT_GT(base, 0.0);
+    EXPECT_GT(pm.routerAreaMm2(7, 5, 2, 5, 128), base);  // more inputs
+    EXPECT_GT(pm.routerAreaMm2(5, 5, 4, 5, 128), base);  // more VCs
+    EXPECT_GT(pm.routerAreaMm2(5, 5, 2, 5, 256), base);  // wider
+    EXPECT_LT(pm.routerAreaMm2(5, 5, 2, 5, 16), base);   // narrower
+}
+
+TEST(PowerModel, NiAreaGrowsWithBuffers)
+{
+    PowerModel pm;
+    EXPECT_GT(pm.niAreaMm2(5, 5, 128), pm.niAreaMm2(1, 5, 128));
+}
+
+TEST(PowerModel, NetworkAreaCountsStructure)
+{
+    PowerModel pm;
+    Network plain(meshSpec(4, 4));
+    NetworkSpec eir_spec = meshSpec(4, 4);
+    eir_spec.eirGroups[{5}] = {7, 13};
+    Network eir(eir_spec);
+    EXPECT_GT(pm.networkAreaMm2(eir), pm.networkAreaMm2(plain));
+}
+
+TEST(PowerModel, LeakageProportionalToArea)
+{
+    PowerModel pm;
+    Network net(meshSpec(4, 4));
+    EXPECT_NEAR(pm.networkLeakageMw(net),
+                pm.networkAreaMm2(net) * pm.params().leakageMwPerMm2,
+                1e-9);
+}
+
+TEST(PowerModel, IdleNetworkBurnsOnlyLeakage)
+{
+    PowerModel pm;
+    Network net(meshSpec(4, 4));
+    EnergyBreakdown e = pm.networkEnergyPj(net, 1000);
+    EXPECT_DOUBLE_EQ(e.buffer, 0.0);
+    EXPECT_DOUBLE_EQ(e.crossbar, 0.0);
+    EXPECT_DOUBLE_EQ(e.links, 0.0);
+    EXPECT_GT(e.leakage, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.leakage);
+}
+
+TEST(PowerModel, TrafficAddsDynamicEnergy)
+{
+    PowerModel pm;
+    Network net(meshSpec(4, 4));
+    Cycle clock = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto pkt = makePacket(PacketType::ReadReply, 0, 15, 640);
+        while (!net.inject(0, pkt))
+            net.coreTick(++clock);
+    }
+    for (int i = 0; i < 300; ++i)
+        net.coreTick(++clock);
+    EnergyBreakdown e = pm.networkEnergyPj(net, clock);
+    EXPECT_GT(e.buffer, 0.0);
+    EXPECT_GT(e.crossbar, 0.0);
+    EXPECT_GT(e.links, 0.0);
+    EXPECT_GT(e.allocators, 0.0);
+    EXPECT_DOUBLE_EQ(e.interposerLinks, 0.0); // no interposer links
+}
+
+TEST(PowerModel, EirTrafficCountsInterposerEnergy)
+{
+    PowerModel pm;
+    NetworkSpec spec = meshSpec(8, 8);
+    spec.eirGroups[{27}] = {25, 29};
+    Network net(spec);
+    Cycle clock = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto pkt = makePacket(PacketType::ReadReply, 27, 31, 640);
+        while (!net.inject(27, pkt))
+            net.coreTick(++clock);
+    }
+    for (int i = 0; i < 400; ++i)
+        net.coreTick(++clock);
+    EnergyBreakdown e = pm.networkEnergyPj(net, clock);
+    EXPECT_GT(e.interposerLinks, 0.0);
+}
+
+TEST(PowerModel, CyclesToNsUsesClock)
+{
+    PowerModel pm;
+    EXPECT_NEAR(pm.cyclesToNs(1126), 1000.0, 1.0); // 1126 MHz
+    EXPECT_DOUBLE_EQ(PowerModel::edp(100.0, 10.0), 1000.0);
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,124 @@
+/** @file Experiment runner: caching, tweaks, matrix shape. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace eqx {
+namespace {
+
+ExperimentConfig
+quick()
+{
+    ExperimentConfig ec;
+    ec.workloads = workloadSubset(2);
+    ec.instScale = 0.05;
+    ec.schemes = {Scheme::SingleBase, Scheme::EquiNox};
+    ec.tweak = [](SystemConfig &sc) {
+        sc.design.mcts.iterationsPerLevel = 80;
+        sc.design.polishPasses = 1;
+    };
+    return ec;
+}
+
+TEST(Experiment, MatrixCoversSchemesTimesWorkloads)
+{
+    ExperimentRunner runner(quick());
+    auto cells = runner.runMatrix();
+    EXPECT_EQ(cells.size(), 4u);
+    for (const auto &c : cells)
+        EXPECT_TRUE(c.result.completed)
+            << schemeName(c.scheme) << "/" << c.benchmark;
+}
+
+TEST(Experiment, EquiNoxDesignCachedAcrossRuns)
+{
+    ExperimentRunner runner(quick());
+    const EquiNoxDesign &a = runner.equinoxDesign();
+    const EquiNoxDesign &b = runner.equinoxDesign();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GT(a.numEirs(), 0);
+}
+
+TEST(Experiment, TweakPinnedDesignWins)
+{
+    // An ablation that pins its own design must not be overridden by
+    // the runner's cached one.
+    DesignParams dp;
+    dp.maxPerGroup = 1;
+    dp.mcts.iterationsPerLevel = 80;
+    dp.polishPasses = 1;
+    EquiNoxDesign own = buildEquiNoxDesign(dp);
+
+    ExperimentConfig ec = quick();
+    ec.schemes = {Scheme::EquiNox};
+    ec.tweak = [&](SystemConfig &sc) {
+        sc.design.mcts.iterationsPerLevel = 80;
+        sc.preDesign = &own;
+    };
+    ExperimentRunner runner(ec);
+    WorkloadProfile wp = workloadSubset(1)[0];
+    wp.instsPerPe = 80;
+    // Build one system through the same path runOne uses.
+    RunResult r = runner.runOne(Scheme::EquiNox, wp);
+    EXPECT_TRUE(r.completed);
+    // The pinned 1-EIR-per-CB design has at most 8 EIRs: its cached
+    // runner design (unpinned) would have far more remote ports, so
+    // verify via a direct System construction that the pin holds.
+    SystemConfig sc;
+    sc.scheme = Scheme::EquiNox;
+    sc.preDesign = &own;
+    System sys(sc, wp);
+    EXPECT_LE(sys.network(1).numRemoteInjPorts(), 8);
+}
+
+TEST(Experiment, InstScaleShrinksWork)
+{
+    ExperimentConfig big = quick();
+    big.schemes = {Scheme::SingleBase};
+    big.instScale = 0.10;
+    ExperimentConfig small = big;
+    small.instScale = 0.05;
+    ExperimentRunner rb(big), rs(small);
+    auto cb = rb.runMatrix();
+    auto cs = rs.runMatrix();
+    EXPECT_GT(cb[0].result.totalInsts, cs[0].result.totalInsts);
+}
+
+TEST(Experiment, CsvExportRoundTrips)
+{
+    ExperimentRunner runner(quick());
+    auto cells = runner.runMatrix();
+    std::string path = ::testing::TempDir() + "eqx_cells.csv";
+    writeCellsCsv(cells, path);
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[512];
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    EXPECT_NE(std::string(line).find("benchmark,scheme"),
+              std::string::npos);
+    int rows = 0;
+    while (std::fgets(line, sizeof(line), f))
+        ++rows;
+    std::fclose(f);
+    EXPECT_EQ(rows, static_cast<int>(cells.size()));
+    std::remove(path.c_str());
+}
+
+TEST(Experiment, CsvExportBadPathIsFatal)
+{
+    EXPECT_THROW(writeCellsCsv({}, "/nonexistent_dir_xyz/out.csv"),
+                 std::runtime_error);
+}
+
+TEST(Experiment, GeomeanHelper)
+{
+    ExperimentRunner runner(quick());
+    auto cells = runner.runMatrix();
+    double g = schemeGeomean(cells, Scheme::SingleBase,
+                             [](const RunResult &r) { return r.execNs; });
+    EXPECT_GT(g, 0.0);
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,100 @@
+/** @file Cross-scheme behavioural shape (paper Figs. 9 and 10). */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace eqx {
+namespace {
+
+/**
+ * One shared mini-matrix over the suite's most bandwidth-hungry
+ * benchmark. Built lazily once per process; the assertions are grouped
+ * into a few TESTs so ctest's per-test processes do not each pay the
+ * full simulation cost.
+ */
+const std::vector<CellResult> &
+cells()
+{
+    static const std::vector<CellResult> kCells = [] {
+        ExperimentConfig ec;
+        ec.workloads = {workloadByName("kmeans")};
+        ec.instScale = 0.15;
+        ec.tweak = [](SystemConfig &sc) {
+            sc.design.mcts.iterationsPerLevel = 150;
+        };
+        ExperimentRunner runner(ec);
+        return runner.runMatrix();
+    }();
+    return kCells;
+}
+
+const RunResult &
+result(Scheme s)
+{
+    for (const auto &c : cells())
+        if (c.scheme == s)
+            return c.result;
+    throw std::logic_error("scheme missing");
+}
+
+TEST(SchemeShape, PerformanceOrdering)
+{
+    // Everyone finishes.
+    for (const auto &c : cells())
+        ASSERT_TRUE(c.result.completed) << schemeName(c.scheme);
+
+    // Fig 9(a): separate networks beat the shared network...
+    EXPECT_LT(result(Scheme::SeparateBase).execNs,
+              result(Scheme::SingleBase).execNs);
+
+    // ...VC-Mono is a slight win over SingleBase (paper: ~3.6%)...
+    EXPECT_LE(result(Scheme::VcMono).execNs,
+              result(Scheme::SingleBase).execNs * 1.02);
+
+    // ...and EquiNox is the fastest scheme overall, by a solid margin
+    // over SeparateBase (paper: 23.5%).
+    double eq = result(Scheme::EquiNox).execNs;
+    for (Scheme s :
+         {Scheme::SingleBase, Scheme::VcMono, Scheme::InterposerCMesh,
+          Scheme::SeparateBase, Scheme::Da2Mesh})
+        EXPECT_LT(eq, result(s).execNs) << schemeName(s);
+    EXPECT_LT(eq, result(Scheme::SeparateBase).execNs * 0.95);
+}
+
+TEST(SchemeShape, LatencyDecomposition)
+{
+    // Fig 10's parking-lot effect: congestion lives at reply injection
+    // but surfaces as request latency.
+    for (Scheme s : {Scheme::SingleBase, Scheme::SeparateBase}) {
+        const RunResult &r = result(s);
+        EXPECT_GT(r.reqQueueNs + r.reqNetNs, r.repQueueNs + r.repNetNs)
+            << schemeName(s);
+    }
+
+    // EquiNox relieves both the reply queueing and, through the
+    // released backpressure, the request latency.
+    const RunResult &eq = result(Scheme::EquiNox);
+    const RunResult &sep = result(Scheme::SeparateBase);
+    EXPECT_LT(eq.repQueueNs, sep.repQueueNs);
+    EXPECT_LT(eq.reqQueueNs + eq.reqNetNs,
+              sep.reqQueueNs + sep.reqNetNs);
+}
+
+TEST(SchemeShape, EnergyAndEdp)
+{
+    // Fig 9(b): two physical networks burn more energy than one;
+    // EquiNox claws it back through its shorter runtime.
+    EXPECT_GT(result(Scheme::SeparateBase).energyPj,
+              result(Scheme::SingleBase).energyPj * 0.95);
+    EXPECT_LT(result(Scheme::EquiNox).energyPj,
+              result(Scheme::SeparateBase).energyPj);
+
+    // Fig 9(c): EquiNox has the best EDP among separate-type schemes.
+    double eq = result(Scheme::EquiNox).edp;
+    EXPECT_LT(eq, result(Scheme::SeparateBase).edp);
+    EXPECT_LT(eq, result(Scheme::Da2Mesh).edp);
+}
+
+} // namespace
+} // namespace eqx

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end smoke: every scheme completes a small benchmark run and
+ * conserves packets (every request answered, every PE finished).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/synthetic.hh"
+
+namespace eqx {
+namespace {
+
+WorkloadProfile
+tinyWorkload()
+{
+    WorkloadProfile wp = workloadByName("kmeans");
+    wp.instsPerPe = 300;
+    return wp;
+}
+
+TEST(Smoke, SyntheticFewToManyRuns)
+{
+    SyntheticParams sp;
+    sp.cbs = {{0, 2}, {3, 5}, {5, 1}, {6, 6}};
+    sp.injectionRate = 0.02;
+    sp.warmupCycles = 200;
+    sp.measureCycles = 1000;
+    SyntheticResult r = runSynthetic(sp);
+    EXPECT_GT(r.delivered, 0u);
+    EXPECT_GT(r.avgTotalLatency, 0.0);
+}
+
+class SchemeSmoke : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeSmoke, CompletesAndConserves)
+{
+    SystemConfig sc;
+    sc.scheme = GetParam();
+    sc.maxCycles = 400000;
+    System sys(sc, tinyWorkload());
+    RunResult r = sys.run();
+    EXPECT_TRUE(r.completed) << schemeName(GetParam());
+    EXPECT_GT(r.totalInsts, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    // Conservation: every PE drained all outstanding accesses.
+    for (int i = 0; i < sys.numPes(); ++i)
+        EXPECT_EQ(sys.pe(i).outstanding(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeSmoke,
+    ::testing::Values(Scheme::SingleBase, Scheme::VcMono,
+                      Scheme::InterposerCMesh, Scheme::SeparateBase,
+                      Scheme::Da2Mesh, Scheme::MultiPort,
+                      Scheme::EquiNox),
+    [](const ::testing::TestParamInfo<Scheme> &info) {
+        std::string n = schemeName(info.param);
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace eqx

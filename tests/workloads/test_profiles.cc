@@ -1,0 +1,69 @@
+/** @file The 29-benchmark synthetic suite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/profiles.hh"
+
+namespace eqx {
+namespace {
+
+TEST(Profiles, SuiteHas29UniqueBenchmarks)
+{
+    const auto &suite = workloadSuite();
+    EXPECT_EQ(suite.size(), 29u);
+    std::set<std::string> names;
+    for (const auto &p : suite)
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Profiles, PaperBenchmarksPresent)
+{
+    // Benchmarks the paper's Section 6 discusses by name.
+    for (const char *name :
+         {"kmeans", "heartwall", "monteCarlo", "particlefilter",
+          "fastWalshTrans", "scan", "sortingNetworks", "gaussian",
+          "myocyte"})
+        EXPECT_NO_THROW(workloadByName(name)) << name;
+}
+
+TEST(Profiles, ParametersInSaneRanges)
+{
+    for (const auto &p : workloadSuite()) {
+        EXPECT_GT(p.instsPerPe, 0u) << p.name;
+        EXPECT_GE(p.memRatio, 0.0);
+        EXPECT_LE(p.memRatio, 1.0);
+        EXPECT_GE(p.readFrac, 0.0);
+        EXPECT_LE(p.readFrac, 1.0);
+        EXPECT_GT(p.privateLines, 0);
+        EXPECT_GT(p.sharedLines, 0);
+        EXPECT_GE(p.sharedFrac, 0.0);
+        EXPECT_LE(p.sharedFrac, 1.0);
+        EXPECT_GE(p.seqProb, 0.0);
+        EXPECT_LE(p.seqProb, 1.0);
+    }
+}
+
+TEST(Profiles, ComputeBoundAndMemoryBoundClassesExist)
+{
+    // myocyte is the paper's compute-bound outlier; kmeans is
+    // memory-hungry.
+    EXPECT_LT(workloadByName("myocyte").memRatio, 0.1);
+    EXPECT_GT(workloadByName("kmeans").memRatio, 0.4);
+}
+
+TEST(Profiles, UnknownNameIsFatal)
+{
+    EXPECT_THROW(workloadByName("nosuchbenchmark"), std::runtime_error);
+}
+
+TEST(Profiles, SubsetTruncates)
+{
+    EXPECT_EQ(workloadSubset(5).size(), 5u);
+    EXPECT_EQ(workloadSubset(100).size(), 29u);
+    EXPECT_EQ(workloadSubset(5)[0].name, workloadSuite()[0].name);
+}
+
+} // namespace
+} // namespace eqx
