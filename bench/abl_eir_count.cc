@@ -32,6 +32,8 @@ main(int argc, char **argv)
     base.instScale = scale;
     base.schemes = {Scheme::SeparateBase};
     base.workloads = workloadSubset(nbench);
+    applySweepArgs(base, cfg);
+    base.jsonlPath.clear(); // per-point runners would clobber one file
     ExperimentRunner base_runner(base);
     double sep = schemeGeomean(base_runner.runMatrix(),
                                Scheme::SeparateBase, exec);
@@ -52,6 +54,9 @@ main(int argc, char **argv)
         ec.schemes = {Scheme::EquiNox};
         ec.workloads = workloadSubset(nbench);
         ec.tweak = [&](SystemConfig &sc) { sc.preDesign = &design; };
+        applySweepArgs(ec, cfg);
+        if (!ec.jsonlPath.empty())
+            ec.jsonlPath += ".cap" + std::to_string(cap);
         ExperimentRunner runner(ec);
         double eq =
             schemeGeomean(runner.runMatrix(), Scheme::EquiNox, exec);
@@ -70,6 +75,9 @@ main(int argc, char **argv)
         ec.tweak = [&](SystemConfig &sc) {
             sc.multiPortInjPorts = ports;
         };
+        applySweepArgs(ec, cfg);
+        if (!ec.jsonlPath.empty())
+            ec.jsonlPath += ".ports" + std::to_string(ports);
         ExperimentRunner runner(ec);
         double mp =
             schemeGeomean(runner.runMatrix(), Scheme::MultiPort, exec);

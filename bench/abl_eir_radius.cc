@@ -32,6 +32,8 @@ main(int argc, char **argv)
     base.instScale = scale;
     base.schemes = {Scheme::SeparateBase};
     base.workloads = workloadSubset(nbench);
+    applySweepArgs(base, cfg);
+    base.jsonlPath.clear(); // per-point runners would clobber one file
     ExperimentRunner base_runner(base);
     auto base_cells = base_runner.runMatrix();
     auto exec = [](const RunResult &r) { return r.execNs; };
@@ -52,6 +54,9 @@ main(int argc, char **argv)
         ec.schemes = {Scheme::EquiNox};
         ec.workloads = workloadSubset(nbench);
         ec.tweak = [&](SystemConfig &sc) { sc.preDesign = &design; };
+        applySweepArgs(ec, cfg);
+        if (!ec.jsonlPath.empty())
+            ec.jsonlPath += ".hops" + std::to_string(radius);
         ExperimentRunner runner(ec);
         auto cells = runner.runMatrix();
         double eq = schemeGeomean(cells, Scheme::EquiNox, exec);

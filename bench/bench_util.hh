@@ -5,6 +5,13 @@
  *   scale=<f>     instruction-count scale (default varies per bench)
  *   benchmarks=<n> use only the first n workloads
  *   seed=<n>
+ * and the matrix benches additionally accept the sweep-engine knobs:
+ *   workers=<n>   pool worker threads (default 0 = all hardware
+ *                 threads; results are identical for any value)
+ *   timeout=<s>   per-job wall-clock timeout, 0 = off
+ *   retries=<n>   retries after a non-completed attempt
+ *   progress=1    stderr progress ticker
+ *   jsonl=<path>  stream per-cell JSONL records
  */
 
 #ifndef EQX_BENCH_UTIL_HH
@@ -15,6 +22,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "sim/experiment.hh"
 
 namespace eqx {
 
@@ -27,6 +35,17 @@ parseBenchArgs(int argc, char **argv)
         toks.emplace_back(argv[i]);
     cfg.parseArgs(toks);
     return cfg;
+}
+
+/** Apply the shared sweep-engine arguments to a matrix experiment. */
+inline void
+applySweepArgs(ExperimentConfig &ec, const Config &cfg)
+{
+    ec.workers = static_cast<int>(cfg.getInt("workers", 0));
+    ec.jobTimeoutSec = cfg.getDouble("timeout", 0);
+    ec.jobRetries = static_cast<int>(cfg.getInt("retries", 1));
+    ec.progress = cfg.getBool("progress", false);
+    ec.jsonlPath = cfg.getString("jsonl", "");
 }
 
 inline void

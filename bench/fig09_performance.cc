@@ -28,6 +28,7 @@ main(int argc, char **argv)
         cfg.getInt("benchmarks", 29));
     ec.workloads = workloadSubset(nbench);
     ec.verbose = cfg.getBool("verbose", false);
+    applySweepArgs(ec, cfg);
 
     ExperimentRunner runner(ec);
     auto cells = runner.runMatrix();

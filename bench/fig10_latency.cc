@@ -27,6 +27,7 @@ main(int argc, char **argv)
     ec.instScale = cfg.getDouble("scale", 0.25);
     ec.workloads = workloadSubset(
         static_cast<std::size_t>(cfg.getInt("benchmarks", 8)));
+    applySweepArgs(ec, cfg);
 
     ExperimentRunner runner(ec);
     auto cells = runner.runMatrix();

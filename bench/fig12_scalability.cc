@@ -46,6 +46,7 @@ main(int argc, char **argv)
         ec.tweak = [](SystemConfig &sc) {
             sc.design.mcts.iterationsPerLevel = 300;
         };
+        applySweepArgs(ec, cfg);
         ExperimentRunner runner(ec);
         auto cells = runner.runMatrix();
         auto ipc = [](const RunResult &r) { return r.ipc; };

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * End-to-end multi-threaded sweep over the (scheme x benchmark)
+ * matrix via the src/runner JobPool. Demonstrates every engine
+ * feature: worker fan-out, deterministic results, per-job timeouts
+ * with retry, failed-cell reporting, the progress ticker, and
+ * streaming JSONL export alongside the classic CSV.
+ *
+ * Usage (key=value args):
+ *   sweep [workers=0] [benchmarks=8] [scale=0.2] [seed=1]
+ *         [timeout=0] [retries=1] [progress=1]
+ *         [jsonl=out.jsonl] [csv=out.csv]
+ *         [decorrelate=0] [verify=0]
+ *
+ *   workers=0      use all hardware threads (1 = serial)
+ *   timeout=SEC    per-job wall-clock timeout (0 = off; keeping it
+ *                  off preserves bit-for-bit determinism)
+ *   decorrelate=1  per-cell Rng streams from (seed, scheme, benchmark)
+ *   verify=1       re-run serially and check bit-identical results
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "runner/job_pool.hh"
+#include "sim/experiment.hh"
+
+using namespace eqx;
+
+namespace {
+
+bool
+sameRunResult(const RunResult &a, const RunResult &b)
+{
+    return a.completed == b.completed && a.cycles == b.cycles &&
+           a.execNs == b.execNs && a.totalInsts == b.totalInsts &&
+           a.ipc == b.ipc && a.energyPj == b.energyPj &&
+           a.edp == b.edp && a.areaMm2 == b.areaMm2 &&
+           a.reqQueueNs == b.reqQueueNs && a.reqNetNs == b.reqNetNs &&
+           a.repQueueNs == b.repQueueNs && a.repNetNs == b.repNetNs &&
+           a.reqPackets == b.reqPackets && a.repPackets == b.repPackets &&
+           a.requestBits == b.requestBits && a.replyBits == b.replyBits;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    std::vector<std::string> toks;
+    for (int i = 1; i < argc; ++i)
+        toks.emplace_back(argv[i]);
+    cfg.parseArgs(toks);
+
+    ExperimentConfig ec;
+    ec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    ec.instScale = cfg.getDouble("scale", 0.2);
+    ec.workloads = workloadSubset(
+        static_cast<std::size_t>(cfg.getInt("benchmarks", 8)));
+    ec.workers = static_cast<int>(cfg.getInt("workers", 0));
+    ec.jobTimeoutSec = cfg.getDouble("timeout", 0);
+    ec.jobRetries = static_cast<int>(cfg.getInt("retries", 1));
+    ec.progress = cfg.getBool("progress", true);
+    ec.jsonlPath = cfg.getString("jsonl", "");
+    ec.decorrelateSeeds = cfg.getBool("decorrelate", false);
+
+    int workers = resolveWorkerCount(ec.workers);
+    std::printf("sweep: %zu benchmarks x %zu schemes = %zu cells on "
+                "%d worker%s\n",
+                ec.workloads.size(), ec.schemes.size(),
+                ec.workloads.size() * ec.schemes.size(), workers,
+                workers == 1 ? "" : "s");
+
+    auto t0 = std::chrono::steady_clock::now();
+    ExperimentRunner runner(ec);
+    auto cells = runner.runMatrix();
+    auto t1 = std::chrono::steady_clock::now();
+    double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+    std::size_t failed = 0;
+    double cpu_ms = 0;
+    for (const auto &c : cells) {
+        failed += c.failed ? 1u : 0u;
+        cpu_ms += c.wallMs;
+        if (c.failed)
+            std::printf("  FAILED %s/%s after %d attempt(s)%s%s\n",
+                        c.benchmark.c_str(), schemeName(c.scheme),
+                        c.attempts, c.error.empty() ? "" : ": ",
+                        c.error.c_str());
+    }
+    std::printf("sweep finished in %.2f s wall (%.2f s of simulation "
+                "across workers, %.2fx concurrency), %zu/%zu cells "
+                "failed\n",
+                wall_s, cpu_ms / 1000.0,
+                wall_s > 0 ? cpu_ms / 1000.0 / wall_s : 0.0, failed,
+                cells.size());
+
+    if (cfg.has("csv")) {
+        writeCellsCsv(cells, cfg.getString("csv"));
+        std::printf("wrote %s\n", cfg.getString("csv").c_str());
+    }
+    if (!ec.jsonlPath.empty())
+        std::printf("streamed %zu JSONL records to %s\n", cells.size(),
+                    ec.jsonlPath.c_str());
+
+    printNormalizedTable(cells, ec.schemes, "execution time",
+                         [](const RunResult &r) { return r.execNs; },
+                         Scheme::SingleBase);
+
+    if (cfg.getBool("verify", false)) {
+        std::printf("\nverify: re-running serially...\n");
+        ExperimentConfig serial = ec;
+        serial.workers = 1;
+        serial.progress = false;
+        serial.jsonlPath.clear();
+        ExperimentRunner ref(serial);
+        auto ref_cells = ref.runMatrix();
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (!sameRunResult(cells[i].result, ref_cells[i].result))
+                ++mismatches;
+        std::printf("verify: %zu/%zu cells bit-identical to serial\n",
+                    cells.size() - mismatches, cells.size());
+        return mismatches ? 1 : 0;
+    }
+    return failed ? 1 : 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulation jobs. A
+ * CancelToken is shared between the party that may abort the work
+ * (e.g. the JobPool watchdog) and the work itself (System::step polls
+ * it once per core cycle). Cancellation is advisory: the job observes
+ * the flag and winds down at a safe point, so no locks are held and
+ * no state is torn.
+ */
+
+#ifndef EQX_COMMON_CANCEL_HH
+#define EQX_COMMON_CANCEL_HH
+
+#include <atomic>
+
+namespace eqx {
+
+/** A resettable, thread-safe cancellation flag. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation (any thread). */
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    /** Has cancellation been requested? Cheap enough to poll per cycle. */
+    bool cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token (between retry attempts of the same job). */
+    void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+} // namespace eqx
+
+#endif // EQX_COMMON_CANCEL_HH

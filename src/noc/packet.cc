@@ -1,12 +1,18 @@
 #include "noc/packet.hh"
 
+#include <atomic>
+
 namespace eqx {
 
 std::uint64_t
 nextPacketId()
 {
-    static std::uint64_t id = 0;
-    return ++id;
+    // Atomic so concurrent System runs (JobPool workers) can allocate
+    // ids without racing. Ids are debugging handles only — no
+    // simulation decision reads them — so the cross-run interleaving
+    // does not affect determinism of results.
+    static std::atomic<std::uint64_t> id{0};
+    return id.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 PacketPtr

@@ -73,7 +73,7 @@ struct Credit
     int vc = 0;
 };
 
-/** Process-wide packet id allocator (monotonic, not thread safe). */
+/** Process-wide packet id allocator (monotonic, thread safe). */
 std::uint64_t nextPacketId();
 
 /** Convenience constructor. */

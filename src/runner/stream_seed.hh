@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic per-job seed derivation. Every sweep cell that wants
+ * its own decorrelated Rng stream hashes (base seed, tags...) through
+ * this instead of forking a shared generator — forking would make the
+ * stream depend on job *execution order*, which a thread pool does
+ * not preserve, whereas hashing the cell's identity is order-free.
+ */
+
+#ifndef EQX_RUNNER_STREAM_SEED_HH
+#define EQX_RUNNER_STREAM_SEED_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace eqx {
+
+namespace detail {
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace detail
+
+/** Absorb one string tag (FNV-1a over bytes, then avalanche). */
+constexpr std::uint64_t
+seedAbsorb(std::uint64_t state, std::string_view tag)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    for (char c : tag) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL; // FNV prime
+    }
+    return detail::mix64(state ^ detail::mix64(h + 0x9e3779b97f4a7c15ULL));
+}
+
+/** Absorb one integer tag. */
+constexpr std::uint64_t
+seedAbsorb(std::uint64_t state, std::uint64_t tag)
+{
+    return detail::mix64(state ^ detail::mix64(tag + 0x9e3779b97f4a7c15ULL));
+}
+
+/**
+ * Derive the seed of one job's private Rng stream from the sweep's
+ * base seed and the job's identity tags, e.g.
+ *   deriveStreamSeed(seed, schemeName(s), profile.name)
+ * Same inputs always give the same seed; any tag change decorrelates.
+ */
+template <typename... Tags>
+constexpr std::uint64_t
+deriveStreamSeed(std::uint64_t base, Tags &&...tags)
+{
+    std::uint64_t state = detail::mix64(base ^ 0x6a09e667f3bcc909ULL);
+    ((state = seedAbsorb(state, std::forward<Tags>(tags))), ...);
+    return state;
+}
+
+} // namespace eqx
+
+#endif // EQX_RUNNER_STREAM_SEED_HH

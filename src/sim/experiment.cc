@@ -3,9 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "runner/jsonl.hh"
+#include "runner/stream_seed.hh"
 
 namespace eqx {
 
@@ -49,12 +52,17 @@ ExperimentRunner::makeSystemConfig(Scheme scheme) const
 }
 
 RunResult
-ExperimentRunner::runOne(Scheme scheme, const WorkloadProfile &profile)
+ExperimentRunner::runOne(Scheme scheme, const WorkloadProfile &profile,
+                         const CancelToken *cancel)
 {
     SystemConfig sc = makeSystemConfig(scheme);
+    sc.cancel = cancel;
     // The tweak hook may have pinned its own design (ablations do).
     if (scheme == Scheme::EquiNox && !sc.preDesign)
         sc.preDesign = &equinoxDesign();
+    if (cfg_.decorrelateSeeds)
+        sc.seed =
+            deriveStreamSeed(cfg_.seed, schemeName(scheme), profile.name);
 
     WorkloadProfile wp = profile;
     wp.instsPerPe = static_cast<std::uint64_t>(
@@ -69,15 +77,97 @@ ExperimentRunner::runOne(Scheme scheme, const WorkloadProfile &profile)
 std::vector<CellResult>
 ExperimentRunner::runMatrix()
 {
-    std::vector<CellResult> cells;
-    for (const auto &wp : cfg_.workloads) {
-        for (Scheme s : cfg_.schemes) {
-            if (cfg_.verbose)
-                eqx_inform("running ", wp.name, " on ", schemeName(s));
-            cells.push_back({s, wp.name, runOne(s, wp)});
-        }
+    // Flatten the matrix in the canonical order (workload-major,
+    // scheme-minor); the pool may execute cells in any order, but
+    // every job writes only its own pre-assigned slot, so the
+    // returned vector is invariant to scheduling.
+    struct CellRef
+    {
+        const WorkloadProfile *wp;
+        Scheme scheme;
+    };
+    std::vector<CellRef> order;
+    for (const auto &wp : cfg_.workloads)
+        for (Scheme s : cfg_.schemes)
+            order.push_back({&wp, s});
+
+    std::vector<CellResult> cells(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        cells[i].scheme = order[i].scheme;
+        cells[i].benchmark = order[i].wp->name;
     }
+
+    // The shared EquiNox design is lazily cached and must be built
+    // before the fan-out (jobs only ever read it). Skip when a tweak
+    // hook pins its own design — the cache would go unused.
+    bool wants_equinox = false;
+    for (Scheme s : cfg_.schemes)
+        wants_equinox |= s == Scheme::EquiNox;
+    if (wants_equinox && !makeSystemConfig(Scheme::EquiNox).preDesign)
+        equinoxDesign();
+
+    std::unique_ptr<JsonlWriter> jsonl;
+    if (!cfg_.jsonlPath.empty())
+        jsonl = std::make_unique<JsonlWriter>(cfg_.jsonlPath);
+
+    JobPoolConfig pc;
+    pc.workers = cfg_.workers;
+    pc.timeoutSec = cfg_.jobTimeoutSec;
+    pc.retries = cfg_.jobRetries;
+    pc.progressEveryMs = cfg_.progress ? 200 : 0;
+    pc.progressLabel = "sweep";
+    pc.onJobDone = [&](std::size_t i, const JobReport &rep) {
+        CellResult &cell = cells[i];
+        cell.failed = !rep.ok();
+        cell.attempts = rep.attempts;
+        cell.wallMs = rep.wallMs;
+        cell.error = rep.error;
+        if (jsonl)
+            jsonl->write(cellJsonRecord(cell));
+    };
+
+    JobPool pool(pc);
+    pool.run(order.size(), [&](const JobContext &ctx) {
+        const CellRef &ref = order[ctx.index];
+        if (cfg_.verbose)
+            eqx_inform("running ", ref.wp->name, " on ",
+                       schemeName(ref.scheme));
+        cells[ctx.index].result =
+            runOne(ref.scheme, *ref.wp, ctx.cancel);
+        return cells[ctx.index].result.completed;
+    });
     return cells;
+}
+
+std::string
+cellJsonRecord(const CellResult &c)
+{
+    const RunResult &r = c.result;
+    JsonObject o;
+    o.field("benchmark", c.benchmark)
+        .field("scheme", schemeName(c.scheme))
+        .field("failed", c.failed)
+        .field("attempts", c.attempts)
+        .field("wall_ms", c.wallMs);
+    if (!c.error.empty())
+        o.field("error", c.error);
+    o.field("completed", r.completed)
+        .field("cycles", static_cast<std::uint64_t>(r.cycles))
+        .field("exec_ns", r.execNs)
+        .field("total_insts", r.totalInsts)
+        .field("ipc", r.ipc)
+        .field("energy_pj", r.energyPj)
+        .field("edp", r.edp)
+        .field("area_mm2", r.areaMm2)
+        .field("req_queue_ns", r.reqQueueNs)
+        .field("req_net_ns", r.reqNetNs)
+        .field("rep_queue_ns", r.repQueueNs)
+        .field("rep_net_ns", r.repNetNs)
+        .field("req_packets", r.reqPackets)
+        .field("rep_packets", r.repPackets)
+        .field("request_bits", r.requestBits)
+        .field("reply_bits", r.replyBits);
+    return o.str();
 }
 
 void

@@ -3,6 +3,12 @@
  * Experiment runner shared by the bench harness: runs scheme x
  * benchmark matrices with a cached EquiNox design, and formats the
  * normalized tables the paper's figures report.
+ *
+ * The matrix executes on the src/runner JobPool: every (scheme,
+ * benchmark) cell is an independent simulation job, so `workers` > 1
+ * runs cells concurrently. Results are bit-for-bit identical for any
+ * worker count (see DESIGN.md "Parallel sweep engine") as long as
+ * the wall-clock timeout is disabled.
  */
 
 #ifndef EQX_SIM_EXPERIMENT_HH
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/job_pool.hh"
 #include "sim/system.hh"
 
 namespace eqx {
@@ -22,6 +29,15 @@ struct CellResult
     Scheme scheme;
     std::string benchmark;
     RunResult result;
+
+    // Job-engine outcome for this cell. `failed` cells carry whatever
+    // partial RunResult the final attempt produced; sweeps report
+    // them instead of aborting. wallMs is observability only — it is
+    // machine/load dependent and excluded from determinism claims.
+    bool failed = false;
+    int attempts = 1;
+    double wallMs = 0;
+    std::string error;
 };
 
 /** Configuration of a full experiment matrix. */
@@ -36,8 +52,28 @@ struct ExperimentConfig
     /** Scale factor on instsPerPe (benches shrink runs for speed). */
     double instScale = 1.0;
     bool verbose = false;
-    /** Applied to every per-run SystemConfig before construction. */
+    /** Applied to every per-run SystemConfig before construction.
+     *  Must be thread-safe when workers != 1 (called concurrently). */
     std::function<void(SystemConfig &)> tweak;
+
+    // ---- Parallel sweep engine (src/runner) ----
+    /** Worker threads; 1 = serial, 0 = hardware concurrency. */
+    int workers = 1;
+    /** Per-attempt wall-clock timeout in seconds (0 = off). Enabling
+     *  it trades the bit-determinism guarantee for robustness. */
+    double jobTimeoutSec = 0;
+    /** Retries after a non-completed attempt (timeout/maxCycles). */
+    int jobRetries = 1;
+    /** Emit a stderr progress ticker while the matrix runs. */
+    bool progress = false;
+    /** Stream one JSONL record per completed cell to this path. */
+    std::string jsonlPath;
+    /** Give each cell a private Rng stream derived from
+     *  (seed, scheme, benchmark) instead of the shared base seed.
+     *  Off by default: the paper's scheme comparison wants identical
+     *  traces across schemes; design-space data generation wants
+     *  statistically independent cells. */
+    bool decorrelateSeeds = false;
 };
 
 /** Runs the matrix; caches the EquiNox design across benchmarks. */
@@ -49,10 +85,15 @@ class ExperimentRunner
     /** The (cached) EquiNox design used for every EquiNox run. */
     const EquiNoxDesign &equinoxDesign();
 
-    /** Run one cell. */
-    RunResult runOne(Scheme scheme, const WorkloadProfile &profile);
+    /** Run one cell (optionally under a cancellation token). */
+    RunResult runOne(Scheme scheme, const WorkloadProfile &profile,
+                     const CancelToken *cancel = nullptr);
 
-    /** Run every (scheme, workload) pair. */
+    /**
+     * Run every (scheme, workload) pair through the job pool.
+     * Cell order is always workload-major, scheme-minor, independent
+     * of scheduling. Failed cells are reported in-place.
+     */
     std::vector<CellResult> runMatrix();
 
     const ExperimentConfig &config() const { return cfg_; }
@@ -64,6 +105,9 @@ class ExperimentRunner
     EquiNoxDesign design_;
     bool designBuilt_ = false;
 };
+
+/** One cell as a flat JSON object (the sweep JSONL record schema). */
+std::string cellJsonRecord(const CellResult &cell);
 
 /**
  * Print a benchmark x scheme table of metric values normalized to

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "core/design_flow.hh"
 #include "gpu/cache_bank.hh"
 #include "gpu/pe.hh"
@@ -72,6 +73,13 @@ struct SystemConfig
     DesignParams design; ///< used when preDesign is null
 
     Cycle maxCycles = 2'000'000; ///< runaway guard
+
+    /**
+     * Optional cooperative cancellation (JobPool timeout watchdog).
+     * Polled once per core cycle in System::step; a cancelled run
+     * winds down at the next cycle boundary with completed == false.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 } // namespace eqx

@@ -392,6 +392,11 @@ System::buildEndpoints(const WorkloadProfile &profile)
 void
 System::step()
 {
+    // Cooperative cancellation: one relaxed load per core cycle is
+    // noise next to ticking every router, and lets the JobPool
+    // watchdog stop a runaway job at a cycle boundary.
+    if (cfg_.cancel && cfg_.cancel->cancelled())
+        cancelled_ = true;
     ++cycle_;
     for (auto &net : nets_)
         net->coreTick(cycle_);
@@ -476,12 +481,15 @@ System::collect(RunResult &out) const
 RunResult
 System::run()
 {
-    while (!finished() && cycle_ < cfg_.maxCycles)
+    while (!finished() && !cancelled_ && cycle_ < cfg_.maxCycles)
         step();
     RunResult out;
     out.completed = finished();
     collect(out);
-    if (!out.completed)
+    if (cancelled_)
+        eqx_warn("system run cancelled at cycle ", cycle_, " (",
+                 schemeName(cfg_.scheme), ")");
+    else if (!out.completed)
         eqx_warn("system run hit maxCycles=", cfg_.maxCycles,
                  " before draining (", schemeName(cfg_.scheme), ")");
     return out;

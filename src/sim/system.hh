@@ -74,6 +74,9 @@ class System
     bool finished() const;
     Cycle now() const { return cycle_; }
 
+    /** Has the configured CancelToken fired? (latched by step()). */
+    bool cancelled() const { return cancelled_; }
+
     /** NoC area of this scheme instance (no simulation needed). */
     double areaMm2() const;
 
@@ -113,6 +116,7 @@ class System
     std::vector<PacketSink *> tileSinks_; ///< tile id -> endpoint
 
     Cycle cycle_ = 0;
+    bool cancelled_ = false;
 };
 
 } // namespace eqx

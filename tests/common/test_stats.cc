@@ -61,6 +61,54 @@ TEST(RunningStat, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 3.0);
 }
 
+// Parallel-reduction coverage: merging per-worker accumulators must
+// behave like one stream regardless of which side is empty and (up to
+// fp tolerance) of merge order.
+
+TEST(RunningStat, MergeEmptyIntoFullPreservesEverything)
+{
+    RunningStat full, empty;
+    for (double x : {1.0, -2.5, 7.75, 0.25})
+        full.add(x);
+    RunningStat before = full;
+    full.merge(empty);
+    EXPECT_EQ(full.count(), before.count());
+    EXPECT_DOUBLE_EQ(full.mean(), before.mean());
+    EXPECT_DOUBLE_EQ(full.variance(), before.variance());
+    EXPECT_DOUBLE_EQ(full.min(), before.min());
+    EXPECT_DOUBLE_EQ(full.max(), before.max());
+}
+
+TEST(RunningStat, MergeFullIntoEmptyEqualsCopy)
+{
+    RunningStat full, empty;
+    for (double x : {4.0, 8.0, -1.0})
+        full.add(x);
+    empty.merge(full);
+    EXPECT_EQ(empty.count(), full.count());
+    EXPECT_DOUBLE_EQ(empty.mean(), full.mean());
+    EXPECT_DOUBLE_EQ(empty.variance(), full.variance());
+    EXPECT_DOUBLE_EQ(empty.min(), full.min());
+    EXPECT_DOUBLE_EQ(empty.max(), full.max());
+}
+
+TEST(RunningStat, MergeCommutativeWithinTolerance)
+{
+    RunningStat a1, b1, a2, b2;
+    for (int i = 0; i < 40; ++i) {
+        double x = i * 1.37 - 11.0;
+        (i % 3 ? a1 : b1).add(x);
+        (i % 3 ? a2 : b2).add(x);
+    }
+    a1.merge(b1); // a ∪ b
+    b2.merge(a2); // b ∪ a
+    EXPECT_EQ(a1.count(), b2.count());
+    EXPECT_NEAR(a1.mean(), b2.mean(), 1e-12);
+    EXPECT_NEAR(a1.variance(), b2.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a1.min(), b2.min());
+    EXPECT_DOUBLE_EQ(a1.max(), b2.max());
+}
+
 TEST(Histogram, BucketsAndOverflow)
 {
     Histogram h(10.0, 5); // [0,50) + overflow
@@ -117,6 +165,41 @@ TEST(StatGroup, MergeAdds)
     a.merge(b);
     EXPECT_DOUBLE_EQ(a.get("x"), 3);
     EXPECT_DOUBLE_EQ(a.get("y"), 5);
+}
+
+TEST(StatGroup, MergeEmptyEitherDirection)
+{
+    StatGroup full, empty;
+    full.inc("pkts", 12);
+    full.set("ipc", 0.75);
+
+    StatGroup copy = full;
+    copy.merge(empty); // empty-into-full: unchanged
+    EXPECT_DOUBLE_EQ(copy.get("pkts"), 12);
+    EXPECT_DOUBLE_EQ(copy.get("ipc"), 0.75);
+    EXPECT_EQ(copy.all().size(), full.all().size());
+
+    empty.merge(full); // full-into-empty: exact copy
+    EXPECT_DOUBLE_EQ(empty.get("pkts"), 12);
+    EXPECT_DOUBLE_EQ(empty.get("ipc"), 0.75);
+    EXPECT_EQ(empty.all().size(), full.all().size());
+}
+
+TEST(StatGroup, MergeCommutative)
+{
+    StatGroup a1, b1, a2, b2;
+    a1.inc("x", 1.5);
+    a1.inc("y", 2.0);
+    b1.inc("y", 3.0);
+    b1.inc("z", 4.25);
+    a2 = a1;
+    b2 = b1;
+
+    a1.merge(b1); // a ∪ b
+    b2.merge(a2); // b ∪ a
+    EXPECT_EQ(a1.all().size(), b2.all().size());
+    for (const auto &[k, v] : a1.all())
+        EXPECT_NEAR(v, b2.get(k), 1e-12) << k;
 }
 
 TEST(Geomean, Basics)

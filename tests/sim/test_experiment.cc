@@ -111,6 +111,144 @@ TEST(Experiment, CsvExportBadPathIsFatal)
                  std::runtime_error);
 }
 
+bool
+sameRunResult(const RunResult &a, const RunResult &b)
+{
+    // Bit-for-bit: every field compared with ==, no tolerance.
+    return a.completed == b.completed && a.cycles == b.cycles &&
+           a.execNs == b.execNs && a.totalInsts == b.totalInsts &&
+           a.ipc == b.ipc && a.energyPj == b.energyPj &&
+           a.energy.buffer == b.energy.buffer &&
+           a.energy.crossbar == b.energy.crossbar &&
+           a.energy.allocators == b.energy.allocators &&
+           a.energy.links == b.energy.links &&
+           a.energy.interposerLinks == b.energy.interposerLinks &&
+           a.energy.leakage == b.energy.leakage && a.edp == b.edp &&
+           a.areaMm2 == b.areaMm2 && a.reqQueueNs == b.reqQueueNs &&
+           a.reqNetNs == b.reqNetNs && a.repQueueNs == b.repQueueNs &&
+           a.repNetNs == b.repNetNs && a.reqPackets == b.reqPackets &&
+           a.repPackets == b.repPackets &&
+           a.requestBits == b.requestBits && a.replyBits == b.replyBits;
+}
+
+ExperimentConfig
+smallMatrix()
+{
+    // A 4x4 matrix (4 schemes x 4 workloads) that avoids the
+    // expensive EquiNox design flow — determinism of the pool is
+    // what's under test, not the design search.
+    ExperimentConfig ec;
+    ec.workloads = workloadSubset(4);
+    ec.instScale = 0.04;
+    ec.schemes = {Scheme::SingleBase, Scheme::VcMono,
+                  Scheme::SeparateBase, Scheme::MultiPort};
+    return ec;
+}
+
+TEST(Experiment, ParallelMatrixBitIdenticalToSerial)
+{
+    ExperimentConfig serial = smallMatrix();
+    serial.workers = 1;
+    ExperimentConfig parallel = smallMatrix();
+    parallel.workers = 8;
+
+    ExperimentRunner rs(serial), rp(parallel);
+    auto cs = rs.runMatrix();
+    auto cp = rp.runMatrix();
+
+    ASSERT_EQ(cs.size(), 16u);
+    ASSERT_EQ(cp.size(), cs.size());
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        EXPECT_EQ(cs[i].scheme, cp[i].scheme) << i;
+        EXPECT_EQ(cs[i].benchmark, cp[i].benchmark) << i;
+        EXPECT_TRUE(sameRunResult(cs[i].result, cp[i].result))
+            << cs[i].benchmark << "/" << schemeName(cs[i].scheme);
+    }
+}
+
+TEST(Experiment, DecorrelatedSeedsChangeResultsDeterministically)
+{
+    ExperimentConfig base = smallMatrix();
+    base.workloads = workloadSubset(1);
+    base.schemes = {Scheme::SingleBase};
+
+    ExperimentConfig dec = base;
+    dec.decorrelateSeeds = true;
+    dec.workers = 4;
+    ExperimentConfig dec_serial = base;
+    dec_serial.decorrelateSeeds = true;
+
+    ExperimentRunner rb(base), rd(dec), rds(dec_serial);
+    auto cb = rb.runMatrix();
+    auto cd = rd.runMatrix();
+    auto cds = rds.runMatrix();
+    // A different stream seed gives a different (but still
+    // deterministic and worker-count-independent) run.
+    EXPECT_FALSE(sameRunResult(cb[0].result, cd[0].result));
+    EXPECT_TRUE(sameRunResult(cd[0].result, cds[0].result));
+}
+
+TEST(Experiment, TimedOutCellReportedNotFatal)
+{
+    ExperimentConfig ec = smallMatrix();
+    ec.workloads = workloadSubset(1);
+    ec.schemes = {Scheme::SingleBase};
+    ec.instScale = 50.0;       // far too much work for the timeout
+    ec.jobTimeoutSec = 0.05;
+    ec.jobRetries = 1;
+    ec.workers = 2;
+    ExperimentRunner runner(ec);
+    auto cells = runner.runMatrix();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].failed);
+    EXPECT_FALSE(cells[0].result.completed);
+    EXPECT_EQ(cells[0].attempts, 2);
+}
+
+TEST(Experiment, JsonlStreamsOneRecordPerCell)
+{
+    std::string path = ::testing::TempDir() + "eqx_cells.jsonl";
+    ExperimentConfig ec = smallMatrix();
+    ec.workloads = workloadSubset(2);
+    ec.schemes = {Scheme::SingleBase, Scheme::SeparateBase};
+    ec.workers = 4;
+    ec.jsonlPath = path;
+    ExperimentRunner runner(ec);
+    auto cells = runner.runMatrix();
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[2048];
+    int rows = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        ++rows;
+        std::string s(line);
+        EXPECT_EQ(s.front(), '{');
+        EXPECT_NE(s.find("\"benchmark\":"), std::string::npos);
+        EXPECT_NE(s.find("\"cycles\":"), std::string::npos);
+        EXPECT_NE(s.find("\"reply_bits\":"), std::string::npos);
+    }
+    std::fclose(f);
+    EXPECT_EQ(rows, static_cast<int>(cells.size()));
+    std::remove(path.c_str());
+}
+
+TEST(Experiment, CellJsonRecordSchema)
+{
+    CellResult c;
+    c.scheme = Scheme::EquiNox;
+    c.benchmark = "bfs";
+    c.result.completed = true;
+    c.result.cycles = 1234;
+    c.result.ipc = 0.5;
+    std::string json = cellJsonRecord(c);
+    EXPECT_NE(json.find("\"scheme\":\"EquiNox\""), std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\":\"bfs\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":1234"), std::string::npos);
+    EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\":false"), std::string::npos);
+}
+
 TEST(Experiment, GeomeanHelper)
 {
     ExperimentRunner runner(quick());
