@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eir_count.dir/abl_eir_count.cc.o"
+  "CMakeFiles/abl_eir_count.dir/abl_eir_count.cc.o.d"
+  "abl_eir_count"
+  "abl_eir_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eir_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

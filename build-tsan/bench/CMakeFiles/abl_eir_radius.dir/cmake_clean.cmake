@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eir_radius.dir/abl_eir_radius.cc.o"
+  "CMakeFiles/abl_eir_radius.dir/abl_eir_radius.cc.o.d"
+  "abl_eir_radius"
+  "abl_eir_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eir_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_many_cbs.dir/abl_many_cbs.cc.o"
+  "CMakeFiles/abl_many_cbs.dir/abl_many_cbs.cc.o.d"
+  "abl_many_cbs"
+  "abl_many_cbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_many_cbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_search_methods.dir/abl_search_methods.cc.o"
+  "CMakeFiles/abl_search_methods.dir/abl_search_methods.cc.o.d"
+  "abl_search_methods"
+  "abl_search_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_search_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

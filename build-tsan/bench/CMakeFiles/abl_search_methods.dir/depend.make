@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_search_methods.
+# This may be replaced when dependencies are built.

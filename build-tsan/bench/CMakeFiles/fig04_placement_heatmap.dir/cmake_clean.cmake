@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_placement_heatmap.dir/fig04_placement_heatmap.cc.o"
+  "CMakeFiles/fig04_placement_heatmap.dir/fig04_placement_heatmap.cc.o.d"
+  "fig04_placement_heatmap"
+  "fig04_placement_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_placement_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

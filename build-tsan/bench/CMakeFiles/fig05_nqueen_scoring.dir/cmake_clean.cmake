@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_nqueen_scoring.dir/fig05_nqueen_scoring.cc.o"
+  "CMakeFiles/fig05_nqueen_scoring.dir/fig05_nqueen_scoring.cc.o.d"
+  "fig05_nqueen_scoring"
+  "fig05_nqueen_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_nqueen_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

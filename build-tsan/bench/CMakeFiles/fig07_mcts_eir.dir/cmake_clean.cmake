@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mcts_eir.dir/fig07_mcts_eir.cc.o"
+  "CMakeFiles/fig07_mcts_eir.dir/fig07_mcts_eir.cc.o.d"
+  "fig07_mcts_eir"
+  "fig07_mcts_eir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mcts_eir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_mcts_eir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_performance.dir/fig09_performance.cc.o"
+  "CMakeFiles/fig09_performance.dir/fig09_performance.cc.o.d"
+  "fig09_performance"
+  "fig09_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

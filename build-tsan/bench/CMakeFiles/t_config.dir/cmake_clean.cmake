@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_config.dir/t_config.cc.o"
+  "CMakeFiles/t_config.dir/t_config.cc.o.d"
+  "t_config"
+  "t_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

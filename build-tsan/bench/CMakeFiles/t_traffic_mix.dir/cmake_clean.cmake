@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_traffic_mix.dir/t_traffic_mix.cc.o"
+  "CMakeFiles/t_traffic_mix.dir/t_traffic_mix.cc.o.d"
+  "t_traffic_mix"
+  "t_traffic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_traffic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

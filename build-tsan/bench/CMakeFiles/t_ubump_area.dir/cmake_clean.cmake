@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_ubump_area.dir/t_ubump_area.cc.o"
+  "CMakeFiles/t_ubump_area.dir/t_ubump_area.cc.o.d"
+  "t_ubump_area"
+  "t_ubump_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_ubump_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

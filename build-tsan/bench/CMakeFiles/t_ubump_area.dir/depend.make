@@ -1,0 +1,2 @@
+# Empty dependencies file for t_ubump_area.
+# This may be replaced when dependencies are built.

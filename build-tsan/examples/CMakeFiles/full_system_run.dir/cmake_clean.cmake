@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system_run.dir/full_system_run.cpp.o"
+  "CMakeFiles/full_system_run.dir/full_system_run.cpp.o.d"
+  "full_system_run"
+  "full_system_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_common.dir/config.cc.o"
+  "CMakeFiles/eqx_common.dir/config.cc.o.d"
+  "CMakeFiles/eqx_common.dir/geometry.cc.o"
+  "CMakeFiles/eqx_common.dir/geometry.cc.o.d"
+  "CMakeFiles/eqx_common.dir/logging.cc.o"
+  "CMakeFiles/eqx_common.dir/logging.cc.o.d"
+  "CMakeFiles/eqx_common.dir/rng.cc.o"
+  "CMakeFiles/eqx_common.dir/rng.cc.o.d"
+  "CMakeFiles/eqx_common.dir/stats.cc.o"
+  "CMakeFiles/eqx_common.dir/stats.cc.o.d"
+  "CMakeFiles/eqx_common.dir/types.cc.o"
+  "CMakeFiles/eqx_common.dir/types.cc.o.d"
+  "libeqx_common.a"
+  "libeqx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

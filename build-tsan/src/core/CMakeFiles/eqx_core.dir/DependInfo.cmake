@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/eqx_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/design_flow.cc" "src/core/CMakeFiles/eqx_core.dir/design_flow.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/design_flow.cc.o.d"
+  "/root/repo/src/core/eir_problem.cc" "src/core/CMakeFiles/eqx_core.dir/eir_problem.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/eir_problem.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/eqx_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/hotzone.cc" "src/core/CMakeFiles/eqx_core.dir/hotzone.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/hotzone.cc.o.d"
+  "/root/repo/src/core/mcts.cc" "src/core/CMakeFiles/eqx_core.dir/mcts.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/mcts.cc.o.d"
+  "/root/repo/src/core/nqueen.cc" "src/core/CMakeFiles/eqx_core.dir/nqueen.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/nqueen.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/eqx_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/eqx_core.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/eqx_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interposer/CMakeFiles/eqx_interposer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

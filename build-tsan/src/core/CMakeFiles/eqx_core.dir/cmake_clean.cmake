@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_core.dir/baselines.cc.o"
+  "CMakeFiles/eqx_core.dir/baselines.cc.o.d"
+  "CMakeFiles/eqx_core.dir/design_flow.cc.o"
+  "CMakeFiles/eqx_core.dir/design_flow.cc.o.d"
+  "CMakeFiles/eqx_core.dir/eir_problem.cc.o"
+  "CMakeFiles/eqx_core.dir/eir_problem.cc.o.d"
+  "CMakeFiles/eqx_core.dir/evaluation.cc.o"
+  "CMakeFiles/eqx_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/eqx_core.dir/hotzone.cc.o"
+  "CMakeFiles/eqx_core.dir/hotzone.cc.o.d"
+  "CMakeFiles/eqx_core.dir/mcts.cc.o"
+  "CMakeFiles/eqx_core.dir/mcts.cc.o.d"
+  "CMakeFiles/eqx_core.dir/nqueen.cc.o"
+  "CMakeFiles/eqx_core.dir/nqueen.cc.o.d"
+  "CMakeFiles/eqx_core.dir/placement.cc.o"
+  "CMakeFiles/eqx_core.dir/placement.cc.o.d"
+  "libeqx_core.a"
+  "libeqx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

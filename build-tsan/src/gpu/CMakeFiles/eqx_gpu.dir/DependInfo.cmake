@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cache_bank.cc" "src/gpu/CMakeFiles/eqx_gpu.dir/cache_bank.cc.o" "gcc" "src/gpu/CMakeFiles/eqx_gpu.dir/cache_bank.cc.o.d"
+  "/root/repo/src/gpu/mshr.cc" "src/gpu/CMakeFiles/eqx_gpu.dir/mshr.cc.o" "gcc" "src/gpu/CMakeFiles/eqx_gpu.dir/mshr.cc.o.d"
+  "/root/repo/src/gpu/pe.cc" "src/gpu/CMakeFiles/eqx_gpu.dir/pe.cc.o" "gcc" "src/gpu/CMakeFiles/eqx_gpu.dir/pe.cc.o.d"
+  "/root/repo/src/gpu/tag_array.cc" "src/gpu/CMakeFiles/eqx_gpu.dir/tag_array.cc.o" "gcc" "src/gpu/CMakeFiles/eqx_gpu.dir/tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/eqx_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/eqx_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/memory/CMakeFiles/eqx_memory.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/eqx_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

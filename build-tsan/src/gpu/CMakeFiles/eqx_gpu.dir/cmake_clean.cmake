@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_gpu.dir/cache_bank.cc.o"
+  "CMakeFiles/eqx_gpu.dir/cache_bank.cc.o.d"
+  "CMakeFiles/eqx_gpu.dir/mshr.cc.o"
+  "CMakeFiles/eqx_gpu.dir/mshr.cc.o.d"
+  "CMakeFiles/eqx_gpu.dir/pe.cc.o"
+  "CMakeFiles/eqx_gpu.dir/pe.cc.o.d"
+  "CMakeFiles/eqx_gpu.dir/tag_array.cc.o"
+  "CMakeFiles/eqx_gpu.dir/tag_array.cc.o.d"
+  "libeqx_gpu.a"
+  "libeqx_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

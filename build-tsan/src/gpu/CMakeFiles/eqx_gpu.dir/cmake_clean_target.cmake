@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeqx_gpu.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interposer/link_plan.cc" "src/interposer/CMakeFiles/eqx_interposer.dir/link_plan.cc.o" "gcc" "src/interposer/CMakeFiles/eqx_interposer.dir/link_plan.cc.o.d"
+  "/root/repo/src/interposer/ubump.cc" "src/interposer/CMakeFiles/eqx_interposer.dir/ubump.cc.o" "gcc" "src/interposer/CMakeFiles/eqx_interposer.dir/ubump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/eqx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

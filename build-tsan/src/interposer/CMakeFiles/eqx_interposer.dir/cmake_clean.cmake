@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_interposer.dir/link_plan.cc.o"
+  "CMakeFiles/eqx_interposer.dir/link_plan.cc.o.d"
+  "CMakeFiles/eqx_interposer.dir/ubump.cc.o"
+  "CMakeFiles/eqx_interposer.dir/ubump.cc.o.d"
+  "libeqx_interposer.a"
+  "libeqx_interposer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_interposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

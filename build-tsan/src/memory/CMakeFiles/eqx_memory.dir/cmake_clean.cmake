@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_memory.dir/hbm.cc.o"
+  "CMakeFiles/eqx_memory.dir/hbm.cc.o.d"
+  "libeqx_memory.a"
+  "libeqx_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeqx_memory.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/network.cc" "src/noc/CMakeFiles/eqx_noc.dir/network.cc.o" "gcc" "src/noc/CMakeFiles/eqx_noc.dir/network.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/noc/CMakeFiles/eqx_noc.dir/network_interface.cc.o" "gcc" "src/noc/CMakeFiles/eqx_noc.dir/network_interface.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/noc/CMakeFiles/eqx_noc.dir/packet.cc.o" "gcc" "src/noc/CMakeFiles/eqx_noc.dir/packet.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/noc/CMakeFiles/eqx_noc.dir/router.cc.o" "gcc" "src/noc/CMakeFiles/eqx_noc.dir/router.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/noc/CMakeFiles/eqx_noc.dir/routing.cc.o" "gcc" "src/noc/CMakeFiles/eqx_noc.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/eqx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_noc.dir/network.cc.o"
+  "CMakeFiles/eqx_noc.dir/network.cc.o.d"
+  "CMakeFiles/eqx_noc.dir/network_interface.cc.o"
+  "CMakeFiles/eqx_noc.dir/network_interface.cc.o.d"
+  "CMakeFiles/eqx_noc.dir/packet.cc.o"
+  "CMakeFiles/eqx_noc.dir/packet.cc.o.d"
+  "CMakeFiles/eqx_noc.dir/router.cc.o"
+  "CMakeFiles/eqx_noc.dir/router.cc.o.d"
+  "CMakeFiles/eqx_noc.dir/routing.cc.o"
+  "CMakeFiles/eqx_noc.dir/routing.cc.o.d"
+  "libeqx_noc.a"
+  "libeqx_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

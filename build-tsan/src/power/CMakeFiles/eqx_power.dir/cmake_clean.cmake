@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_power.dir/power_model.cc.o"
+  "CMakeFiles/eqx_power.dir/power_model.cc.o.d"
+  "libeqx_power.a"
+  "libeqx_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/job_pool.cc" "src/runner/CMakeFiles/eqx_runner.dir/job_pool.cc.o" "gcc" "src/runner/CMakeFiles/eqx_runner.dir/job_pool.cc.o.d"
+  "/root/repo/src/runner/jsonl.cc" "src/runner/CMakeFiles/eqx_runner.dir/jsonl.cc.o" "gcc" "src/runner/CMakeFiles/eqx_runner.dir/jsonl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/eqx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_runner.dir/job_pool.cc.o"
+  "CMakeFiles/eqx_runner.dir/job_pool.cc.o.d"
+  "CMakeFiles/eqx_runner.dir/jsonl.cc.o"
+  "CMakeFiles/eqx_runner.dir/jsonl.cc.o.d"
+  "libeqx_runner.a"
+  "libeqx_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_sim.dir/experiment.cc.o"
+  "CMakeFiles/eqx_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/eqx_sim.dir/scheme.cc.o"
+  "CMakeFiles/eqx_sim.dir/scheme.cc.o.d"
+  "CMakeFiles/eqx_sim.dir/synthetic.cc.o"
+  "CMakeFiles/eqx_sim.dir/synthetic.cc.o.d"
+  "CMakeFiles/eqx_sim.dir/system.cc.o"
+  "CMakeFiles/eqx_sim.dir/system.cc.o.d"
+  "libeqx_sim.a"
+  "libeqx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

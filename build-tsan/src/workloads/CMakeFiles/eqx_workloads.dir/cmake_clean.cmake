@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqx_workloads.dir/profiles.cc.o"
+  "CMakeFiles/eqx_workloads.dir/profiles.cc.o.d"
+  "CMakeFiles/eqx_workloads.dir/trace_gen.cc.o"
+  "CMakeFiles/eqx_workloads.dir/trace_gen.cc.o.d"
+  "libeqx_workloads.a"
+  "libeqx_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqx_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

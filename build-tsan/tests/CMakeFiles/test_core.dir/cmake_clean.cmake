@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_design_flow.cc.o"
+  "CMakeFiles/test_core.dir/core/test_design_flow.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_eir_problem.cc.o"
+  "CMakeFiles/test_core.dir/core/test_eir_problem.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_evaluation.cc.o"
+  "CMakeFiles/test_core.dir/core/test_evaluation.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hotzone.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hotzone.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_nqueen.cc.o"
+  "CMakeFiles/test_core.dir/core/test_nqueen.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_search.cc.o"
+  "CMakeFiles/test_core.dir/core/test_search.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/gpu/test_cache_bank.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_cache_bank.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_mshr.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_mshr.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_pe.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_pe.cc.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_tag_array.cc.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_tag_array.cc.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+  "test_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interposer.dir/interposer/test_link_plan.cc.o"
+  "CMakeFiles/test_interposer.dir/interposer/test_link_plan.cc.o.d"
+  "CMakeFiles/test_interposer.dir/interposer/test_ubump.cc.o"
+  "CMakeFiles/test_interposer.dir/interposer/test_ubump.cc.o.d"
+  "test_interposer"
+  "test_interposer.pdb"
+  "test_interposer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

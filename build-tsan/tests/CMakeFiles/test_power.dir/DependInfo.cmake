@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/test_power_model.cc" "tests/CMakeFiles/test_power.dir/power/test_power_model.cc.o" "gcc" "tests/CMakeFiles/test_power.dir/power/test_power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/eqx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/eqx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/eqx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/memory/CMakeFiles/eqx_memory.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/eqx_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/power/CMakeFiles/eqx_power.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/eqx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interposer/CMakeFiles/eqx_interposer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/eqx_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runner/CMakeFiles/eqx_runner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_schemes.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_schemes.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_smoke.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_smoke.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_synthetic.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_synthetic.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

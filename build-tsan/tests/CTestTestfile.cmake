@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_runner[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_interposer[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_noc[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_memory[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_power[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
