@@ -12,12 +12,17 @@
  *   retries=<n>   retries after a non-completed attempt
  *   progress=1    stderr progress ticker
  *   jsonl=<path>  stream per-cell JSONL records
+ *   warmup=<n>    reset NoC stats at core cycle n (0 = off)
+ *   metrics=1     per-router/per-NI observability snapshot per cell
  */
 
 #ifndef EQX_BENCH_UTIL_HH
 #define EQX_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -46,6 +51,51 @@ applySweepArgs(ExperimentConfig &ec, const Config &cfg)
     ec.jobRetries = static_cast<int>(cfg.getInt("retries", 1));
     ec.progress = cfg.getBool("progress", false);
     ec.jsonlPath = cfg.getString("jsonl", "");
+    ec.warmupCycles = static_cast<Cycle>(cfg.getInt("warmup", 0));
+    ec.collectMetrics = cfg.getBool("metrics", false);
+}
+
+/**
+ * Per-scheme observability digest printed by the matrix benches when
+ * metrics=1: hottest router, credit-stall totals and the measured
+ * max-EIR load next to the MCTS-predicted one.
+ */
+inline void
+printMetricsDigest(const std::vector<CellResult> &cells,
+                   const std::vector<Scheme> &schemes)
+{
+    std::printf("\nobservability digest (metrics=1)\n");
+    std::printf("%-18s %12s %14s %14s %12s\n", "scheme", "hot-router",
+                "hot-flits", "credit-stalls", "max-eir-load");
+    for (Scheme s : schemes) {
+        int hot_router = -1;
+        double hot_flits = 0, stalls = 0;
+        std::uint64_t max_eir = 0;
+        for (const auto &c : cells) {
+            if (c.scheme != s)
+                continue;
+            max_eir = std::max(max_eir, c.result.maxEirLoadPackets);
+            for (const auto &[k, v] : c.result.metrics.all()) {
+                // keys look like "<net>.router.<id>.flits"
+                auto r = k.find(".router.");
+                if (r == std::string::npos)
+                    continue;
+                auto tail = k.substr(r + 8);
+                auto dot = tail.find('.');
+                if (dot == std::string::npos)
+                    continue;
+                if (tail.substr(dot) == ".flits" && v > hot_flits) {
+                    hot_flits = v;
+                    hot_router = std::atoi(tail.c_str());
+                }
+                if (tail.substr(dot) == ".credit_stall")
+                    stalls += v;
+            }
+        }
+        std::printf("%-18s %12d %14.0f %14.0f %12llu\n", schemeName(s),
+                    hot_router, hot_flits, stalls,
+                    static_cast<unsigned long long>(max_eir));
+    }
 }
 
 inline void

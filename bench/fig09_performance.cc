@@ -35,6 +35,8 @@ main(int argc, char **argv)
 
     if (cfg.has("csv"))
         writeCellsCsv(cells, cfg.getString("csv"));
+    if (ec.collectMetrics)
+        printMetricsDigest(cells, ec.schemes);
 
     printNormalizedTable(cells, ec.schemes, "Fig 9(a) execution time",
                          [](const RunResult &r) { return r.execNs; },

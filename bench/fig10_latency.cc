@@ -32,6 +32,32 @@ main(int argc, char **argv)
     ExperimentRunner runner(ec);
     auto cells = runner.runMatrix();
 
+    if (ec.collectMetrics) {
+        printMetricsDigest(cells, ec.schemes);
+        // Tail latency per scheme (ns, averaged over benchmarks).
+        std::printf("\n%-18s %9s %9s %9s %9s %9s %9s\n", "scheme",
+                    "req-p50", "req-p95", "req-p99", "rep-p50",
+                    "rep-p95", "rep-p99");
+        for (Scheme s : ec.schemes) {
+            double p[6] = {0, 0, 0, 0, 0, 0};
+            int n = 0;
+            for (const auto &c : cells) {
+                if (c.scheme != s)
+                    continue;
+                p[0] += c.result.reqP50Ns;
+                p[1] += c.result.reqP95Ns;
+                p[2] += c.result.reqP99Ns;
+                p[3] += c.result.repP50Ns;
+                p[4] += c.result.repP95Ns;
+                p[5] += c.result.repP99Ns;
+                ++n;
+            }
+            std::printf("%-18s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+                        schemeName(s), p[0] / n, p[1] / n, p[2] / n,
+                        p[3] / n, p[4] / n, p[5] / n);
+        }
+    }
+
     // Per-scheme averages over benchmarks (ns per packet).
     std::printf("\n%-18s %10s %10s %10s %10s %10s %8s\n", "scheme",
                 "req-queue", "req-net", "rep-queue", "rep-net", "total",

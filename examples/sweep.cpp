@@ -10,16 +10,23 @@
  *   sweep [workers=0] [benchmarks=8] [scale=0.2] [seed=1]
  *         [timeout=0] [retries=1] [progress=1]
  *         [jsonl=out.jsonl] [csv=out.csv]
- *         [decorrelate=0] [verify=0]
+ *         [decorrelate=0] [verify=0] [warmup=0] [metrics=0]
  *
  *   workers=0      use all hardware threads (1 = serial)
  *   timeout=SEC    per-job wall-clock timeout (0 = off; keeping it
  *                  off preserves bit-for-bit determinism)
  *   decorrelate=1  per-cell Rng streams from (seed, scheme, benchmark)
  *   verify=1       re-run serially and check bit-identical results
+ *   warmup=N       reset NoC stats at core cycle N so latency numbers
+ *                  exclude the cold-start transient
+ *   metrics=1      collect the per-router / per-NI observability
+ *                  snapshot per cell ("m."-prefixed JSONL keys) and
+ *                  print a per-scheme digest
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,7 +49,12 @@ sameRunResult(const RunResult &a, const RunResult &b)
            a.reqQueueNs == b.reqQueueNs && a.reqNetNs == b.reqNetNs &&
            a.repQueueNs == b.repQueueNs && a.repNetNs == b.repNetNs &&
            a.reqPackets == b.reqPackets && a.repPackets == b.repPackets &&
-           a.requestBits == b.requestBits && a.replyBits == b.replyBits;
+           a.requestBits == b.requestBits && a.replyBits == b.replyBits &&
+           a.reqP50Ns == b.reqP50Ns && a.reqP95Ns == b.reqP95Ns &&
+           a.reqP99Ns == b.reqP99Ns && a.repP50Ns == b.repP50Ns &&
+           a.repP95Ns == b.repP95Ns && a.repP99Ns == b.repP99Ns &&
+           a.maxEirLoadPackets == b.maxEirLoadPackets &&
+           a.metrics.all() == b.metrics.all();
 }
 
 } // namespace
@@ -67,6 +79,8 @@ main(int argc, char **argv)
     ec.progress = cfg.getBool("progress", true);
     ec.jsonlPath = cfg.getString("jsonl", "");
     ec.decorrelateSeeds = cfg.getBool("decorrelate", false);
+    ec.warmupCycles = static_cast<Cycle>(cfg.getInt("warmup", 0));
+    ec.collectMetrics = cfg.getBool("metrics", false);
 
     int workers = resolveWorkerCount(ec.workers);
     std::printf("sweep: %zu benchmarks x %zu schemes = %zu cells on "
@@ -110,6 +124,36 @@ main(int argc, char **argv)
     printNormalizedTable(cells, ec.schemes, "execution time",
                          [](const RunResult &r) { return r.execNs; },
                          Scheme::SingleBase);
+
+    if (ec.collectMetrics) {
+        // Per-scheme digest of the observability snapshot: tail
+        // latency and the measured max injection-point (EIR) load.
+        std::printf("\nmetrics digest (warmup=%llu)\n",
+                    static_cast<unsigned long long>(ec.warmupCycles));
+        std::printf("%-18s %10s %10s %10s %12s %10s\n", "scheme",
+                    "rep-p50", "rep-p95", "rep-p99", "max-eir-load",
+                    "m-keys");
+        for (Scheme s : ec.schemes) {
+            double p50 = 0, p95 = 0, p99 = 0;
+            std::uint64_t max_eir = 0;
+            std::size_t keys = 0;
+            int n = 0;
+            for (const auto &c : cells) {
+                if (c.scheme != s)
+                    continue;
+                p50 += c.result.repP50Ns;
+                p95 += c.result.repP95Ns;
+                p99 += c.result.repP99Ns;
+                max_eir =
+                    std::max(max_eir, c.result.maxEirLoadPackets);
+                keys = std::max(keys, c.result.metrics.all().size());
+                ++n;
+            }
+            std::printf("%-18s %10.2f %10.2f %10.2f %12llu %10zu\n",
+                        schemeName(s), p50 / n, p95 / n, p99 / n,
+                        static_cast<unsigned long long>(max_eir), keys);
+        }
+    }
 
     if (cfg.getBool("verify", false)) {
         std::printf("\nverify: re-running serially...\n");

@@ -17,6 +17,7 @@ RunningStat::add(double x)
         max_ = std::max(max_, x);
     }
     ++n_;
+    sum_ += x;
     double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
@@ -37,6 +38,7 @@ RunningStat::merge(const RunningStat &o)
     double nt = na + nb;
     mean_ += delta * nb / nt;
     m2_ += o.m2_ + delta * delta * na * nb / nt;
+    sum_ += o.sum_;
     n_ += o.n_;
     min_ = std::min(min_, o.min_);
     max_ = std::max(max_, o.max_);
@@ -65,8 +67,14 @@ void
 Histogram::add(double x)
 {
     ++total_;
-    if (x < 0)
+    if (!(x >= 0)) // negatives and NaN land in bucket 0
         x = 0;
+    // Range-check as a double before converting: casting a quotient
+    // beyond the size_t range is undefined behaviour.
+    if (x >= width_ * static_cast<double>(buckets_.size())) {
+        ++overflow_;
+        return;
+    }
     auto idx = static_cast<std::size_t>(x / width_);
     if (idx >= buckets_.size())
         ++overflow_;
@@ -86,7 +94,10 @@ Histogram::percentile(double q) const
 {
     if (total_ == 0)
         return 0.0;
-    q = std::clamp(q, 0.0, 1.0);
+    if (!(q > 0.0)) // also catches NaN
+        q = 0.0;
+    else if (q > 1.0)
+        q = 1.0;
     double target = q * static_cast<double>(total_);
     double seen = 0.0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -97,7 +108,28 @@ Histogram::percentile(double q) const
         }
         seen += b;
     }
+    // The quantile falls in the overflow bucket (or every sample
+    // does): the tracked-range upper edge is the tightest bound known.
     return static_cast<double>(buckets_.size()) * width_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    eqx_assert(o.width_ == width_ && o.buckets_.size() == buckets_.size(),
+               "histogram merge needs identical geometry");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    overflow_ += o.overflow_;
+    total_ += o.total_;
 }
 
 void

@@ -35,7 +35,12 @@ class RunningStat
     double stddev() const;
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
-    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+    /**
+     * Exact running sum (carried separately; reconstructing it as
+     * mean * n loses low-order bits over long accumulations, which
+     * packet-weighted latency aggregation is sensitive to).
+     */
+    double sum() const { return sum_; }
 
     void reset();
 
@@ -43,6 +48,7 @@ class RunningStat
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
+    double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
 };
@@ -62,8 +68,18 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     int numBuckets() const { return static_cast<int>(buckets_.size()); }
     double bucketWidth() const { return width_; }
-    /** Value below which fraction q of samples fall (linear interp). */
+    /**
+     * Value below which fraction q of samples fall (linear interp).
+     * Empty histograms report 0; quantiles that land in the overflow
+     * bucket report the tracked-range upper edge (the tightest lower
+     * bound the histogram knows).
+     */
     double percentile(double q) const;
+
+    /** Clear all buckets (same geometry); warmup-phase reset. */
+    void reset();
+    /** Merge a histogram of identical geometry. */
+    void merge(const Histogram &o);
 
   private:
     double width_;

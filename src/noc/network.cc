@@ -216,6 +216,112 @@ Network::residenceVariance() const
     return rs.variance();
 }
 
+void
+Network::resetStats()
+{
+    activity_.reset();
+    latency_.reset();
+    for (auto &r : routers_)
+        r->resetStats();
+    for (auto &ni : nis_)
+        ni->resetStats();
+}
+
+namespace {
+
+/** Stable, human-readable key segment for a router port. */
+std::string
+portLabel(PortKind kind, Dir dir, int nth_of_kind)
+{
+    switch (kind) {
+      case PortKind::Geo:
+        return dirName(dir);
+      case PortKind::LocalInj:
+        return "inj" + std::to_string(nth_of_kind);
+      case PortKind::LocalEj:
+        return "ej" + std::to_string(nth_of_kind);
+      case PortKind::RemoteInj:
+        return "rinj" + std::to_string(nth_of_kind);
+    }
+    return "p" + std::to_string(nth_of_kind);
+}
+
+} // namespace
+
+void
+Network::exportStats(StatGroup &sg, const std::string &prefix) const
+{
+    auto set = [&](const std::string &key, double v) {
+        sg.set(prefix + "." + key, v);
+    };
+
+    // Aggregate activity and per-class latency (ticks).
+    set("act.buffer_writes", static_cast<double>(activity_.bufferWrites));
+    set("act.xbar", static_cast<double>(activity_.xbarTraversals));
+    set("act.link_flits", static_cast<double>(activity_.linkFlits));
+    set("act.interposer_flits",
+        static_cast<double>(activity_.interposerLinkFlits));
+    static const char *cls_name[2] = {"req", "rep"};
+    for (int c = 0; c < 2; ++c) {
+        std::string k = std::string("lat.") + cls_name[c];
+        set(k + ".packets", static_cast<double>(latency_.packets[c]));
+        set(k + ".mean", latency_.totalLat[c].mean());
+        set(k + ".p50", latency_.totalHist[c].percentile(0.50));
+        set(k + ".p95", latency_.totalHist[c].percentile(0.95));
+        set(k + ".p99", latency_.totalHist[c].percentile(0.99));
+    }
+
+    // Per-router counters, ports keyed by direction / kind.
+    for (const auto &rp : routers_) {
+        const Router &r = *rp;
+        std::string rk = "router." + std::to_string(r.id());
+        set(rk + ".flits", static_cast<double>(r.flitsForwarded()));
+        set(rk + ".va_req", static_cast<double>(r.vaRequests()));
+        set(rk + ".va_grant", static_cast<double>(r.vaGrants()));
+        set(rk + ".sa_req", static_cast<double>(r.saRequests()));
+        set(rk + ".sa_grant", static_cast<double>(r.saGrants()));
+        set(rk + ".credit_stall",
+            static_cast<double>(r.creditStallCycles()));
+        set(rk + ".occ_mean", r.vcOccupancy().mean());
+        set(rk + ".residence_mean", r.residenceStat().mean());
+        int nth[4] = {0, 0, 0, 0};
+        for (int p = 0; p < r.numInputPorts(); ++p) {
+            const auto &ip = r.inputPort(p);
+            int k = static_cast<int>(ip.kind);
+            set(rk + ".in." + portLabel(ip.kind, ip.dir, nth[k]++) +
+                    ".flits",
+                static_cast<double>(ip.flitsAccepted));
+        }
+        nth[0] = nth[1] = nth[2] = nth[3] = 0;
+        for (int p = 0; p < r.numOutputPorts(); ++p) {
+            const auto &op = r.outputPort(p);
+            int k = static_cast<int>(op.kind);
+            set(rk + ".out." + portLabel(op.kind, op.dir, nth[k]++) +
+                    ".flits",
+                static_cast<double>(op.flitsSent));
+        }
+    }
+
+    // Per-NI injection-buffer loads. Buffer 0 is always the local
+    // router; EquiNox CB NIs additionally carry one buffer per EIR, so
+    // these keys are the measured per-injection-point loads the MCTS
+    // evaluator predicts.
+    for (const auto &nip : nis_) {
+        const NetworkInterface &ni = *nip;
+        std::string nk = "ni." + std::to_string(ni.node());
+        for (int b = 0; b < ni.numInjBuffers(); ++b) {
+            const auto &buf = ni.injBuffer(b);
+            std::string bk = nk + ".buf" + std::to_string(b);
+            set(bk + ".router", static_cast<double>(buf.targetRouter));
+            set(bk + ".packets",
+                static_cast<double>(buf.packetsInjected));
+            set(bk + ".flits", static_cast<double>(buf.flitsInjected));
+            set(bk + ".stall",
+                static_cast<double>(buf.creditStallTicks));
+        }
+    }
+}
+
 bool
 Network::drained() const
 {

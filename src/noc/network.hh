@@ -75,6 +75,21 @@ class Network
     const LatencyStats &latency() const { return latency_; }
     Cycle currentTick() const { return tick_; }
 
+    /**
+     * Clear every measurement accumulator (activity, latency, per
+     * router, per NI) without touching simulation state; called at the
+     * warmup/measurement boundary so reported stats exclude cold-start
+     * transients.
+     */
+    void resetStats();
+
+    /**
+     * Flatten the per-router / per-port / per-NI observability
+     * counters into @p sg, each key prefixed "<prefix>." (DESIGN.md §9
+     * documents the schema).
+     */
+    void exportStats(StatGroup &sg, const std::string &prefix) const;
+
     /** Per-router mean flit residence (Fig. 4 heat maps). */
     std::vector<double> routerResidenceMeans() const;
     /** Population variance of the per-router residence means. */

@@ -128,6 +128,8 @@ NetworkInterface::tickEjection(Cycle now_ticks)
                 static_cast<double>(f.pkt->networkLatency()));
             latency_->totalLat[c].add(
                 static_cast<double>(f.pkt->totalLatency()));
+            latency_->totalHist[c].add(
+                static_cast<double>(f.pkt->totalLatency()));
             ++latency_->packets[c];
             delivered_.push_back(f.pkt);
         }
@@ -157,11 +159,15 @@ NetworkInterface::serializeBuffer(InjBuffer &b, Cycle now_ticks)
                 break;
             }
         }
-        if (b.vc < 0)
+        if (b.vc < 0) {
+            ++b.creditStallTicks;
             return; // all candidate VCs occupied: retry next tick
+        }
     }
-    if (b.credits[static_cast<std::size_t>(b.vc)] <= 0)
+    if (b.credits[static_cast<std::size_t>(b.vc)] <= 0) {
+        ++b.creditStallTicks;
         return;
+    }
 
     Flit f;
     f.pkt = b.current;
@@ -172,6 +178,7 @@ NetworkInterface::serializeBuffer(InjBuffer &b, Cycle now_ticks)
     if (f.isHead) {
         b.current->cycleInjected = now_ticks;
         b.current->entryRouter = b.targetRouter;
+        ++b.packetsInjected;
         if (isRequest(b.current->type))
             activity_->requestBits += static_cast<std::uint64_t>(
                 b.current->bits);
@@ -179,6 +186,7 @@ NetworkInterface::serializeBuffer(InjBuffer &b, Cycle now_ticks)
             activity_->replyBits += static_cast<std::uint64_t>(
                 b.current->bits);
     }
+    ++b.flitsInjected;
     --b.credits[static_cast<std::size_t>(b.vc)];
     if (b.interposer)
         ++activity_->interposerLinkFlits;
@@ -227,6 +235,16 @@ NetworkInterface::tick(Cycle now_ticks, Cycle core_now)
         delivered_.clear();
     }
     tickInjection(now_ticks);
+}
+
+void
+NetworkInterface::resetStats()
+{
+    for (auto &b : bufs_) {
+        b.packetsInjected = 0;
+        b.flitsInjected = 0;
+        b.creditStallTicks = 0;
+    }
 }
 
 bool

@@ -42,12 +42,35 @@ class PacketSink
 /** Per-class latency accumulators for one network (in network ticks). */
 struct LatencyStats
 {
+    /** Histogram geometry: 4-tick buckets tracking up to 1024 ticks;
+     *  longer latencies land in the overflow bucket and percentiles
+     *  saturate at the range edge. */
+    static constexpr double kHistBucketTicks = 4.0;
+    static constexpr int kHistBuckets = 256;
+
     RunningStat queueLat[2];   ///< [0]=request, [1]=reply
     RunningStat netLat[2];
     RunningStat totalLat[2];
+    /** Per-class total-latency distributions (p50/p95/p99 exports). */
+    Histogram totalHist[2] = {
+        Histogram(kHistBucketTicks, kHistBuckets),
+        Histogram(kHistBucketTicks, kHistBuckets),
+    };
     std::uint64_t packets[2] = {0, 0};
 
     static int classIdx(PacketType t) { return isRequest(t) ? 0 : 1; }
+
+    void
+    reset()
+    {
+        for (int c = 0; c < 2; ++c) {
+            queueLat[c].reset();
+            netLat[c].reset();
+            totalLat[c].reset();
+            totalHist[c].reset();
+            packets[c] = 0;
+        }
+    }
 };
 
 /**
@@ -72,6 +95,13 @@ class NetworkInterface
         int flitsSent = 0;
         int vc = -1;                    ///< granted router input VC
         std::vector<int> credits;       ///< per-VC credits at the port
+
+        // Per-buffer load observability: injected traffic through this
+        // injection point (the simulated analogue of the MCTS
+        // evaluator's per-EIR load), plus ticks spent credit-starved.
+        std::uint64_t packetsInjected = 0;
+        std::uint64_t flitsInjected = 0;
+        std::uint64_t creditStallTicks = 0;
 
         bool
         availableForDispatch() const
@@ -127,6 +157,9 @@ class NetworkInterface
     {
         return bufs_[static_cast<std::size_t>(i)];
     }
+
+    /** Clear per-buffer load counters (warmup boundary). */
+    void resetStats();
 
   protected:
     /**

@@ -65,6 +65,7 @@ Router::acceptFlit(int in_port, Flit f, Cycle now)
     lastSeenClass_[cls] = now;
     seenClass_[cls] = true;
     ip.vcs[static_cast<std::size_t>(f.vc)].push(std::move(f));
+    ++ip.flitsAccepted;
     ++activity_->bufferWrites;
 }
 
@@ -243,6 +244,7 @@ Router::vcAllocStage(Cycle now)
             if (vcb.state != VcState::RouteComputed)
                 continue;
             int rp = -1, rv = -1;
+            ++vaRequests_;
             if (chooseVcRequest(ip, vi, now, rp, rv))
                 vaWants_.push_back(VaWant{pi * v + vi, rp, rv});
         }
@@ -277,6 +279,7 @@ Router::vcAllocStage(Cycle now)
         vcb.outPort = po;
         vcb.outVc = vo;
         op.vcs[static_cast<std::size_t>(vo)].busy = true;
+        ++vaGrants_;
         ++activity_->vaGrants;
     }
 }
@@ -286,6 +289,14 @@ Router::switchAllocStage(Cycle now)
 {
     int v = params_->vcsPerPort;
     int num_in = numInputPorts();
+
+    // SA runs first each tick: sample buffered-flit occupancy here so
+    // the running stat sees exactly one sample per internal tick.
+    int occ = 0;
+    for (const auto &ip : inputs_)
+        for (const auto &vcb : ip.vcs)
+            occ += vcb.occupancy();
+    vcOccupancy_.add(static_cast<double>(occ));
 
     // Phase 1: one candidate VC per input port.
     saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
@@ -297,11 +308,14 @@ Router::switchAllocStage(Cycle now)
             auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
             if (vcb.state != VcState::Active || vcb.empty())
                 continue;
+            ++saRequests_;
             const auto &ovc =
                 outputs_[static_cast<std::size_t>(vcb.outPort)]
                     .vcs[static_cast<std::size_t>(vcb.outVc)];
-            if (ovc.credits <= 0)
+            if (ovc.credits <= 0) {
+                ++creditStallCycles_;
                 continue;
+            }
             scratchReqs_.push_back(vi);
         }
         if (!scratchReqs_.empty()) {
@@ -341,6 +355,8 @@ Router::switchAllocStage(Cycle now)
         Flit f = vcb.pop();
         residence_.add(static_cast<double>(now - f.arrived + 1));
         ++flitsForwarded_;
+        ++saGrants_;
+        ++op.flitsSent;
         ++activity_->bufferReads;
         ++activity_->xbarTraversals;
         ++activity_->saGrants;
@@ -371,6 +387,23 @@ Router::switchAllocStage(Cycle now)
             vcb.release();
         }
     }
+}
+
+void
+Router::resetStats()
+{
+    residence_.reset();
+    vcOccupancy_.reset();
+    flitsForwarded_ = 0;
+    vaRequests_ = 0;
+    vaGrants_ = 0;
+    saRequests_ = 0;
+    saGrants_ = 0;
+    creditStallCycles_ = 0;
+    for (auto &ip : inputs_)
+        ip.flitsAccepted = 0;
+    for (auto &op : outputs_)
+        op.flitsSent = 0;
 }
 
 bool

@@ -63,6 +63,8 @@ struct NetworkActivity
         requestBits += o.requestBits;
         replyBits += o.replyBits;
     }
+
+    void reset() { *this = NetworkActivity{}; }
 };
 
 /** Node-id -> coordinate mapping provided by the owning network. */
@@ -113,6 +115,7 @@ class Router
         std::vector<VcBuffer> vcs;
         Channel<Credit> *creditUp = nullptr; ///< credits back upstream
         RoundRobinArbiter saArb;
+        std::uint64_t flitsAccepted = 0; ///< flits received on this port
     };
 
     struct OutputPort
@@ -124,6 +127,7 @@ class Router
         bool interposer = false;       ///< counts as interposer traversal
         std::vector<RoundRobinArbiter> vaArbs; ///< one per output VC
         RoundRobinArbiter saArb;
+        std::uint64_t flitsSent = 0;   ///< flits driven onto the link
     };
 
     Router(NodeId id, const Topology *topo, const NocParams *params,
@@ -158,6 +162,21 @@ class Router
 
     /** Total flits forwarded through this router. */
     std::uint64_t flitsForwarded() const { return flitsForwarded_; }
+
+    // Per-router observability counters (DESIGN.md §9).
+    /** Input VC nominations the VC allocator saw / granted. */
+    std::uint64_t vaRequests() const { return vaRequests_; }
+    std::uint64_t vaGrants() const { return vaGrants_; }
+    /** Switch-allocator per-VC requests seen / crossings granted. */
+    std::uint64_t saRequests() const { return saRequests_; }
+    std::uint64_t saGrants() const { return saGrants_; }
+    /** (VC, tick) occurrences of an Active VC starved of credits. */
+    std::uint64_t creditStallCycles() const { return creditStallCycles_; }
+    /** Total buffered input flits, sampled once per internal tick. */
+    const RunningStat &vcOccupancy() const { return vcOccupancy_; }
+
+    /** Clear all measurement state (warmup boundary); structure kept. */
+    void resetStats();
 
     /** True if any VC in any input port holds flits (drain check). */
     bool hasBufferedFlits() const;
@@ -195,7 +214,13 @@ class Router
     bool seenClass_[2] = {false, false};
 
     RunningStat residence_;
+    RunningStat vcOccupancy_;
     std::uint64_t flitsForwarded_ = 0;
+    std::uint64_t vaRequests_ = 0;
+    std::uint64_t vaGrants_ = 0;
+    std::uint64_t saRequests_ = 0;
+    std::uint64_t saGrants_ = 0;
+    std::uint64_t creditStallCycles_ = 0;
 
     /** Allocation-free scratch state for the allocator stages. */
     struct VaWant

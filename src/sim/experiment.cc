@@ -46,6 +46,8 @@ ExperimentRunner::makeSystemConfig(Scheme scheme) const
     sc.numCbs = cfg_.numCbs;
     sc.scheme = scheme;
     sc.seed = cfg_.seed;
+    sc.warmupCycles = cfg_.warmupCycles;
+    sc.collectMetrics = cfg_.collectMetrics;
     if (cfg_.tweak)
         cfg_.tweak(sc);
     return sc;
@@ -166,7 +168,19 @@ cellJsonRecord(const CellResult &c)
         .field("req_packets", r.reqPackets)
         .field("rep_packets", r.repPackets)
         .field("request_bits", r.requestBits)
-        .field("reply_bits", r.replyBits);
+        .field("reply_bits", r.replyBits)
+        .field("req_p50_ns", r.reqP50Ns)
+        .field("req_p95_ns", r.reqP95Ns)
+        .field("req_p99_ns", r.reqP99Ns)
+        .field("rep_p50_ns", r.repP50Ns)
+        .field("rep_p95_ns", r.repP95Ns)
+        .field("rep_p99_ns", r.repP99Ns)
+        .field("max_eir_load", r.maxEirLoadPackets);
+    // The observability snapshot rides along "m."-prefixed so schema
+    // consumers can separate the fixed columns from the per-router
+    // keys (present only when metrics collection was enabled).
+    for (const auto &[k, v] : r.metrics.all())
+        o.field("m." + k, v);
     return o.str();
 }
 
@@ -181,12 +195,15 @@ writeCellsCsv(const std::vector<CellResult> &cells,
                  "benchmark,scheme,completed,cycles,exec_ns,total_insts,"
                  "ipc,energy_pj,edp,area_mm2,req_queue_ns,req_net_ns,"
                  "rep_queue_ns,rep_net_ns,req_packets,rep_packets,"
-                 "request_bits,reply_bits\n");
+                 "request_bits,reply_bits,req_p50_ns,req_p95_ns,"
+                 "req_p99_ns,rep_p50_ns,rep_p95_ns,rep_p99_ns,"
+                 "max_eir_load\n");
     for (const auto &c : cells) {
         const RunResult &r = c.result;
         std::fprintf(f,
                      "%s,%s,%d,%llu,%.3f,%llu,%.4f,%.1f,%.6g,%.4f,%.3f,"
-                     "%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu\n",
+                     "%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%.3f,%.3f,"
+                     "%.3f,%.3f,%.3f,%.3f,%llu\n",
                      c.benchmark.c_str(), schemeName(c.scheme),
                      r.completed ? 1 : 0,
                      static_cast<unsigned long long>(r.cycles), r.execNs,
@@ -196,7 +213,11 @@ writeCellsCsv(const std::vector<CellResult> &cells,
                      static_cast<unsigned long long>(r.reqPackets),
                      static_cast<unsigned long long>(r.repPackets),
                      static_cast<unsigned long long>(r.requestBits),
-                     static_cast<unsigned long long>(r.replyBits));
+                     static_cast<unsigned long long>(r.replyBits),
+                     r.reqP50Ns, r.reqP95Ns, r.reqP99Ns, r.repP50Ns,
+                     r.repP95Ns, r.repP99Ns,
+                     static_cast<unsigned long long>(
+                         r.maxEirLoadPackets));
     }
     std::fclose(f);
 }

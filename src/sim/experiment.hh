@@ -52,6 +52,11 @@ struct ExperimentConfig
     /** Scale factor on instsPerPe (benches shrink runs for speed). */
     double instScale = 1.0;
     bool verbose = false;
+    /** NoC stats reset at this core cycle (0 = measure from cycle 0). */
+    Cycle warmupCycles = 0;
+    /** Collect the per-router/per-NI snapshot into each RunResult and
+     *  emit it ("m."-prefixed keys) in JSONL records. */
+    bool collectMetrics = false;
     /** Applied to every per-run SystemConfig before construction.
      *  Must be thread-safe when workers != 1 (called concurrently). */
     std::function<void(SystemConfig &)> tweak;

@@ -75,6 +75,23 @@ struct SystemConfig
     Cycle maxCycles = 2'000'000; ///< runaway guard
 
     /**
+     * Measurement warmup: when > 0, every NoC statistic (latency,
+     * activity, per-router/per-NI counters) is reset at this core
+     * cycle, so reported numbers exclude the cold-start transient.
+     * Packets in flight at the boundary are measured from their
+     * original timestamps; 0 keeps the legacy measure-from-cycle-0
+     * behaviour. Simulation behaviour is unaffected either way.
+     */
+    Cycle warmupCycles = 0;
+
+    /**
+     * Collect the full per-router / per-port / per-NI observability
+     * snapshot into RunResult::metrics (DESIGN.md §9). Off by default:
+     * the snapshot is a few thousand keys per run.
+     */
+    bool collectMetrics = false;
+
+    /**
      * Optional cooperative cancellation (JobPool timeout watchdog).
      * Polled once per core cycle in System::step; a cancelled run
      * winds down at the next cycle boundary with completed == false.

@@ -404,6 +404,16 @@ System::step()
         cb->tick(cycle_);
     for (auto &pe : pes_)
         pe->tick(cycle_);
+    // Warmup/measurement boundary: discard the cold-start transient.
+    if (cfg_.warmupCycles > 0 && cycle_ == cfg_.warmupCycles)
+        resetStats();
+}
+
+void
+System::resetStats()
+{
+    for (auto &net : nets_)
+        net->resetStats();
 }
 
 bool
@@ -476,6 +486,56 @@ System::collect(RunResult &out) const
     out.reqNetNs = rpk ? rn / rpk : 0;
     out.repQueueNs = ppk ? pq / ppk : 0;
     out.repNetNs = ppk ? pn / ppk : 0;
+
+    // Total-latency percentiles: merge the per-network tick histograms
+    // per class. Every network carrying a given class runs at the same
+    // clock ratio in all seven schemes (DA2Mesh subnets are uniformly
+    // 2.5x), so one tick->ns factor per class is exact.
+    for (int c = 0; c < 2; ++c) {
+        Histogram merged(LatencyStats::kHistBucketTicks,
+                         LatencyStats::kHistBuckets);
+        double tick_ns = 0;
+        for (const auto &net : nets_) {
+            if (net->latency().packets[c] == 0)
+                continue;
+            merged.merge(net->latency().totalHist[c]);
+            if (tick_ns == 0)
+                tick_ns = 1.0 / (freq * net->params().clockRatio());
+        }
+        double p50 = merged.percentile(0.50) * tick_ns;
+        double p95 = merged.percentile(0.95) * tick_ns;
+        double p99 = merged.percentile(0.99) * tick_ns;
+        if (c == 0) {
+            out.reqP50Ns = p50;
+            out.reqP95Ns = p95;
+            out.reqP99Ns = p99;
+        } else {
+            out.repP50Ns = p50;
+            out.repP95Ns = p95;
+            out.repP99Ns = p99;
+        }
+    }
+
+    // Measured max per-injection-point load of the EquiNox reply
+    // network (the simulated check of the MCTS evaluator's maxLoad):
+    // max over every NI injection buffer, local ports included. Only
+    // CB NIs inject replies, so PE-side buffers contribute zero.
+    if (cfg_.scheme == Scheme::EquiNox && nets_.size() > 1) {
+        const Network &rep = *nets_[1];
+        for (NodeId n = 0; n < rep.topology().numNodes(); ++n) {
+            const NetworkInterface &ni = rep.ni(n);
+            for (int b = 0; b < ni.numInjBuffers(); ++b)
+                out.maxEirLoadPackets =
+                    std::max(out.maxEirLoadPackets,
+                             ni.injBuffer(b).packetsInjected);
+        }
+    }
+
+    if (cfg_.collectMetrics) {
+        out.metrics.reset();
+        for (const auto &net : nets_)
+            net->exportStats(out.metrics, net->params().name);
+    }
 }
 
 RunResult

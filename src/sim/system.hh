@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "gpu/cache_bank.hh"
 #include "gpu/endpoint.hh"
@@ -47,6 +48,26 @@ struct RunResult
     std::uint64_t requestBits = 0;
     std::uint64_t replyBits = 0;
 
+    // Total-latency percentiles per class (ns), from the per-network
+    // histograms; 0 when the class saw no packets.
+    double reqP50Ns = 0, reqP95Ns = 0, reqP99Ns = 0;
+    double repP50Ns = 0, repP95Ns = 0, repP99Ns = 0;
+
+    /**
+     * Heaviest injection point of the EquiNox reply network: max over
+     * every CB NI injection buffer (local + EIRs) of packets injected.
+     * The measured counterpart of the MCTS evaluator's maxLoad metric;
+     * 0 for non-EquiNox schemes.
+     */
+    std::uint64_t maxEirLoadPackets = 0;
+
+    /**
+     * Full observability snapshot (per-router, per-port, per-NI-buffer
+     * counters, DESIGN.md §9); populated only when
+     * SystemConfig::collectMetrics is set.
+     */
+    StatGroup metrics;
+
     double totalLatencyNs() const
     {
         return reqQueueNs + reqNetNs + repQueueNs + repNetNs;
@@ -73,6 +94,14 @@ class System
     void step();
     bool finished() const;
     Cycle now() const { return cycle_; }
+
+    /**
+     * Reset every NoC measurement accumulator (propagates through the
+     * networks to routers, NIs, latency and activity stats). step()
+     * invokes this automatically when the configured warmupCycles
+     * boundary is crossed; exposed for tests and custom drivers.
+     */
+    void resetStats();
 
     /** Has the configured CancelToken fired? (latched by step()). */
     bool cancelled() const { return cancelled_; }

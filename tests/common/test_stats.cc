@@ -109,6 +109,51 @@ TEST(RunningStat, MergeCommutativeWithinTolerance)
     EXPECT_DOUBLE_EQ(a1.max(), b2.max());
 }
 
+TEST(RunningStat, SumMatchesDirectSummation)
+{
+    // The sum must be carried explicitly: reconstructing it as
+    // mean * n drifts away from left-to-right summation over long
+    // accumulations with a large offset, which is exactly the shape of
+    // multi-million-cycle latency totals.
+    RunningStat s;
+    double direct = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        double x = 1.0e9 + 0.1 * (i % 97);
+        s.add(x);
+        direct += x;
+    }
+    EXPECT_DOUBLE_EQ(s.sum(), direct); // bit-identical, not just NEAR
+}
+
+TEST(RunningStat, MergedSumIsExactSumOfParts)
+{
+    RunningStat a, b;
+    double da = 0.0, db = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        double x = 7.0e7 + 0.25 * (i % 13);
+        if (i % 2) {
+            a.add(x);
+            da += x;
+        } else {
+            b.add(x);
+            db += x;
+        }
+    }
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.sum(), da + db);
+}
+
+TEST(RunningStat, ResetClearsSum)
+{
+    RunningStat s;
+    s.add(42.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    s.add(1.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 1.5);
+}
+
 TEST(Histogram, BucketsAndOverflow)
 {
     Histogram h(10.0, 5); // [0,50) + overflow
@@ -142,6 +187,101 @@ TEST(Histogram, PercentileMonotonic)
     EXPECT_LT(p50, p90);
     EXPECT_NEAR(p50, 50.0, 2.0);
     EXPECT_NEAR(p90, 90.0, 2.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(1.0, 8);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileExtremeQuantiles)
+{
+    Histogram h(1.0, 10);
+    for (int i = 2; i < 7; ++i) // samples in buckets 2..6
+        h.add(i + 0.5);
+    // q=0: lower edge of the first populated bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+    // q=1: upper edge of the last populated bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.0);
+    // Out-of-range q clamps rather than extrapolating.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.3), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(1.7), h.percentile(1.0));
+}
+
+TEST(Histogram, AllOverflowSaturatesAtRangeEdge)
+{
+    Histogram h(2.0, 4); // tracked range [0, 8)
+    h.add(100);
+    h.add(1000);
+    EXPECT_EQ(h.overflow(), 2u);
+    // Every quantile reports the tightest known lower bound: the
+    // tracked-range upper edge.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+}
+
+TEST(Histogram, PartialOverflowQuantilesSplitAtBoundary)
+{
+    Histogram h(1.0, 4); // [0, 4)
+    h.add(0.5);
+    h.add(1.5);
+    h.add(100); // overflow
+    h.add(200); // overflow
+    // p25 lands inside the tracked range; p99 in the overflow tail.
+    EXPECT_LT(h.percentile(0.25), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0);
+}
+
+TEST(Histogram, HugeValueCountsAsOverflowSafely)
+{
+    // Values whose bucket quotient exceeds the size_t range must land
+    // in overflow (the unpatched cast was undefined behaviour).
+    Histogram h(1.0, 4);
+    h.add(1.0e300);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NanLandsInBucketZero)
+{
+    Histogram h(1.0, 4);
+    h.add(std::nan(""));
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, ResetClearsCountsKeepsGeometry)
+{
+    Histogram h(2.5, 6);
+    for (int i = 0; i < 10; ++i)
+        h.add(i * 3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (int i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 2.5);
+    EXPECT_EQ(h.numBuckets(), 6);
+    h.add(1.0);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(1.0, 4), b(1.0, 4);
+    a.add(0.5);
+    a.add(10); // overflow
+    b.add(0.7);
+    b.add(2.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.bucket(0), 2u);
+    EXPECT_EQ(a.bucket(2), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
 }
 
 TEST(StatGroup, IncSetGet)

@@ -258,5 +258,73 @@ TEST(Network, TooSmallMeshRejected)
     EXPECT_THROW(Network net(spec), std::logic_error);
 }
 
+TEST(Network, ExportStatsCoversRoutersPortsAndNis)
+{
+    Network net(meshSpec(4, 4));
+    TestSink sink;
+    net.setSink(15, &sink);
+    Cycle clock = 0;
+    auto pkt = makePacket(PacketType::ReadRequest, 0, 15, 128);
+    ASSERT_TRUE(net.inject(0, pkt));
+    runCycles(net, clock, 60);
+    ASSERT_EQ(sink.delivered.size(), 1u);
+
+    StatGroup sg;
+    net.exportStats(sg, "t");
+    EXPECT_GT(sg.get("t.act.link_flits"), 0.0);
+    EXPECT_DOUBLE_EQ(sg.get("t.lat.req.packets"), 1.0);
+    EXPECT_GT(sg.get("t.lat.req.p50"), 0.0);
+    // The source router forwarded the packet's flits: port-level
+    // accounting must agree with the router-level total.
+    EXPECT_GT(sg.get("t.router.0.flits"), 0.0);
+    EXPECT_EQ(sg.get("t.router.0.in.inj0.flits"),
+              sg.get("t.router.0.flits"));
+    // (0,0) -> (3,3) under XY leaves router 0 eastward.
+    EXPECT_EQ(sg.get("t.router.0.out.E.flits"),
+              sg.get("t.router.0.flits"));
+    // Allocator accounting: grants never exceed requests.
+    EXPECT_GT(sg.get("t.router.0.sa_grant"), 0.0);
+    EXPECT_GE(sg.get("t.router.0.sa_req"),
+              sg.get("t.router.0.sa_grant"));
+    EXPECT_GE(sg.get("t.router.0.va_req"),
+              sg.get("t.router.0.va_grant"));
+    // NI buffer 0 injected the whole packet.
+    EXPECT_DOUBLE_EQ(sg.get("t.ni.0.buf0.packets"), 1.0);
+    EXPECT_GT(sg.get("t.ni.0.buf0.flits"), 0.0);
+}
+
+TEST(Network, ResetStatsClearsEveryCounter)
+{
+    Network net(meshSpec(4, 4));
+    TestSink sink;
+    net.setSink(15, &sink);
+    Cycle clock = 0;
+    auto pkt = makePacket(PacketType::ReadRequest, 0, 15, 128);
+    ASSERT_TRUE(net.inject(0, pkt));
+    runCycles(net, clock, 60);
+    ASSERT_TRUE(net.drained());
+
+    net.resetStats();
+    StatGroup sg;
+    net.exportStats(sg, "t");
+    for (const auto &[key, val] : sg.all()) {
+        // ".router" keys are wiring (the buffer's target router id),
+        // not counters; everything else must read zero after a reset.
+        if (key.size() > 7 && key.compare(key.size() - 7, 7, ".router") == 0)
+            continue;
+        EXPECT_EQ(val, 0.0) << key;
+    }
+
+    // The network keeps working after a reset and repopulates stats.
+    auto pkt2 = makePacket(PacketType::ReadRequest, 0, 15, 128);
+    ASSERT_TRUE(net.inject(0, pkt2));
+    runCycles(net, clock, 60);
+    EXPECT_EQ(sink.delivered.size(), 2u);
+    StatGroup sg2;
+    net.exportStats(sg2, "t");
+    EXPECT_DOUBLE_EQ(sg2.get("t.lat.req.packets"), 1.0);
+    EXPECT_GT(sg2.get("t.act.link_flits"), 0.0);
+}
+
 } // namespace
 } // namespace eqx

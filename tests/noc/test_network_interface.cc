@@ -162,6 +162,109 @@ TEST(MultiPortNiTest, RoundRobinSkipsFullBuffers)
     EXPECT_EQ(ni.selectBuffer(pkt), -1);
 }
 
+TEST_F(EquiNoxNiTest, QuadrantRoundRobinAlternatesStrictly)
+{
+    // Over many dispatches to the same quadrant, the two eligible EIRs
+    // must alternate strictly (the paper's Buffer Selection 1 policy),
+    // not drift toward one of them.
+    int picks[2] = {0, 0};
+    int prev = -1;
+    for (int i = 0; i < 20; ++i) {
+        int b = ni->selectBuffer(replyTo({6, 6}));
+        ASSERT_TRUE(b == 1 || b == 3);
+        EXPECT_NE(b, prev);
+        prev = b;
+        ++picks[b == 1 ? 0 : 1];
+    }
+    EXPECT_EQ(picks[0], 10);
+    EXPECT_EQ(picks[1], 10);
+}
+
+TEST_F(EquiNoxNiTest, OppositeQuadrantsUseDisjointEirPairs)
+{
+    // North-west quadrant: only the west (2) and north (4) EIRs lie on
+    // shortest paths; the pair must be disjoint from the south-east
+    // pair {1, 3}.
+    for (int i = 0; i < 4; ++i) {
+        int b = ni->selectBuffer(replyTo({1, 1}));
+        EXPECT_TRUE(b == 2 || b == 4) << b;
+    }
+}
+
+TEST(MultiPortNiTest, RoundRobinFairUnderPermanentlyFullBuffer)
+{
+    // One buffer stays full; the remaining buffers must split the
+    // dispatch stream evenly (no starvation, no bias).
+    Topology topo(4, 4);
+    NocParams params;
+    NetworkActivity act;
+    LatencyStats lat;
+    ExposedNi<MultiPortNi> ni(0, &topo, &params, &act, &lat);
+    std::vector<std::unique_ptr<Channel<Flit>>> chans;
+    for (int i = 0; i < 3; ++i) {
+        chans.push_back(std::make_unique<Channel<Flit>>(1));
+        ni.addInjBuffer(1, chans.back().get(), 0, false);
+    }
+    ni.occupy(0); // buffer 0 full for the whole test
+
+    auto pkt = makePacket(PacketType::ReadReply, 0, 5, 640);
+    int picked[3] = {0, 0, 0};
+    for (int i = 0; i < 40; ++i) {
+        int b = ni.selectBuffer(pkt);
+        ASSERT_TRUE(b == 1 || b == 2) << b;
+        ++picked[b];
+        // Nothing is enqueued, so buffers 1 and 2 stay free; only the
+        // round-robin pointer advances between queries.
+    }
+    EXPECT_EQ(picked[0], 0);
+    EXPECT_EQ(picked[1], 20);
+    EXPECT_EQ(picked[2], 20);
+}
+
+TEST(NiInjection, PerBufferLoadCountersTrackInjection)
+{
+    Topology topo(4, 4);
+    NocParams params;
+    NetworkActivity act;
+    LatencyStats lat;
+    BasicNi ni(0, &topo, &params, &act, &lat);
+    Channel<Flit> ch(1);
+    ni.addInjBuffer(1, &ch, 0, false);
+    auto pkt = makePacket(PacketType::ReadReply, 0, 5, 640); // 5 flits
+    ASSERT_TRUE(ni.inject(pkt, 0));
+    Cycle t = 0;
+    for (int i = 0; i < 10; ++i)
+        ni.tick(++t, t);
+    EXPECT_EQ(ni.injBuffer(0).packetsInjected, 1u);
+    EXPECT_EQ(ni.injBuffer(0).flitsInjected, 5u);
+
+    ni.resetStats();
+    EXPECT_EQ(ni.injBuffer(0).packetsInjected, 0u);
+    EXPECT_EQ(ni.injBuffer(0).flitsInjected, 0u);
+    EXPECT_EQ(ni.injBuffer(0).creditStallTicks, 0u);
+}
+
+TEST(NiInjection, CreditStallTicksCountStarvation)
+{
+    Topology topo(4, 4);
+    NocParams params;
+    params.vcDepthFlits = 2;
+    NetworkActivity act;
+    LatencyStats lat;
+    BasicNi ni(0, &topo, &params, &act, &lat);
+    Channel<Flit> ch(1);
+    ni.addInjBuffer(1, &ch, 0, false);
+    // 640 bits = 5 flits but only 2 credits and nobody returns them:
+    // after the buffer drains its credits, every further tick stalls.
+    auto pkt = makePacket(PacketType::ReadReply, 0, 5, 640);
+    ASSERT_TRUE(ni.inject(pkt, 0));
+    Cycle t = 0;
+    for (int i = 0; i < 10; ++i)
+        ni.tick(++t, t);
+    EXPECT_EQ(ni.injBuffer(0).flitsInjected, 2u);
+    EXPECT_GE(ni.injBuffer(0).creditStallTicks, 6u);
+}
+
 TEST(NiInjection, SerializesAndStampsPacket)
 {
     Topology topo(4, 4);

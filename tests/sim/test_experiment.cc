@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "sim/experiment.hh"
 
 namespace eqx {
@@ -230,6 +233,64 @@ TEST(Experiment, JsonlStreamsOneRecordPerCell)
     }
     std::fclose(f);
     EXPECT_EQ(rows, static_cast<int>(cells.size()));
+    std::remove(path.c_str());
+}
+
+TEST(Experiment, JsonlCarriesMetricsWhenEnabled)
+{
+    std::string path = ::testing::TempDir() + "eqx_metrics.jsonl";
+    ExperimentConfig ec = quick();
+    ec.workloads = workloadSubset(1);
+    ec.schemes = {Scheme::EquiNox};
+    ec.collectMetrics = true;
+    ec.warmupCycles = 10;
+    ec.jsonlPath = path;
+    ExperimentRunner runner(ec);
+    auto cells = runner.runMatrix();
+    ASSERT_EQ(cells.size(), 1u);
+    ASSERT_TRUE(cells[0].result.completed);
+
+    // Metrics lines run to tens of kilobytes: read whole lines.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    int rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        EXPECT_NE(line.find("\"req_p50_ns\":"), std::string::npos);
+        EXPECT_NE(line.find("\"rep_p99_ns\":"), std::string::npos);
+        EXPECT_NE(line.find("\"max_eir_load\":"), std::string::npos);
+        // Snapshot keys ride along under the "m." prefix.
+        EXPECT_NE(line.find("\"m.reply.act.link_flits\":"),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"m.reply.router.0.flits\":"),
+                  std::string::npos);
+        EXPECT_NE(line.find(".buf0.packets\":"), std::string::npos);
+    }
+    in.close();
+    EXPECT_EQ(rows, 1);
+    std::remove(path.c_str());
+}
+
+TEST(Experiment, MetricsOffKeepsJsonlLean)
+{
+    std::string path = ::testing::TempDir() + "eqx_lean.jsonl";
+    ExperimentConfig ec = smallMatrix();
+    ec.workloads = workloadSubset(1);
+    ec.schemes = {Scheme::SingleBase};
+    ec.jsonlPath = path;
+    ExperimentRunner runner(ec);
+    runner.runMatrix();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    // Scalar percentile columns are always present; the bulky "m."
+    // snapshot only appears with collectMetrics.
+    EXPECT_NE(line.find("\"req_p50_ns\":"), std::string::npos);
+    EXPECT_EQ(line.find("\"m."), std::string::npos);
+    in.close();
     std::remove(path.c_str());
 }
 
