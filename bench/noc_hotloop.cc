@@ -1,0 +1,158 @@
+/**
+ * @file
+ * NoC hot-loop runner: times the network-cycle kernels (idle meshes
+ * and a loaded 8x8 mesh) under the activity-driven tick scheduler and
+ * under the exhaustive fallback loop, and writes the before/after
+ * comparison to BENCH_noc_hotloop.json. The CI perf-smoke job uploads
+ * that file so scheduler regressions are visible per commit.
+ *
+ * Arguments:
+ *   out=<path>     output JSON (default BENCH_noc_hotloop.json)
+ *   min_time=<s>   minimum measured wall time per kernel (default 0.2)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "noc/network.hh"
+
+namespace eqx {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct KernelResult
+{
+    std::string name;
+    double beforeNs = 0; ///< ns per core cycle, exhaustive loop
+    double afterNs = 0;  ///< ns per core cycle, activity scheduler
+    double itemsPerSec = 0; ///< node-cycles per second, after
+};
+
+/**
+ * Run @p fn (one core cycle per call) until at least @p min_time
+ * seconds have been measured, growing the batch geometrically so the
+ * timing overhead amortises. Returns ns per call.
+ */
+template <typename F>
+double
+timeKernel(F &&fn, double min_time)
+{
+    std::uint64_t iters = 0;
+    double elapsed = 0;
+    std::uint64_t batch = 64;
+    while (elapsed < min_time) {
+        auto t0 = Clock::now();
+        for (std::uint64_t i = 0; i < batch; ++i)
+            fn();
+        auto t1 = Clock::now();
+        elapsed += std::chrono::duration<double>(t1 - t0).count();
+        iters += batch;
+        if (batch < (std::uint64_t{1} << 30))
+            batch *= 2;
+    }
+    return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+double
+idleKernel(int side, bool exhaustive, double min_time)
+{
+    NetworkSpec spec;
+    spec.params.width = spec.params.height = side;
+    spec.params.exhaustiveTick = exhaustive;
+    Network net(spec);
+    Cycle clock = 0;
+    return timeKernel([&] { net.coreTick(++clock); }, min_time);
+}
+
+double
+loadedKernel(bool exhaustive, double min_time)
+{
+    NetworkSpec spec;
+    spec.params.width = spec.params.height = 8;
+    spec.params.exhaustiveTick = exhaustive;
+    Network net(spec);
+    Rng rng(1);
+    Cycle clock = 0;
+    return timeKernel(
+        [&] {
+            for (NodeId n = 0; n < 64; ++n) {
+                if (!rng.chance(0.05))
+                    continue;
+                NodeId d = static_cast<NodeId>(rng.nextBounded(64));
+                if (d != n)
+                    net.inject(
+                        n, makePacket(PacketType::ReadReply, n, d, 640));
+            }
+            net.coreTick(++clock);
+        },
+        min_time);
+}
+
+} // namespace
+} // namespace eqx
+
+int
+main(int argc, char **argv)
+{
+    using namespace eqx;
+    Config cfg = parseBenchArgs(argc, argv);
+    std::string out = cfg.getString("out", "BENCH_noc_hotloop.json");
+    double min_time = cfg.getDouble("min_time", 0.2);
+
+    printHeader("NoC hot-loop before/after",
+                "activity-driven tick scheduling (DESIGN.md #10)");
+
+    std::vector<KernelResult> results;
+    for (int side : {8, 16}) {
+        KernelResult r;
+        r.name = "network_cycle_idle_" + std::to_string(side) + "x" +
+                 std::to_string(side);
+        r.beforeNs = idleKernel(side, /*exhaustive=*/true, min_time);
+        r.afterNs = idleKernel(side, /*exhaustive=*/false, min_time);
+        r.itemsPerSec = side * side * 1e9 / r.afterNs;
+        results.push_back(r);
+    }
+    {
+        KernelResult r;
+        r.name = "network_cycle_loaded_8x8";
+        r.beforeNs = loadedKernel(/*exhaustive=*/true, min_time);
+        r.afterNs = loadedKernel(/*exhaustive=*/false, min_time);
+        r.itemsPerSec = 64 * 1e9 / r.afterNs;
+        results.push_back(r);
+    }
+
+    std::printf("%-26s %14s %14s %9s\n", "kernel", "before ns/cyc",
+                "after ns/cyc", "speedup");
+    for (const auto &r : results)
+        std::printf("%-26s %14.1f %14.1f %8.2fx\n", r.name.c_str(),
+                    r.beforeNs, r.afterNs, r.beforeNs / r.afterNs);
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"noc_hotloop\",\n  \"kernels\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", "
+                     "\"before_ns_per_cycle\": %.3f, "
+                     "\"after_ns_per_cycle\": %.3f, "
+                     "\"speedup\": %.3f, "
+                     "\"items_per_second\": %.0f}%s\n",
+                     r.name.c_str(), r.beforeNs, r.afterNs,
+                     r.beforeNs / r.afterNs, r.itemsPerSec,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

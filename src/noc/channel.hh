@@ -1,20 +1,35 @@
 /**
  * @file
  * Fixed-latency pipelined channels for flits and credits. A channel
- * accepts at most one item per tick and delivers it latency ticks
- * later; interposer channels carry multi-hop spans in one tick.
+ * accepts at most one item per tick (enforced by send()) and delivers
+ * it latency ticks later; interposer channels carry multi-hop spans in
+ * one tick.
  */
 
 #ifndef EQX_NOC_CHANNEL_HH
 #define EQX_NOC_CHANNEL_HH
 
-#include <deque>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 
 namespace eqx {
+
+/**
+ * Receives due-tick notifications from channels so the owner can
+ * visit only channels that actually hold arrivals (the network's
+ * pending-wire event wheel) instead of scanning every wire per tick.
+ */
+class ChannelScheduler
+{
+  public:
+    virtual ~ChannelScheduler() = default;
+    /** The channel tagged @p tag has an item arriving at tick @p due. */
+    virtual void channelDue(std::uint32_t tag, Cycle due) = 0;
+};
 
 /**
  * Pipelined point-to-point channel. T is Flit or Credit. The owner
@@ -25,37 +40,96 @@ template <typename T>
 class Channel
 {
   public:
-    explicit Channel(int latency = 1) : latency_(latency)
+    explicit Channel(int latency = 1)
+        : latency_(latency), buf_(static_cast<std::size_t>(latency) + 1)
     {
         eqx_assert(latency >= 1, "channel latency must be >= 1");
+    }
+
+    /**
+     * Attach the owner's delivery scheduler; every send() then posts
+     * one (tag, arrival-tick) event. Unscheduled channels (unit tests,
+     * exhaustive-tick networks) behave exactly as before.
+     */
+    void
+    setScheduler(ChannelScheduler *sched, std::uint32_t tag)
+    {
+        sched_ = sched;
+        tag_ = tag;
     }
 
     /** Enqueue an item at tick @p now; it arrives at now + latency. */
     void
     send(T item, Cycle now)
     {
-        inflight_.emplace_back(now + static_cast<Cycle>(latency_),
-                               std::move(item));
+        // A physical link carries one item per tick. The event wheel
+        // also relies on this: one send per (channel, tick) means one
+        // due event per (channel, tick).
+        eqx_assert(lastSendTick_ == kNeverSent || now > lastSendTick_,
+                   "channel accepts at most one send per tick (tick ",
+                   now, ")");
+        lastSendTick_ = now;
+        if (count_ == buf_.size())
+            grow();
+        std::size_t slot = head_ + count_;
+        if (slot >= buf_.size())
+            slot -= buf_.size();
+        buf_[slot].first = now + static_cast<Cycle>(latency_);
+        buf_[slot].second = std::move(item);
+        ++count_;
+        if (sched_)
+            sched_->channelDue(tag_, now + static_cast<Cycle>(latency_));
     }
 
     /** Pop the next item that has arrived by tick @p now, if any. */
     bool
     receive(Cycle now, T &out)
     {
-        if (inflight_.empty() || inflight_.front().first > now)
+        if (count_ == 0 || buf_[head_].first > now)
             return false;
-        out = std::move(inflight_.front().second);
-        inflight_.pop_front();
+        out = std::move(buf_[head_].second);
+        if (++head_ == buf_.size())
+            head_ = 0;
+        --count_;
         return true;
     }
 
-    bool empty() const { return inflight_.empty(); }
-    std::size_t inflightCount() const { return inflight_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t inflightCount() const { return count_; }
     int latency() const { return latency_; }
 
   private:
+    static constexpr Cycle kNeverSent = ~static_cast<Cycle>(0);
+
+    /**
+     * Double the in-flight ring, preserving FIFO order. A drained-each-
+     * tick channel never exceeds `latency` items, so the initial sizing
+     * makes this cold; only tests that batch sends without receiving
+     * ever grow.
+     */
+    void
+    grow()
+    {
+        std::vector<std::pair<Cycle, T>> bigger(
+            buf_.empty() ? 4 : buf_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i) {
+            std::size_t src = head_ + i;
+            if (src >= buf_.size())
+                src -= buf_.size();
+            bigger[i] = std::move(buf_[src]);
+        }
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
     int latency_;
-    std::deque<std::pair<Cycle, T>> inflight_;
+    Cycle lastSendTick_ = kNeverSent;
+    ChannelScheduler *sched_ = nullptr;
+    std::uint32_t tag_ = 0;
+    /** FIFO ring of (arrival tick, item), `count_` live from `head_`. */
+    std::vector<std::pair<Cycle, T>> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
 } // namespace eqx

@@ -1,5 +1,8 @@
 #include "noc/network.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace eqx {
@@ -20,11 +23,14 @@ Network::Network(const NetworkSpec &spec)
         routers_.push_back(
             std::make_unique<Router>(i, &topo_, &params_, &activity_));
 
+    int max_chan_lat = 1;
     auto newFlitChan = [&](int latency) {
+        max_chan_lat = std::max(max_chan_lat, latency);
         flitChans_.push_back(std::make_unique<Channel<Flit>>(latency));
         return flitChans_.back().get();
     };
     auto newCreditChan = [&](int latency) {
+        max_chan_lat = std::max(max_chan_lat, latency);
         creditChans_.push_back(std::make_unique<Channel<Credit>>(latency));
         return creditChans_.back().get();
     };
@@ -128,6 +134,31 @@ Network::Network(const NetworkSpec &spec)
             ++remoteInjPorts_;
         }
     }
+
+    // ---- Activity-driven scheduling state (DESIGN.md §10) ----
+    std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+    activeRouters_.assign(words, 0);
+    activeNis_.assign(words, 0);
+    pendingWheel_.assign(static_cast<std::size_t>(max_chan_lat) + 1,
+                         {});
+
+    if (!params_.exhaustiveTick) {
+        // Tag every channel with its wire id and attach the pending
+        // wheel. Wire ids flatten the four wire vectors in order;
+        // exhaustive networks skip this and keep scanning.
+        std::uint32_t tag = 0;
+        for (auto &w : routerFlitWires_)
+            w.chan->setScheduler(this, tag++);
+        niFlitBase_ = tag;
+        for (auto &w : niFlitWires_)
+            w.chan->setScheduler(this, tag++);
+        routerCreditBase_ = tag;
+        for (auto &w : routerCreditWires_)
+            w.chan->setScheduler(this, tag++);
+        niCreditBase_ = tag;
+        for (auto &w : niCreditWires_)
+            w.chan->setScheduler(this, tag++);
+    }
 }
 
 void
@@ -140,11 +171,93 @@ Network::coreTick(Cycle core_cycle)
         internalTick();
 }
 
+namespace {
+
+/**
+ * Visit set bits of a word array in ascending index order, re-reading
+ * each word live so bits set *during* the walk (e.g. an NI activated
+ * by a synchronous sink injection) at positions not yet passed are
+ * visited this tick — exactly what the exhaustive loop would do.
+ * Bits set at already-passed positions stay set and run next tick.
+ */
+template <typename F>
+inline void
+forEachSetBitLive(std::vector<std::uint64_t> &words, F &&f)
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t processed = 0;
+        for (;;) {
+            std::uint64_t pending = words[w] & ~processed;
+            if (!pending)
+                break;
+            int b = std::countr_zero(pending);
+            processed |= std::uint64_t{1} << b;
+            f((w << 6) + static_cast<std::size_t>(b));
+        }
+    }
+}
+
+} // namespace
+
 void
 Network::internalTick()
 {
+    if (params_.exhaustiveTick) {
+        internalTickExhaustive();
+        return;
+    }
     ++tick_;
     deliver();
+    // The three stage passes reproduce the exhaustive order (all SA,
+    // then all VA, then all RC, ascending router id). The router
+    // active set cannot grow during the passes — flits only arrive in
+    // deliver() — so one snapshot-free walk per stage is exact.
+    forEachSetBitLive(activeRouters_, [&](std::size_t i) {
+        routers_[i]->switchAllocStage(tick_);
+    });
+    forEachSetBitLive(activeRouters_, [&](std::size_t i) {
+        routers_[i]->vcAllocStage(tick_);
+    });
+    forEachSetBitLive(activeRouters_, [&](std::size_t i) {
+        routers_[i]->routeComputeStage(tick_);
+    });
+    // Deregister routers that drained this tick: no buffered flits
+    // means SA/VA/RC are provably no-ops until the next acceptFlit.
+    for (std::size_t w = 0; w < activeRouters_.size(); ++w) {
+        std::uint64_t m = activeRouters_[w];
+        while (m) {
+            int b = std::countr_zero(m);
+            m &= m - 1;
+            std::size_t i = (w << 6) + static_cast<std::size_t>(b);
+            if (!routers_[i]->hasBufferedFlits())
+                activeRouters_[w] &= ~(std::uint64_t{1} << b);
+        }
+    }
+    // NI pass with inline deregistration: an idle NI (nothing queued,
+    // mid-serialization, delivered or awaiting reassembly) is a no-op
+    // until inject()/acceptEjectedFlit() re-activates it.
+    for (std::size_t w = 0; w < activeNis_.size(); ++w) {
+        std::uint64_t processed = 0;
+        for (;;) {
+            std::uint64_t pending = activeNis_[w] & ~processed;
+            if (!pending)
+                break;
+            int b = std::countr_zero(pending);
+            std::uint64_t bit = std::uint64_t{1} << b;
+            processed |= bit;
+            auto &ni = nis_[(w << 6) + static_cast<std::size_t>(b)];
+            ni->tick(tick_, coreCycle_);
+            if (ni->idle())
+                activeNis_[w] &= ~bit;
+        }
+    }
+}
+
+void
+Network::internalTickExhaustive()
+{
+    ++tick_;
+    deliverExhaustive();
     for (auto &r : routers_)
         r->switchAllocStage(tick_);
     for (auto &r : routers_)
@@ -156,7 +269,58 @@ Network::internalTick()
 }
 
 void
+Network::channelDue(std::uint32_t tag, Cycle due)
+{
+    // One send per (channel, tick) — enforced by Channel::send — means
+    // one event per (channel, tick): slots never hold duplicates.
+    pendingWheel_[due % pendingWheel_.size()].push_back(tag);
+}
+
+void
+Network::deliverWire(std::uint32_t wire)
+{
+    if (wire < niFlitBase_) {
+        auto &w = routerFlitWires_[wire];
+        Flit f;
+        while (w.chan->receive(tick_, f))
+            routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+                w.port, std::move(f), tick_);
+        markRouterActive(w.router);
+    } else if (wire < routerCreditBase_) {
+        auto &w = niFlitWires_[wire - niFlitBase_];
+        Flit f;
+        while (w.chan->receive(tick_, f))
+            nis_[static_cast<std::size_t>(w.ni)]->acceptEjectedFlit(
+                w.ejPort, std::move(f));
+        markNiActive(w.ni);
+    } else if (wire < niCreditBase_) {
+        auto &w = routerCreditWires_[wire - routerCreditBase_];
+        Credit c;
+        while (w.chan->receive(tick_, c))
+            routers_[static_cast<std::size_t>(w.router)]->creditArrived(
+                w.port, c.vc);
+        // Credits alone create no router work: no activation.
+    } else {
+        auto &w = niCreditWires_[wire - niCreditBase_];
+        Credit c;
+        while (w.chan->receive(tick_, c))
+            nis_[static_cast<std::size_t>(w.ni)]->creditArrived(w.buf,
+                                                                c.vc);
+        // A credit-stalled NI is non-idle and already active.
+    }
+}
+
+void
 Network::deliver()
+{
+    auto &slot = pendingWheel_[tick_ % pendingWheel_.size()];
+    for (std::uint32_t wire : slot)
+        deliverWire(wire);
+    slot.clear();
+}
+
+void
+Network::deliverExhaustive()
 {
     Flit f;
     for (auto &w : routerFlitWires_)
@@ -182,7 +346,10 @@ bool
 Network::inject(NodeId node, const PacketPtr &pkt)
 {
     eqx_assert(node >= 0 && node < topo_.numNodes(), "inject: bad node");
-    return nis_[static_cast<std::size_t>(node)]->inject(pkt, tick_);
+    if (!nis_[static_cast<std::size_t>(node)]->inject(pkt, tick_))
+        return false;
+    markNiActive(node);
+    return true;
 }
 
 bool
@@ -222,28 +389,36 @@ Network::resetStats()
     activity_.reset();
     latency_.reset();
     for (auto &r : routers_)
-        r->resetStats();
+        r->resetStats(tick_);
     for (auto &ni : nis_)
         ni->resetStats();
 }
 
 namespace {
 
-/** Stable, human-readable key segment for a router port. */
-std::string
-portLabel(PortKind kind, Dir dir, int nth_of_kind)
+/** Append a stable, human-readable key segment for a router port. */
+void
+appendPortLabel(std::string &key, PortKind kind, Dir dir,
+                int nth_of_kind)
 {
     switch (kind) {
       case PortKind::Geo:
-        return dirName(dir);
+        key += dirName(dir);
+        return;
       case PortKind::LocalInj:
-        return "inj" + std::to_string(nth_of_kind);
+        key += "inj";
+        break;
       case PortKind::LocalEj:
-        return "ej" + std::to_string(nth_of_kind);
+        key += "ej";
+        break;
       case PortKind::RemoteInj:
-        return "rinj" + std::to_string(nth_of_kind);
+        key += "rinj";
+        break;
+      default:
+        key += 'p';
+        break;
     }
-    return "p" + std::to_string(nth_of_kind);
+    key += std::to_string(nth_of_kind);
 }
 
 } // namespace
@@ -251,54 +426,78 @@ portLabel(PortKind kind, Dir dir, int nth_of_kind)
 void
 Network::exportStats(StatGroup &sg, const std::string &prefix) const
 {
-    auto set = [&](const std::string &key, double v) {
-        sg.set(prefix + "." + key, v);
+    // One reusable key buffer for the whole export: every metric key
+    // is built by truncating back to a mark and appending, instead of
+    // allocating prefix + "." + key strings per metric per router.
+    std::string key;
+    key.reserve(prefix.size() + 64);
+    key = prefix;
+    key += '.';
+    const std::size_t root = key.size();
+    auto emit = [&](double v) { sg.set(key, v); };
+    auto setAt = [&](std::size_t mark, const char *suffix, double v) {
+        key.resize(mark);
+        key += suffix;
+        emit(v);
     };
 
     // Aggregate activity and per-class latency (ticks).
-    set("act.buffer_writes", static_cast<double>(activity_.bufferWrites));
-    set("act.xbar", static_cast<double>(activity_.xbarTraversals));
-    set("act.link_flits", static_cast<double>(activity_.linkFlits));
-    set("act.interposer_flits",
-        static_cast<double>(activity_.interposerLinkFlits));
+    setAt(root, "act.buffer_writes",
+          static_cast<double>(activity_.bufferWrites));
+    setAt(root, "act.xbar", static_cast<double>(activity_.xbarTraversals));
+    setAt(root, "act.link_flits", static_cast<double>(activity_.linkFlits));
+    setAt(root, "act.interposer_flits",
+          static_cast<double>(activity_.interposerLinkFlits));
     static const char *cls_name[2] = {"req", "rep"};
     for (int c = 0; c < 2; ++c) {
-        std::string k = std::string("lat.") + cls_name[c];
-        set(k + ".packets", static_cast<double>(latency_.packets[c]));
-        set(k + ".mean", latency_.totalLat[c].mean());
-        set(k + ".p50", latency_.totalHist[c].percentile(0.50));
-        set(k + ".p95", latency_.totalHist[c].percentile(0.95));
-        set(k + ".p99", latency_.totalHist[c].percentile(0.99));
+        key.resize(root);
+        key += "lat.";
+        key += cls_name[c];
+        key += '.';
+        const std::size_t cls = key.size();
+        setAt(cls, "packets", static_cast<double>(latency_.packets[c]));
+        setAt(cls, "mean", latency_.totalLat[c].mean());
+        setAt(cls, "p50", latency_.totalHist[c].percentile(0.50));
+        setAt(cls, "p95", latency_.totalHist[c].percentile(0.95));
+        setAt(cls, "p99", latency_.totalHist[c].percentile(0.99));
     }
 
     // Per-router counters, ports keyed by direction / kind.
     for (const auto &rp : routers_) {
         const Router &r = *rp;
-        std::string rk = "router." + std::to_string(r.id());
-        set(rk + ".flits", static_cast<double>(r.flitsForwarded()));
-        set(rk + ".va_req", static_cast<double>(r.vaRequests()));
-        set(rk + ".va_grant", static_cast<double>(r.vaGrants()));
-        set(rk + ".sa_req", static_cast<double>(r.saRequests()));
-        set(rk + ".sa_grant", static_cast<double>(r.saGrants()));
-        set(rk + ".credit_stall",
-            static_cast<double>(r.creditStallCycles()));
-        set(rk + ".occ_mean", r.vcOccupancy().mean());
-        set(rk + ".residence_mean", r.residenceStat().mean());
+        key.resize(root);
+        key += "router.";
+        key += std::to_string(r.id());
+        key += '.';
+        const std::size_t rk = key.size();
+        setAt(rk, "flits", static_cast<double>(r.flitsForwarded()));
+        setAt(rk, "va_req", static_cast<double>(r.vaRequests()));
+        setAt(rk, "va_grant", static_cast<double>(r.vaGrants()));
+        setAt(rk, "sa_req", static_cast<double>(r.saRequests()));
+        setAt(rk, "sa_grant", static_cast<double>(r.saGrants()));
+        setAt(rk, "credit_stall",
+              static_cast<double>(r.creditStallCycles()));
+        setAt(rk, "occ_mean", r.occupancyMean(tick_));
+        setAt(rk, "residence_mean", r.residenceStat().mean());
         int nth[4] = {0, 0, 0, 0};
         for (int p = 0; p < r.numInputPorts(); ++p) {
             const auto &ip = r.inputPort(p);
             int k = static_cast<int>(ip.kind);
-            set(rk + ".in." + portLabel(ip.kind, ip.dir, nth[k]++) +
-                    ".flits",
-                static_cast<double>(ip.flitsAccepted));
+            key.resize(rk);
+            key += "in.";
+            appendPortLabel(key, ip.kind, ip.dir, nth[k]++);
+            key += ".flits";
+            emit(static_cast<double>(ip.flitsAccepted));
         }
         nth[0] = nth[1] = nth[2] = nth[3] = 0;
         for (int p = 0; p < r.numOutputPorts(); ++p) {
             const auto &op = r.outputPort(p);
             int k = static_cast<int>(op.kind);
-            set(rk + ".out." + portLabel(op.kind, op.dir, nth[k]++) +
-                    ".flits",
-                static_cast<double>(op.flitsSent));
+            key.resize(rk);
+            key += "out.";
+            appendPortLabel(key, op.kind, op.dir, nth[k]++);
+            key += ".flits";
+            emit(static_cast<double>(op.flitsSent));
         }
     }
 
@@ -308,16 +507,23 @@ Network::exportStats(StatGroup &sg, const std::string &prefix) const
     // evaluator predicts.
     for (const auto &nip : nis_) {
         const NetworkInterface &ni = *nip;
-        std::string nk = "ni." + std::to_string(ni.node());
+        key.resize(root);
+        key += "ni.";
+        key += std::to_string(ni.node());
+        key += ".buf";
+        const std::size_t nk = key.size();
         for (int b = 0; b < ni.numInjBuffers(); ++b) {
             const auto &buf = ni.injBuffer(b);
-            std::string bk = nk + ".buf" + std::to_string(b);
-            set(bk + ".router", static_cast<double>(buf.targetRouter));
-            set(bk + ".packets",
-                static_cast<double>(buf.packetsInjected));
-            set(bk + ".flits", static_cast<double>(buf.flitsInjected));
-            set(bk + ".stall",
-                static_cast<double>(buf.creditStallTicks));
+            key.resize(nk);
+            key += std::to_string(b);
+            key += '.';
+            const std::size_t bk = key.size();
+            setAt(bk, "router", static_cast<double>(buf.targetRouter));
+            setAt(bk, "packets",
+                  static_cast<double>(buf.packetsInjected));
+            setAt(bk, "flits", static_cast<double>(buf.flitsInjected));
+            setAt(bk, "stall",
+                  static_cast<double>(buf.creditStallTicks));
         }
     }
 }
@@ -334,6 +540,25 @@ Network::drained() const
     for (const auto &c : flitChans_)
         if (!c->empty())
             return false;
+    return true;
+}
+
+bool
+Network::activeSetsConsistent() const
+{
+    if (params_.exhaustiveTick)
+        return true;
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+        bool active = (activeRouters_[i >> 6] >>
+                       (i & 63)) & 1;
+        if (routers_[i]->hasBufferedFlits() && !active)
+            return false;
+    }
+    for (std::size_t i = 0; i < nis_.size(); ++i) {
+        bool active = (activeNis_[i >> 6] >> (i & 63)) & 1;
+        if (!nis_[i]->idle() && !active)
+            return false;
+    }
     return true;
 }
 

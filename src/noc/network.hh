@@ -50,8 +50,16 @@ struct NetworkSpec
 /**
  * The network proper. Owns all hardware, advances on coreTick(), and
  * exposes injection/ejection endpoints plus statistics.
+ *
+ * The internal tick loop is activity-driven (DESIGN.md §10): routers
+ * and NIs sit on per-network active sets and are only visited while
+ * they hold work; channel arrivals are drained through a pending-wire
+ * event wheel instead of scanning every wire. An idle mesh costs
+ * O(active components), not O(routers + wires), and results are
+ * bit-identical to the exhaustive loop (params.exhaustiveTick keeps
+ * the old loop available for equivalence tests and benchmarking).
  */
-class Network
+class Network : private ChannelScheduler
 {
   public:
     explicit Network(const NetworkSpec &spec);
@@ -111,9 +119,33 @@ class Network
     /** Total extra (RemoteInj) ports added for EIRs. */
     int numRemoteInjPorts() const { return remoteInjPorts_; }
 
+    /**
+     * Activity-scheduler invariant check (tests): every router holding
+     * buffered flits and every non-idle NI must be on its active set.
+     * Always true in exhaustive mode.
+     */
+    bool activeSetsConsistent() const;
+
   private:
     void internalTick();
+    void internalTickExhaustive();
     void deliver();
+    void deliverExhaustive();
+    void deliverWire(std::uint32_t wire);
+
+    /** ChannelScheduler: record a pending arrival for a wire. */
+    void channelDue(std::uint32_t tag, Cycle due) override;
+
+    void markRouterActive(NodeId r)
+    {
+        activeRouters_[static_cast<std::size_t>(r) >> 6] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(r) & 63);
+    }
+    void markNiActive(NodeId n)
+    {
+        activeNis_[static_cast<std::size_t>(n) >> 6] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(n) & 63);
+    }
 
     Router &routerRef(NodeId n)
     {
@@ -140,6 +172,28 @@ class Network
     std::vector<NiFlitWire> niFlitWires_;
     std::vector<RouterCreditWire> routerCreditWires_;
     std::vector<NiCreditWire> niCreditWires_;
+
+    // ---- Activity-driven scheduling (DESIGN.md §10) ----
+    /**
+     * Active-set bitmasks, one bit per router / NI. Iteration is by
+     * ascending index (bit scan), which reproduces the exhaustive
+     * loop's component order exactly — required so per-network stat
+     * accumulators see samples in the same order.
+     */
+    std::vector<std::uint64_t> activeRouters_;
+    std::vector<std::uint64_t> activeNis_;
+
+    /**
+     * Pending-wire event wheel: slot (tick % size) holds the wire ids
+     * with an arrival due that tick. Channels post one event per send
+     * (they carry at most one item per tick), so idle wires are never
+     * visited. Wire ids index the four wire vectors: the flat order is
+     * [routerFlit | niFlit | routerCredit | niCredit].
+     */
+    std::vector<std::vector<std::uint32_t>> pendingWheel_;
+    std::uint32_t niFlitBase_ = 0;
+    std::uint32_t routerCreditBase_ = 0;
+    std::uint32_t niCreditBase_ = 0;
 
     Cycle tick_ = 0;
     Cycle coreCycle_ = 0;

@@ -100,22 +100,21 @@ NetworkInterface::allowedVcs(PacketType t, int &lo, int &hi) const
 void
 NetworkInterface::tickEjection(Cycle now_ticks)
 {
+    int v = params_->vcsPerPort;
     for (auto &p : ejPorts_) {
         if (static_cast<int>(delivered_.size()) >=
             params_->niEjectQueuePackets)
             return; // assembled-packet queue full: apply backpressure
-        int v = params_->vcsPerPort;
-        std::vector<bool> reqs(static_cast<std::size_t>(v), false);
-        bool got = false;
-        for (int i = 0; i < v; ++i) {
-            if (!p.vcs[static_cast<std::size_t>(i)].empty()) {
-                reqs[static_cast<std::size_t>(i)] = true;
-                got = true;
-            }
-        }
-        if (!got)
+        ejReqs_.clear();
+        for (int i = 0; i < v; ++i)
+            if (!p.vcs[static_cast<std::size_t>(i)].empty())
+                ejReqs_.push_back(i);
+        if (ejReqs_.empty())
             continue;
-        int vc = p.arb.grant(reqs);
+        // grantList picks the same winner grant() would (closest index
+        // after the previous one in rotation) without the per-tick
+        // vector<bool> allocation.
+        int vc = p.arb.grantList(ejReqs_);
         Flit f = p.vcs[static_cast<std::size_t>(vc)].pop();
         if (p.creditUp)
             p.creditUp->send(Credit{0, vc}, now_ticks);

@@ -188,6 +188,10 @@ class NetworkInterface
     void tickEjection(Cycle now_ticks);
     void tickInjection(Cycle now_ticks);
     void serializeBuffer(InjBuffer &b, Cycle now_ticks);
+
+    /// Scratch list of occupied eject VCs, reused across ticks so the
+    /// per-port arbitration allocates nothing on the hot path.
+    std::vector<int> ejReqs_;
 };
 
 /** Single-buffer NI (baseline for PEs and non-EquiNox CBs). */

@@ -1,8 +1,98 @@
 #include "noc/packet.hh"
 
 #include <atomic>
+#include <memory>
+#include <vector>
 
 namespace eqx {
+
+namespace {
+
+/**
+ * Thread-local freelist arena. Packets never cross threads (a JobPool
+ * worker owns a whole System run end to end), so no locking and no
+ * atomic refcounts are needed. Memory is carved in blocks and only
+ * returned to the OS when the owning thread exits; the freelist is
+ * LIFO so the hot loop keeps re-touching cache-warm packets.
+ */
+class PacketPool
+{
+  public:
+    static constexpr std::size_t kBlockPackets = 256;
+
+    Packet *
+    allocate()
+    {
+        if (!free_) {
+            blocks_.push_back(
+                std::make_unique<Packet[]>(kBlockPackets));
+            Packet *block = blocks_.back().get();
+            for (std::size_t i = 0; i < kBlockPackets; ++i) {
+                block[i].poolNext_ = free_;
+                free_ = &block[i];
+            }
+        }
+        Packet *p = free_;
+        free_ = p->poolNext_;
+        --freeCount_;
+        // Recycled packets must be indistinguishable from fresh ones:
+        // reset every simulation field to its default.
+        *p = Packet{};
+        return p;
+    }
+
+    void
+    release(Packet *p)
+    {
+        p->poolNext_ = free_;
+        free_ = p;
+        ++freeCount_;
+    }
+
+    std::size_t
+    freeCount() const
+    {
+        // blocks_ grow lazily, so count can go "negative" transiently
+        // relative to capacity only if misused; it is a plain tally.
+        return freeCount_;
+    }
+
+  private:
+    Packet *free_ = nullptr;
+    std::size_t freeCount_ = 0;
+    std::vector<std::unique_ptr<Packet[]>> blocks_;
+};
+
+PacketPool &
+pool()
+{
+    thread_local PacketPool p;
+    return p;
+}
+
+} // namespace
+
+namespace detail {
+
+Packet *
+allocatePacket()
+{
+    return pool().allocate();
+}
+
+void
+releasePacket(Packet *p)
+{
+    pool().release(p);
+}
+
+} // namespace detail
+
+std::size_t
+packetPoolFreeCount()
+{
+    return pool().freeCount();
+}
 
 std::uint64_t
 nextPacketId()
@@ -19,7 +109,7 @@ PacketPtr
 makePacket(PacketType type, NodeId src, NodeId dst, int bits, Addr addr,
            std::uint64_t tag)
 {
-    auto p = std::make_shared<Packet>();
+    PacketPtr p = PacketPtr::adopt(detail::allocatePacket());
     p->id = nextPacketId();
     p->type = type;
     p->src = src;

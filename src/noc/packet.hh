@@ -2,13 +2,21 @@
  * @file
  * Packets and flits. A packet is the unit endpoints exchange; the
  * network serializes it into flits sized to the link width.
+ *
+ * Packets are pool-allocated with a *non-atomic* intrusive refcount:
+ * a packet is created, routed and sunk entirely on one thread (a
+ * JobPool worker owns a whole System run; tests drive networks from
+ * the calling thread), so the shared_ptr atomic refcount traffic the
+ * flit hot path used to pay bought nothing. Each thread keeps its own
+ * freelist arena; see DESIGN.md §10 for the lifetime rules.
  */
 
 #ifndef EQX_NOC_PACKET_HH
 #define EQX_NOC_PACKET_HH
 
 #include <cstdint>
-#include <memory>
+#include <cstddef>
+#include <utility>
 
 #include "common/types.hh"
 
@@ -48,9 +56,121 @@ struct Packet
     Cycle queueLatency() const { return cycleInjected - cycleCreated; }
     Cycle networkLatency() const { return cycleEjected - cycleInjected; }
     Cycle totalLatency() const { return cycleEjected - cycleCreated; }
+
+    /** Pool internals: live references and the freelist link. Not
+     *  simulation state — managed exclusively by PacketPtr/the pool. */
+    std::uint32_t poolRefs_ = 0;
+    Packet *poolNext_ = nullptr;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+namespace detail {
+/** Return a zero-reference packet to its thread's freelist. */
+void releasePacket(Packet *p);
+/** Take a default-initialized packet from the thread's freelist. */
+Packet *allocatePacket();
+} // namespace detail
+
+/**
+ * Intrusive smart pointer over pooled packets. Copying bumps a plain
+ * (non-atomic) counter; moving is pointer-steal only, so flits travel
+ * through channels and VC buffers without touching the refcount.
+ */
+class PacketPtr
+{
+  public:
+    PacketPtr() = default;
+    PacketPtr(std::nullptr_t) {}
+
+    PacketPtr(const PacketPtr &o) : p_(o.p_)
+    {
+        if (p_)
+            ++p_->poolRefs_;
+    }
+
+    PacketPtr(PacketPtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    PacketPtr &
+    operator=(const PacketPtr &o)
+    {
+        if (o.p_)
+            ++o.p_->poolRefs_;
+        Packet *old = p_;
+        p_ = o.p_;
+        unref(old);
+        return *this;
+    }
+
+    PacketPtr &
+    operator=(PacketPtr &&o) noexcept
+    {
+        if (this != &o) {
+            Packet *old = p_;
+            p_ = o.p_;
+            o.p_ = nullptr;
+            unref(old);
+        }
+        return *this;
+    }
+
+    ~PacketPtr() { unref(p_); }
+
+    Packet *operator->() const { return p_; }
+    Packet &operator*() const { return *p_; }
+    Packet *get() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+    void
+    reset()
+    {
+        Packet *old = p_;
+        p_ = nullptr;
+        unref(old);
+    }
+
+    /** Live references to the pointee (debug/test visibility). */
+    std::uint32_t useCount() const { return p_ ? p_->poolRefs_ : 0; }
+
+    friend bool
+    operator==(const PacketPtr &a, const PacketPtr &b)
+    {
+        return a.p_ == b.p_;
+    }
+    friend bool
+    operator!=(const PacketPtr &a, const PacketPtr &b)
+    {
+        return a.p_ != b.p_;
+    }
+    friend bool
+    operator==(const PacketPtr &a, std::nullptr_t)
+    {
+        return a.p_ == nullptr;
+    }
+    friend bool
+    operator!=(const PacketPtr &a, std::nullptr_t)
+    {
+        return a.p_ != nullptr;
+    }
+
+    /** Adopt a freshly allocated zero-ref packet (pool internal). */
+    static PacketPtr
+    adopt(Packet *p)
+    {
+        PacketPtr out;
+        out.p_ = p;
+        ++p->poolRefs_;
+        return out;
+    }
+
+  private:
+    static void
+    unref(Packet *p)
+    {
+        if (p && --p->poolRefs_ == 0)
+            detail::releasePacket(p);
+    }
+
+    Packet *p_ = nullptr;
+};
 
 /** One link-width slice of a packet. */
 struct Flit
@@ -79,6 +199,9 @@ std::uint64_t nextPacketId();
 /** Convenience constructor. */
 PacketPtr makePacket(PacketType type, NodeId src, NodeId dst, int bits,
                      Addr addr = 0, std::uint64_t tag = 0);
+
+/** Packets currently on this thread's freelist (test visibility). */
+std::size_t packetPoolFreeCount();
 
 } // namespace eqx
 

@@ -79,6 +79,14 @@ struct NocParams
      */
     bool geoLinksInterposer = false;
 
+    /**
+     * Disable activity-driven tick scheduling: every internal tick
+     * visits every router, NI and wire exhaustively (the pre-scheduler
+     * loop). Results are bit-identical either way (DESIGN.md §10);
+     * kept for equivalence tests and before/after benchmarking.
+     */
+    bool exhaustiveTick = false;
+
     int niInjBufPackets = 2;   ///< default NI injection queue (packets)
     int niEjectQueuePackets = 4; ///< assembled packets awaiting the sink
 

@@ -1,6 +1,7 @@
 #include "noc/router.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "noc/routing.hh"
@@ -18,6 +19,10 @@ int
 Router::addInputPort(PortKind kind, Dir dir, Channel<Credit> *credit_up)
 {
     eqx_assert(kind != PortKind::LocalEj, "LocalEj is an output kind");
+    eqx_assert((inputs_.size() + 1) *
+                       static_cast<std::size_t>(params_->vcsPerPort) <=
+                   64,
+               "pending-VC bitmasks support at most 64 input VCs");
     InputPort p;
     p.kind = kind;
     p.dir = dir;
@@ -45,6 +50,8 @@ Router::addOutputPort(PortKind kind, Dir dir, Channel<Flit> *out,
         vc.credits = downstream_depth;
     p.vaArbs.assign(static_cast<std::size_t>(params_->vcsPerPort),
                     RoundRobinArbiter(0));
+    eqx_assert(outputs_.size() < 32,
+               "SA port bitmask supports at most 32 output ports");
     outputs_.push_back(std::move(p));
     int idx = static_cast<int>(outputs_.size()) - 1;
     if (kind == PortKind::LocalEj)
@@ -64,7 +71,15 @@ Router::acceptFlit(int in_port, Flit f, Cycle now)
     int cls = isRequest(f.pkt->type) ? 0 : 1;
     lastSeenClass_[cls] = now;
     seenClass_[cls] = true;
-    ip.vcs[static_cast<std::size_t>(f.vc)].push(std::move(f));
+    auto &vcb = ip.vcs[static_cast<std::size_t>(f.vc)];
+    std::uint64_t bit = std::uint64_t{1}
+                        << (in_port * params_->vcsPerPort + f.vc);
+    if (vcb.state == VcState::Idle)
+        rcPending_ |= bit; // fresh head flit awaiting route compute
+    else if (vcb.state == VcState::Active)
+        saPending_ |= bit; // body flit joins the switch competition
+    vcb.push(std::move(f));
+    ++bufferedFlits_;
     ++ip.flitsAccepted;
     ++activity_->bufferWrites;
 }
@@ -122,38 +137,78 @@ Router::monopolyAllowed(PacketType t, Cycle now) const
 }
 
 void
+Router::routeVc(VcBuffer &vcb, Coord here)
+{
+    const Flit &f = vcb.front();
+    Coord dest = topo_->coord(f.pkt->dst);
+    vcb.routeCandidates.clear();
+    if (dest == here) {
+        vcb.routeCandidates = ejPorts_;
+        eqx_assert(!vcb.routeCandidates.empty(),
+                   "router ", id_, " has no ejection port");
+    } else if (params_->routing == RoutingMode::XY ||
+               params_->classVcs) {
+        int p = geoOutPort(xyDirection(here, dest));
+        eqx_assert(p >= 0, "XY direction port missing");
+        vcb.routeCandidates.push_back(p);
+    } else {
+        // Minimal adaptive: x-dimension candidate first so that
+        // routeCandidates[0] is always the XY (escape) port.
+        for (Dir d : minimalDirections(here, dest)) {
+            int p = geoOutPort(d);
+            eqx_assert(p >= 0, "minimal direction port missing");
+            vcb.routeCandidates.push_back(p);
+        }
+    }
+    vcb.state = VcState::RouteComputed;
+}
+
+void
 Router::routeComputeStage(Cycle)
 {
+    if (!params_->exhaustiveTick && rcPending_ == 0)
+        return;
     Coord here = coord();
-    for (auto &ip : inputs_) {
-        for (auto &vcb : ip.vcs) {
-            if (vcb.state != VcState::Idle || vcb.empty())
-                continue;
-            const Flit &f = vcb.front();
-            if (!f.isHead)
-                continue;
-            Coord dest = topo_->coord(f.pkt->dst);
-            vcb.routeCandidates.clear();
-            if (dest == here) {
-                vcb.routeCandidates = ejPorts_;
-                eqx_assert(!vcb.routeCandidates.empty(),
-                           "router ", id_, " has no ejection port");
-            } else if (params_->routing == RoutingMode::XY ||
-                       params_->classVcs) {
-                int p = geoOutPort(xyDirection(here, dest));
-                eqx_assert(p >= 0, "XY direction port missing");
-                vcb.routeCandidates.push_back(p);
-            } else {
-                // Minimal adaptive: x-dimension candidate first so that
-                // routeCandidates[0] is always the XY (escape) port.
-                for (Dir d : minimalDirections(here, dest)) {
-                    int p = geoOutPort(d);
-                    eqx_assert(p >= 0, "minimal direction port missing");
-                    vcb.routeCandidates.push_back(p);
-                }
+    int v = params_->vcsPerPort;
+
+    if (params_->exhaustiveTick) {
+        // The pre-change scan: every (port, VC) pair, every tick. Kept
+        // runnable as the measured "before" of the activity scheduler;
+        // the pending masks are still maintained so both paths share
+        // one set of invariants.
+        for (int pi = 0; pi < numInputPorts(); ++pi) {
+            auto &ip = inputs_[static_cast<std::size_t>(pi)];
+            for (int vi = 0; vi < v; ++vi) {
+                auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+                if (vcb.state != VcState::Idle || vcb.empty())
+                    continue;
+                if (!vcb.front().isHead)
+                    continue;
+                routeVc(vcb, here);
+                std::uint64_t bit = std::uint64_t{1} << (pi * v + vi);
+                rcPending_ &= ~bit;
+                vaPending_ |= bit;
             }
-            vcb.state = VcState::RouteComputed;
         }
+        return;
+    }
+
+    std::uint64_t m = rcPending_;
+    while (m != 0) {
+        int flat = std::countr_zero(m);
+        m &= m - 1;
+        std::uint64_t bit = std::uint64_t{1} << flat;
+        auto &vcb = inputs_[static_cast<std::size_t>(flat / v)]
+                        .vcs[static_cast<std::size_t>(flat % v)];
+        if (vcb.state != VcState::Idle || vcb.empty()) {
+            rcPending_ &= ~bit; // stale: the scan loop would skip it
+            continue;
+        }
+        if (!vcb.front().isHead)
+            continue;
+        routeVc(vcb, here);
+        rcPending_ &= ~bit;
+        vaPending_ |= bit;
     }
 }
 
@@ -231,22 +286,39 @@ Router::chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
 void
 Router::vcAllocStage(Cycle now)
 {
+    if (!params_->exhaustiveTick && vaPending_ == 0)
+        return;
     int v = params_->vcsPerPort;
-    int num_in = numInputPorts();
-    int flat = num_in * v;
+    int flat = numInputPorts() * v;
 
     // Input-first: each waiting input VC nominates one (port, vc).
     vaWants_.clear();
-    for (int pi = 0; pi < num_in; ++pi) {
-        auto &ip = inputs_[static_cast<std::size_t>(pi)];
-        for (int vi = 0; vi < v; ++vi) {
-            auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
-            if (vcb.state != VcState::RouteComputed)
-                continue;
+    if (params_->exhaustiveTick) {
+        // Pre-change scan over every (port, VC) pair; a bit in
+        // vaPending_ is exactly "state == RouteComputed", so both
+        // paths nominate the same candidates in the same order.
+        for (int pi = 0; pi < numInputPorts(); ++pi) {
+            auto &ip = inputs_[static_cast<std::size_t>(pi)];
+            for (int vi = 0; vi < v; ++vi) {
+                if (ip.vcs[static_cast<std::size_t>(vi)].state !=
+                    VcState::RouteComputed)
+                    continue;
+                int rp = -1, rv = -1;
+                ++vaRequests_;
+                if (chooseVcRequest(ip, vi, now, rp, rv))
+                    vaWants_.push_back(VaWant{pi * v + vi, rp, rv});
+            }
+        }
+    } else {
+        std::uint64_t m = vaPending_;
+        while (m != 0) {
+            int f = std::countr_zero(m);
+            m &= m - 1;
+            auto &ip = inputs_[static_cast<std::size_t>(f / v)];
             int rp = -1, rv = -1;
             ++vaRequests_;
-            if (chooseVcRequest(ip, vi, now, rp, rv))
-                vaWants_.push_back(VaWant{pi * v + vi, rp, rv});
+            if (chooseVcRequest(ip, f % v, now, rp, rv))
+                vaWants_.push_back(VaWant{f, rp, rv});
         }
     }
     if (vaWants_.empty())
@@ -279,6 +351,8 @@ Router::vcAllocStage(Cycle now)
         vcb.outPort = po;
         vcb.outVc = vo;
         op.vcs[static_cast<std::size_t>(vo)].busy = true;
+        vaPending_ &= ~(std::uint64_t{1} << winner);
+        saPending_ |= std::uint64_t{1} << winner;
         ++vaGrants_;
         ++activity_->vaGrants;
     }
@@ -291,44 +365,108 @@ Router::switchAllocStage(Cycle now)
     int num_in = numInputPorts();
 
     // SA runs first each tick: sample buffered-flit occupancy here so
-    // the running stat sees exactly one sample per internal tick.
-    int occ = 0;
-    for (const auto &ip : inputs_)
-        for (const auto &vcb : ip.vcs)
-            occ += vcb.occupancy();
-    vcOccupancy_.add(static_cast<double>(occ));
-
-    // Phase 1: one candidate VC per input port.
-    saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
-    bool any = false;
-    for (int pi = 0; pi < num_in; ++pi) {
-        auto &ip = inputs_[static_cast<std::size_t>(pi)];
-        scratchReqs_.clear();
-        for (int vi = 0; vi < v; ++vi) {
-            auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
-            if (vcb.state != VcState::Active || vcb.empty())
-                continue;
-            ++saRequests_;
-            const auto &ovc =
-                outputs_[static_cast<std::size_t>(vcb.outPort)]
-                    .vcs[static_cast<std::size_t>(vcb.outVc)];
-            if (ovc.credits <= 0) {
-                ++creditStallCycles_;
-                continue;
-            }
-            scratchReqs_.push_back(vi);
-        }
-        if (!scratchReqs_.empty()) {
-            saChosenVc_[static_cast<std::size_t>(pi)] =
-                ip.saArb.grantList(scratchReqs_);
-            any = true;
-        }
+    // the accounting sees exactly one sample per internal tick. Ticks
+    // since the last sample were skipped by the activity scheduler and
+    // had zero occupancy by construction; they extend the sample count
+    // without contributing flit-ticks.
+    if (now > occLastTick_) {
+        occSamples_ += now - occLastTick_;
+        occLastTick_ = now;
     }
-    if (!any)
-        return;
+    if (params_->exhaustiveTick) {
+        // Pre-change sampling scanned every VC; the sum equals the
+        // running bufferedFlits_ counter, so the statistic is the
+        // same — only the measured cost differs.
+        std::uint64_t occ = 0;
+        for (const auto &ip : inputs_)
+            for (const auto &vcb : ip.vcs)
+                occ += static_cast<std::uint64_t>(vcb.occupancy());
+        occSumFlitTicks_ += occ;
+    } else {
+        occSumFlitTicks_ += static_cast<std::uint64_t>(bufferedFlits_);
+    }
 
-    // Phase 2: one input per output port.
-    for (int po = 0; po < numOutputPorts(); ++po) {
+    std::uint32_t req_ports = 0;
+    if (params_->exhaustiveTick) {
+        // Pre-change phase 1: scan every (port, VC) pair and let
+        // phase 2 visit every output port. A bit in saPending_ is
+        // exactly "state == Active && !empty", so the candidate lists
+        // (and the arbiter outcomes) match the mask walk.
+        saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
+        bool any = false;
+        for (int pi = 0; pi < num_in; ++pi) {
+            auto &ip = inputs_[static_cast<std::size_t>(pi)];
+            scratchReqs_.clear();
+            for (int vi = 0; vi < v; ++vi) {
+                const auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+                if (vcb.state != VcState::Active || vcb.empty())
+                    continue;
+                ++saRequests_;
+                const auto &ovc =
+                    outputs_[static_cast<std::size_t>(vcb.outPort)]
+                        .vcs[static_cast<std::size_t>(vcb.outVc)];
+                if (ovc.credits <= 0) {
+                    ++creditStallCycles_;
+                    continue;
+                }
+                scratchReqs_.push_back(vi);
+            }
+            if (!scratchReqs_.empty()) {
+                saChosenVc_[static_cast<std::size_t>(pi)] =
+                    ip.saArb.grantList(scratchReqs_);
+                any = true;
+            }
+        }
+        if (!any)
+            return;
+        req_ports =
+            (std::uint32_t{1} << numOutputPorts()) - 1;
+    } else {
+        // Phase 1: one candidate VC per input port, walking only
+        // Active non-empty VCs (saPending_). Requested output ports
+        // are tracked in a bitmask so phase 2 only visits contested
+        // ports.
+        std::uint64_t m = saPending_;
+        if (m == 0)
+            return;
+        saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
+        while (m != 0) {
+            int pi = std::countr_zero(m) / v;
+            auto &ip = inputs_[static_cast<std::size_t>(pi)];
+            std::uint64_t port_bits =
+                m & (((std::uint64_t{1} << v) - 1) << (pi * v));
+            m ^= port_bits;
+            scratchReqs_.clear();
+            while (port_bits != 0) {
+                int vi = std::countr_zero(port_bits) - pi * v;
+                port_bits &= port_bits - 1;
+                const auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+                ++saRequests_;
+                const auto &ovc =
+                    outputs_[static_cast<std::size_t>(vcb.outPort)]
+                        .vcs[static_cast<std::size_t>(vcb.outVc)];
+                if (ovc.credits <= 0) {
+                    ++creditStallCycles_;
+                    continue;
+                }
+                scratchReqs_.push_back(vi);
+            }
+            if (!scratchReqs_.empty()) {
+                int vi = ip.saArb.grantList(scratchReqs_);
+                saChosenVc_[static_cast<std::size_t>(pi)] = vi;
+                req_ports |=
+                    std::uint32_t{1}
+                    << ip.vcs[static_cast<std::size_t>(vi)].outPort;
+            }
+        }
+        if (req_ports == 0)
+            return;
+    }
+
+    // Phase 2: one input per output port, ascending port order.
+    while (req_ports != 0) {
+        int po = std::countr_zero(req_ports);
+        req_ports &= req_ports - 1;
         auto &op = outputs_[static_cast<std::size_t>(po)];
         scratchReqs_.clear();
         for (int pi = 0; pi < num_in; ++pi) {
@@ -353,6 +491,9 @@ Router::switchAllocStage(Cycle now)
         int vi = saChosenVc_[static_cast<std::size_t>(pi)];
         auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
         Flit f = vcb.pop();
+        if (vcb.empty())
+            saPending_ &= ~(std::uint64_t{1} << (pi * v + vi));
+        --bufferedFlits_;
         residence_.add(static_cast<double>(now - f.arrived + 1));
         ++flitsForwarded_;
         ++saGrants_;
@@ -389,11 +530,26 @@ Router::switchAllocStage(Cycle now)
     }
 }
 
+double
+Router::occupancyMean(Cycle now) const
+{
+    // Ticks between the last explicit sample and `now` were skipped
+    // while idle: count them as zero-occupancy samples.
+    std::uint64_t samples = occSamples_;
+    if (now > occLastTick_)
+        samples += now - occLastTick_;
+    return samples ? static_cast<double>(occSumFlitTicks_) /
+                         static_cast<double>(samples)
+                   : 0.0;
+}
+
 void
-Router::resetStats()
+Router::resetStats(Cycle now)
 {
     residence_.reset();
-    vcOccupancy_.reset();
+    occSumFlitTicks_ = 0;
+    occSamples_ = 0;
+    occLastTick_ = now;
     flitsForwarded_ = 0;
     vaRequests_ = 0;
     vaGrants_ = 0;
@@ -404,16 +560,6 @@ Router::resetStats()
         ip.flitsAccepted = 0;
     for (auto &op : outputs_)
         op.flitsSent = 0;
-}
-
-bool
-Router::hasBufferedFlits() const
-{
-    for (const auto &ip : inputs_)
-        for (const auto &vcb : ip.vcs)
-            if (!vcb.empty())
-                return true;
-    return false;
 }
 
 } // namespace eqx

@@ -172,14 +172,23 @@ class Router
     std::uint64_t saGrants() const { return saGrants_; }
     /** (VC, tick) occurrences of an Active VC starved of credits. */
     std::uint64_t creditStallCycles() const { return creditStallCycles_; }
-    /** Total buffered input flits, sampled once per internal tick. */
-    const RunningStat &vcOccupancy() const { return vcOccupancy_; }
 
-    /** Clear all measurement state (warmup boundary); structure kept. */
-    void resetStats();
+    /**
+     * Mean buffered input flits per internal tick over [stats reset,
+     * @p now]. Kept as exact integers (flit-tick sum / tick count) so
+     * ticks the activity scheduler skipped — which by construction had
+     * zero occupancy — are reconstructed exactly: the active-set and
+     * exhaustive tick loops report bit-identical means.
+     */
+    double occupancyMean(Cycle now) const;
 
-    /** True if any VC in any input port holds flits (drain check). */
-    bool hasBufferedFlits() const;
+    /** Clear all measurement state (warmup boundary); structure kept.
+     *  @p now is the current internal tick (occupancy epoch start). */
+    void resetStats(Cycle now = 0);
+
+    /** True if any VC in any input port holds flits (drain check /
+     *  active-set membership). O(1): a counter tracks push/pop. */
+    bool hasBufferedFlits() const { return bufferedFlits_ > 0; }
 
   private:
     /** Output-port index for a geographic direction (-1 if absent). */
@@ -200,6 +209,10 @@ class Router
     bool chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
                          int &req_port, int &req_vc);
 
+    /** RC body shared by the mask walk and the exhaustive scan:
+     *  compute @p vcb's route candidates and mark it RouteComputed. */
+    void routeVc(VcBuffer &vcb, Coord here);
+
     NodeId id_;
     const Topology *topo_;
     const NocParams *params_;
@@ -213,8 +226,28 @@ class Router
     Cycle lastSeenClass_[2] = {0, 0};
     bool seenClass_[2] = {false, false};
 
+    /**
+     * Pending-work bitmasks over flat input-VC index (port * vcsPerPort
+     * + vc), maintained at every state transition so the pipeline
+     * stages visit only VCs that can act instead of scanning every
+     * buffer. Bit-scan order equals the nested port/VC loop order, so
+     * arbitration outcomes are unchanged.
+     *  - rcPending_: Idle VCs holding an unrouted head flit.
+     *  - vaPending_: VCs in RouteComputed awaiting an output VC.
+     *  - saPending_: Active VCs currently holding flits.
+     */
+    std::uint64_t rcPending_ = 0;
+    std::uint64_t vaPending_ = 0;
+    std::uint64_t saPending_ = 0;
+
     RunningStat residence_;
-    RunningStat vcOccupancy_;
+    /** Exact occupancy accounting: flit-ticks, ticks sampled, and the
+     *  last tick accounted (gaps were provably-idle, occupancy 0). */
+    std::uint64_t occSumFlitTicks_ = 0;
+    std::uint64_t occSamples_ = 0;
+    Cycle occLastTick_ = 0;
+    /** Total flits currently buffered across all input VCs. */
+    int bufferedFlits_ = 0;
     std::uint64_t flitsForwarded_ = 0;
     std::uint64_t vaRequests_ = 0;
     std::uint64_t vaGrants_ = 0;

@@ -8,7 +8,6 @@
 #ifndef EQX_NOC_VC_BUFFER_HH
 #define EQX_NOC_VC_BUFFER_HH
 
-#include <deque>
 #include <vector>
 
 #include "common/logging.hh"
@@ -24,34 +23,52 @@ enum class VcState : std::uint8_t
     Active,         ///< output VC granted, flits competing for the switch
 };
 
-/** One virtual-channel FIFO plus routing/allocation bookkeeping. */
+/**
+ * One virtual-channel FIFO plus routing/allocation bookkeeping. The
+ * FIFO is a fixed ring sized to the buffer depth — the flow-control
+ * bound — so the hot push/front/pop path is plain indexed moves with
+ * no node or block allocation.
+ */
 class VcBuffer
 {
   public:
-    explicit VcBuffer(int depth_flits = 5) : depth_(depth_flits) {}
+    explicit VcBuffer(int depth_flits = 5)
+        : depth_(depth_flits),
+          fifo_(static_cast<std::size_t>(depth_flits))
+    {}
 
     bool
     push(Flit f)
     {
-        eqx_assert(static_cast<int>(fifo_.size()) < depth_,
+        eqx_assert(count_ < depth_,
                    "VC buffer overflow: flow control violated");
-        fifo_.push_back(std::move(f));
+        int slot = head_ + count_;
+        if (slot >= depth_)
+            slot -= depth_;
+        fifo_[static_cast<std::size_t>(slot)] = std::move(f);
+        ++count_;
         return true;
     }
 
     Flit
     pop()
     {
-        eqx_assert(!fifo_.empty(), "pop from empty VC buffer");
-        Flit f = std::move(fifo_.front());
-        fifo_.pop_front();
+        eqx_assert(count_ > 0, "pop from empty VC buffer");
+        Flit f = std::move(fifo_[static_cast<std::size_t>(head_)]);
+        if (++head_ == depth_)
+            head_ = 0;
+        --count_;
         return f;
     }
 
-    const Flit &front() const { return fifo_.front(); }
-    bool empty() const { return fifo_.empty(); }
-    bool full() const { return static_cast<int>(fifo_.size()) >= depth_; }
-    int occupancy() const { return static_cast<int>(fifo_.size()); }
+    const Flit &
+    front() const
+    {
+        return fifo_[static_cast<std::size_t>(head_)];
+    }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= depth_; }
+    int occupancy() const { return count_; }
     int depth() const { return depth_; }
 
     VcState state = VcState::Idle;
@@ -73,7 +90,9 @@ class VcBuffer
 
   private:
     int depth_;
-    std::deque<Flit> fifo_;
+    int head_ = 0;
+    int count_ = 0;
+    std::vector<Flit> fifo_;
 };
 
 /** Output-side VC bookkeeping: busy flag and downstream credits. */

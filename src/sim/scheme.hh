@@ -85,6 +85,14 @@ struct SystemConfig
     Cycle warmupCycles = 0;
 
     /**
+     * Run every network with the exhaustive (pre-activity-scheduler)
+     * internal tick loop instead of active-set scheduling. Results are
+     * bit-identical either way (DESIGN.md §10); exposed for the
+     * equivalence tests and before/after benchmarks.
+     */
+    bool exhaustiveNocTick = false;
+
+    /**
      * Collect the full per-router / per-port / per-NI observability
      * snapshot into RunResult::metrics (DESIGN.md §9). Off by default:
      * the snapshot is a few thousand keys per run.

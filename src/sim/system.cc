@@ -188,6 +188,7 @@ System::buildNetworks()
         p.vcsPerPort = cfg_.vcsPerPort;
         p.vcDepthFlits = cfg_.vcDepthFlits;
         p.flitBits = cfg_.flitBits;
+        p.exhaustiveTick = cfg_.exhaustiveNocTick;
         return p;
     };
 

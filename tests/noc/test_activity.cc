@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Activity-driven tick scheduling (DESIGN.md §10): active-set
+ * invariants, exhaustive-loop bit-equivalence at the network level,
+ * and the pooled packet allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "noc/network.hh"
+
+namespace eqx {
+namespace {
+
+class CountingSink : public PacketSink
+{
+  public:
+    bool canAccept(const PacketPtr &) override { return true; }
+    void
+    accept(const PacketPtr &, Cycle) override
+    {
+        ++delivered;
+    }
+    int delivered = 0;
+};
+
+NetworkSpec
+meshSpec(int w, int h, bool exhaustive)
+{
+    NetworkSpec spec;
+    spec.params.width = w;
+    spec.params.height = h;
+    spec.params.exhaustiveTick = exhaustive;
+    return spec;
+}
+
+/** Drive @p net with seeded uniform-random traffic for @p cycles. */
+void
+randomTraffic(Network &net, Rng &rng, Cycle &clock, int cycles,
+              double rate)
+{
+    int n = net.params().numNodes();
+    for (int c = 0; c < cycles; ++c) {
+        for (NodeId s = 0; s < n; ++s) {
+            if (!rng.chance(rate))
+                continue;
+            NodeId d = static_cast<NodeId>(rng.nextBounded(n));
+            if (d != s && net.canInject(s))
+                net.inject(s,
+                           makePacket(PacketType::ReadReply, s, d, 640));
+        }
+        net.coreTick(++clock);
+    }
+}
+
+TEST(Activity, ActiveSetsConsistentThroughoutRandomTraffic)
+{
+    NetworkSpec spec = meshSpec(8, 8, /*exhaustive=*/false);
+    Network net(spec);
+    CountingSink sinks[64];
+    for (NodeId i = 0; i < 64; ++i)
+        net.setSink(i, &sinks[i]);
+
+    Rng rng(7);
+    Cycle clock = 0;
+    int n = net.params().numNodes();
+    for (int c = 0; c < 1500; ++c) {
+        for (NodeId s = 0; s < n; ++s) {
+            if (!rng.chance(0.08))
+                continue;
+            NodeId d = static_cast<NodeId>(rng.nextBounded(n));
+            if (d != s && net.canInject(s))
+                net.inject(s,
+                           makePacket(PacketType::ReadReply, s, d, 640));
+        }
+        net.coreTick(++clock);
+        // The invariant the scheduler's correctness rests on: no
+        // component holding work ever leaves its active set.
+        ASSERT_TRUE(net.activeSetsConsistent()) << "cycle " << c;
+    }
+    // Stop injecting; the network must fully drain through the active
+    // path (nothing stranded by a premature deregistration).
+    for (int c = 0; c < 2000 && !net.drained(); ++c)
+        net.coreTick(++clock);
+    EXPECT_TRUE(net.drained());
+    EXPECT_TRUE(net.activeSetsConsistent());
+    int total = 0;
+    for (const auto &s : sinks)
+        total += s.delivered;
+    EXPECT_GT(total, 0);
+}
+
+TEST(Activity, ExhaustiveModeAlwaysConsistent)
+{
+    Network net(meshSpec(4, 4, /*exhaustive=*/true));
+    Cycle clock = 0;
+    net.inject(0, makePacket(PacketType::ReadRequest, 0, 15, 128));
+    for (int c = 0; c < 50; ++c)
+        net.coreTick(++clock);
+    EXPECT_TRUE(net.activeSetsConsistent());
+}
+
+/**
+ * Run the same seeded traffic through an activity-scheduled network
+ * and an exhaustive-tick network and require every exported statistic
+ * to match exactly (==, no tolerance): same arbitration, same
+ * latencies, same occupancy means.
+ */
+void
+expectModesBitIdentical(NetworkSpec spec, double rate, int cycles)
+{
+    spec.params.exhaustiveTick = false;
+    NetworkSpec specEx = spec;
+    specEx.params.exhaustiveTick = true;
+
+    Network act(spec), exh(specEx);
+    int n = act.params().numNodes();
+    std::vector<CountingSink> actSinks(static_cast<std::size_t>(n));
+    std::vector<CountingSink> exhSinks(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+        act.setSink(i, &actSinks[static_cast<std::size_t>(i)]);
+        exh.setSink(i, &exhSinks[static_cast<std::size_t>(i)]);
+    }
+
+    Rng ra(11), re(11);
+    Cycle ca = 0, ce = 0;
+    randomTraffic(act, ra, ca, cycles, rate);
+    randomTraffic(exh, re, ce, cycles, rate);
+    for (int c = 0; c < 4000 && !(act.drained() && exh.drained()); ++c) {
+        act.coreTick(++ca);
+        exh.coreTick(++ce);
+    }
+    ASSERT_TRUE(act.drained());
+    ASSERT_TRUE(exh.drained());
+
+    for (NodeId i = 0; i < n; ++i)
+        EXPECT_EQ(actSinks[static_cast<std::size_t>(i)].delivered,
+                  exhSinks[static_cast<std::size_t>(i)].delivered)
+            << "node " << i;
+
+    StatGroup sa, se;
+    act.exportStats(sa, "net");
+    exh.exportStats(se, "net");
+    ASSERT_EQ(sa.all().size(), se.all().size());
+    auto ia = sa.all().begin();
+    auto ie = se.all().begin();
+    for (; ia != sa.all().end(); ++ia, ++ie) {
+        EXPECT_EQ(ia->first, ie->first);
+        EXPECT_EQ(ia->second, ie->second) << ia->first;
+    }
+}
+
+TEST(Activity, BitIdenticalToExhaustive_AdaptiveRouting)
+{
+    expectModesBitIdentical(meshSpec(8, 8, false), 0.08, 1200);
+}
+
+TEST(Activity, BitIdenticalToExhaustive_ClassVcsVcMono)
+{
+    NetworkSpec spec = meshSpec(6, 6, false);
+    spec.params.classVcs = true;
+    spec.params.routing = RoutingMode::XY;
+    spec.params.vcMono = true;
+    expectModesBitIdentical(spec, 0.06, 1000);
+}
+
+TEST(Activity, BitIdenticalToExhaustive_EirGroups)
+{
+    // EquiNox CB NI at node 27 with interposer links into four EIRs:
+    // exercises the remote-injection wires and multi-buffer NI.
+    NetworkSpec spec = meshSpec(8, 8, false);
+    spec.eirGroups[{27}] = {11, 25, 29, 43};
+    expectModesBitIdentical(spec, 0.05, 1000);
+}
+
+TEST(Activity, BitIdenticalToExhaustive_FastClockSubnet)
+{
+    // DA2Mesh-style 2.5x internal clock: multiple internal ticks per
+    // core cycle must drain the event wheel identically.
+    NetworkSpec spec = meshSpec(4, 4, false);
+    spec.params.ticksEvenCycle = 3;
+    spec.params.ticksOddCycle = 2;
+    expectModesBitIdentical(spec, 0.10, 800);
+}
+
+TEST(Activity, ResetStatsMidRunKeepsModesIdentical)
+{
+    // Warmup-style stats reset while flits are in flight: occupancy
+    // accounting restarts from the reset tick in both modes.
+    NetworkSpec spec = meshSpec(6, 6, false);
+    NetworkSpec specEx = spec;
+    specEx.params.exhaustiveTick = true;
+    Network act(spec), exh(specEx);
+    CountingSink sink;
+    for (NodeId i = 0; i < 36; ++i) {
+        act.setSink(i, &sink);
+        exh.setSink(i, &sink);
+    }
+    Rng ra(3), re(3);
+    Cycle ca = 0, ce = 0;
+    randomTraffic(act, ra, ca, 300, 0.08);
+    randomTraffic(exh, re, ce, 300, 0.08);
+    act.resetStats();
+    exh.resetStats();
+    randomTraffic(act, ra, ca, 300, 0.08);
+    randomTraffic(exh, re, ce, 300, 0.08);
+    StatGroup sa, se;
+    act.exportStats(sa, "net");
+    exh.exportStats(se, "net");
+    ASSERT_EQ(sa.all(), se.all());
+}
+
+TEST(PacketPool, RefcountSemantics)
+{
+    PacketPtr p = makePacket(PacketType::ReadRequest, 1, 2, 128);
+    EXPECT_EQ(p.useCount(), 1u);
+    PacketPtr copy = p;
+    EXPECT_EQ(p.useCount(), 2u);
+    PacketPtr moved = std::move(copy);
+    EXPECT_EQ(p.useCount(), 2u); // move steals, no bump
+    EXPECT_EQ(copy, nullptr);    // NOLINT(bugprone-use-after-move)
+    moved.reset();
+    EXPECT_EQ(p.useCount(), 1u);
+}
+
+TEST(PacketPool, ReleaseRecyclesAndResets)
+{
+    std::size_t before = packetPoolFreeCount();
+    PacketPtr p = makePacket(PacketType::WriteRequest, 3, 4, 640, 0xAB,
+                             /*tag=*/99);
+    p->cycleInjected = 123;
+    Packet *raw = p.get();
+    std::uint64_t id = p->id;
+    p.reset();
+    EXPECT_GE(packetPoolFreeCount(), before); // returned to the arena
+
+    // LIFO freelist: the very next allocation reuses the same slot,
+    // and the recycled packet is indistinguishable from a fresh one.
+    PacketPtr q = makePacket(PacketType::ReadReply, 5, 6, 640);
+    EXPECT_EQ(q.get(), raw);
+    EXPECT_NE(q->id, id);
+    EXPECT_EQ(q->tag, 0u);
+    EXPECT_EQ(q->cycleInjected, 0u);
+    EXPECT_EQ(q->src, 5);
+    EXPECT_EQ(q->dst, 6);
+    EXPECT_EQ(q.useCount(), 1u);
+}
+
+TEST(PacketPool, FlitMovesDoNotTouchRefcount)
+{
+    PacketPtr p = makePacket(PacketType::ReadReply, 0, 1, 640);
+    Flit f;
+    f.pkt = p; // one copy: the flit holds a reference
+    EXPECT_EQ(p.useCount(), 2u);
+    Flit g = std::move(f);
+    EXPECT_EQ(p.useCount(), 2u); // moving the flit is refcount-free
+    g.pkt.reset();
+    EXPECT_EQ(p.useCount(), 1u);
+}
+
+} // namespace
+} // namespace eqx

@@ -73,5 +73,49 @@ TEST(Channel, InflightCount)
     EXPECT_EQ(ch.inflightCount(), 2u);
 }
 
+TEST(Channel, SecondSendSameTickAsserts)
+{
+    // A physical link carries one item per tick; the event wheel also
+    // relies on one due-event per (channel, tick).
+    Channel<int> ch(2);
+    ch.send(1, 5);
+    EXPECT_THROW(ch.send(2, 5), std::logic_error);
+    ch.send(3, 6); // the next tick is fine
+    int out = 0;
+    ASSERT_TRUE(ch.receive(7, out));
+    EXPECT_EQ(out, 1); // the rejected send left no trace
+    ASSERT_TRUE(ch.receive(8, out));
+    EXPECT_EQ(out, 3);
+}
+
+TEST(Channel, SendTicksMustIncrease)
+{
+    Channel<int> ch(1);
+    ch.send(1, 10);
+    EXPECT_THROW(ch.send(2, 9), std::logic_error);
+}
+
+/** Scheduler hookup: every send posts exactly one (tag, due) event. */
+TEST(Channel, PostsDueEventsToScheduler)
+{
+    struct Recorder : ChannelScheduler
+    {
+        std::vector<std::pair<std::uint32_t, Cycle>> events;
+        void
+        channelDue(std::uint32_t tag, Cycle due) override
+        {
+            events.emplace_back(tag, due);
+        }
+    };
+    Recorder rec;
+    Channel<int> ch(3);
+    ch.setScheduler(&rec, 17);
+    ch.send(1, 10);
+    ch.send(2, 11);
+    ASSERT_EQ(rec.events.size(), 2u);
+    EXPECT_EQ(rec.events[0], (std::pair<std::uint32_t, Cycle>{17, 13}));
+    EXPECT_EQ(rec.events[1], (std::pair<std::uint32_t, Cycle>{17, 14}));
+}
+
 } // namespace
 } // namespace eqx

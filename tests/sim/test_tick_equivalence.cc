@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Scheme-level equivalence of the activity-driven NoC scheduler
+ * (DESIGN.md §10) against the exhaustive fallback loop: identical
+ * JSONL cell records (modulo host wall-clock) and identical metric
+ * snapshots, including warmup-reset and the EquiNox EIR groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace eqx {
+namespace {
+
+/**
+ * cellJsonRecord minus the "wall_ms" field — host wall-clock time is
+ * the one value that legitimately differs between any two runs.
+ */
+std::string
+stripWallMs(std::string json)
+{
+    auto pos = json.find("\"wall_ms\":");
+    if (pos == std::string::npos)
+        return json;
+    auto end = json.find_first_of(",}", pos);
+    if (end != std::string::npos && json[end] == ',')
+        ++end; // swallow the trailing separator
+    else if (pos > 0 && json[pos - 1] == ',')
+        --pos; // last field: swallow the preceding comma instead
+    json.erase(pos, end - pos);
+    return json;
+}
+
+void
+expectCellsIdentical(const std::vector<CellResult> &a,
+                     const std::vector<CellResult> &e)
+{
+    ASSERT_EQ(a.size(), e.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(stripWallMs(cellJsonRecord(a[i])),
+                  stripWallMs(cellJsonRecord(e[i])))
+            << a[i].benchmark << "/" << schemeName(a[i].scheme);
+    }
+}
+
+/**
+ * Baseline schemes (adaptive routing, vcMono, multi-port) with warmup
+ * reset and the full metric snapshot riding in each record, so the
+ * string comparison is a digest over every exported statistic.
+ */
+ExperimentConfig
+baselineMatrix(bool exhaustive)
+{
+    ExperimentConfig ec;
+    ec.workloads = workloadSubset(2);
+    ec.instScale = 0.04;
+    ec.schemes = {Scheme::SingleBase, Scheme::VcMono, Scheme::MultiPort};
+    ec.collectMetrics = true;
+    ec.warmupCycles = 20;
+    ec.tweak = [exhaustive](SystemConfig &sc) {
+        sc.exhaustiveNocTick = exhaustive;
+    };
+    return ec;
+}
+
+TEST(TickEquivalence, BaselineSchemesJsonlRecordsIdentical)
+{
+    ExperimentRunner act(baselineMatrix(false));
+    ExperimentRunner exh(baselineMatrix(true));
+    auto ca = act.runMatrix();
+    auto ce = exh.runMatrix();
+    expectCellsIdentical(ca, ce);
+}
+
+ExperimentConfig
+equinoxCell(bool exhaustive)
+{
+    ExperimentConfig ec;
+    ec.workloads = workloadSubset(1);
+    ec.instScale = 0.04;
+    ec.schemes = {Scheme::EquiNox};
+    ec.collectMetrics = true;
+    ec.warmupCycles = 20;
+    ec.tweak = [exhaustive](SystemConfig &sc) {
+        sc.design.mcts.iterationsPerLevel = 80;
+        sc.design.polishPasses = 1;
+        sc.exhaustiveNocTick = exhaustive;
+    };
+    return ec;
+}
+
+TEST(TickEquivalence, EquiNoxEirGroupsJsonlRecordIdentical)
+{
+    // EquiNox routes reply traffic through remote-injection EIR
+    // groups: exercises the interposer wires and multi-buffer CB NIs
+    // under both tick schedulers.
+    ExperimentRunner act(equinoxCell(false));
+    ExperimentRunner exh(equinoxCell(true));
+    auto ca = act.runMatrix();
+    auto ce = exh.runMatrix();
+    ASSERT_EQ(ca.size(), 1u);
+    ASSERT_TRUE(ca[0].result.completed);
+    expectCellsIdentical(ca, ce);
+    // The snapshot rode along (metric digest, not just scalars).
+    EXPECT_NE(cellJsonRecord(ca[0]).find("\"m.reply.act.link_flits\":"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace eqx
