@@ -14,6 +14,18 @@
  *   jsonl=<path>  stream per-cell JSONL records
  *   warmup=<n>    reset NoC stats at core cycle n (0 = off)
  *   metrics=1     per-router/per-NI observability snapshot per cell
+ *
+ * Fault-campaign benches additionally accept (see EXPERIMENTS.md):
+ *   fault_rate=<f>     expected fault events / 1000 ticks / network
+ *   fault_types=<s>    stall,corrupt,link_kill,router_kill or the
+ *                      groups transient / permanent / all
+ *   retx_timeout=<n>   initial end-to-end retransmission timeout
+ *   retx_max=<n>       attempts before a packet is declared lost
+ *                      (0 = unlimited)
+ *   fault_seed=<n>     fault stream seed (0 = derive from seed=)
+ *   fault_horizon=<n>  tick range random fault times are drawn from
+ *   detect_latency=<n> kill-to-port-mask detection delay in ticks
+ *   ack_latency=<n>    out-of-band ack path latency in ticks
  */
 
 #ifndef EQX_BENCH_UTIL_HH
@@ -27,6 +39,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "sim/experiment.hh"
 
 namespace eqx {
@@ -53,6 +66,27 @@ applySweepArgs(ExperimentConfig &ec, const Config &cfg)
     ec.jsonlPath = cfg.getString("jsonl", "");
     ec.warmupCycles = static_cast<Cycle>(cfg.getInt("warmup", 0));
     ec.collectMetrics = cfg.getBool("metrics", false);
+}
+
+/** Apply the fault-injection arguments to a fault config. */
+inline void
+applyFaultArgs(FaultConfig &fc, const Config &cfg)
+{
+    fc.ratePerKTick = cfg.getDouble("fault_rate", fc.ratePerKTick);
+    std::string types = cfg.getString("fault_types", "");
+    if (!types.empty() && !parseFaultKinds(types, fc.kinds))
+        eqx_fatal("unknown fault_types spec: '", types, "'");
+    fc.retxTimeout = static_cast<Cycle>(
+        cfg.getInt("retx_timeout", static_cast<long>(fc.retxTimeout)));
+    fc.retxMax = static_cast<int>(cfg.getInt("retx_max", fc.retxMax));
+    fc.seed = static_cast<std::uint64_t>(
+        cfg.getInt("fault_seed", static_cast<long>(fc.seed)));
+    fc.horizonTicks = static_cast<Cycle>(cfg.getInt(
+        "fault_horizon", static_cast<long>(fc.horizonTicks)));
+    fc.detectLatency = static_cast<Cycle>(cfg.getInt(
+        "detect_latency", static_cast<long>(fc.detectLatency)));
+    fc.ackLatency = static_cast<Cycle>(
+        cfg.getInt("ack_latency", static_cast<long>(fc.ackLatency)));
 }
 
 /**

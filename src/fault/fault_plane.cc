@@ -1,0 +1,215 @@
+#include "fault/fault_plane.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+FaultPlane::FaultPlane(const FaultConfig &cfg, std::string net_name,
+                       FaultPlaneHost *host)
+    : cfg_(cfg), net_(std::move(net_name)), host_(host)
+{
+    eqx_assert(host_ != nullptr, "fault plane needs a host");
+    eqx_assert(cfg_.retxTimeout >= 1, "retxTimeout must be >= 1 tick");
+    if (cfg_.retxTimeoutCap < cfg_.retxTimeout)
+        cfg_.retxTimeoutCap = cfg_.retxTimeout;
+}
+
+int
+FaultPlane::addWire(NodeId ni, int buf, NodeId router, bool interposer,
+                    int span_hops, Cycle credit_latency)
+{
+    Wire w;
+    w.ni = ni;
+    w.buf = buf;
+    w.router = router;
+    w.interposer = interposer;
+    w.spanHops = span_hops;
+    w.creditLatency = credit_latency >= 1 ? credit_latency : 1;
+    wires_.push_back(w);
+    return static_cast<int>(wires_.size()) - 1;
+}
+
+int
+FaultPlane::findWire(NodeId ni, int buf) const
+{
+    for (std::size_t i = 0; i < wires_.size(); ++i)
+        if (wires_[i].ni == ni && wires_[i].buf == buf)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+FaultPlane::finalize(std::uint64_t seed)
+{
+    eqx_assert(schedule_.empty() && nextEvent_ == 0,
+               "fault plane finalized twice");
+
+    // Explicit events first: filter by network, resolve wire targets.
+    for (const FaultEvent &src : cfg_.events) {
+        if (!src.net.empty() && src.net != net_)
+            continue;
+        FaultEvent e = src;
+        if (e.wire == FaultEvent::kAnyInterposerWire) {
+            e.wire = -1;
+            for (std::size_t i = 0; i < wires_.size(); ++i) {
+                if (wires_[i].interposer) {
+                    e.wire = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (e.wire < 0)
+                continue; // no interposer wire on this network
+        } else if (e.wire < 0) {
+            e.wire = findWire(e.ni, e.buf);
+            if (e.wire < 0)
+                continue; // structure absent on this network
+        }
+        eqx_assert(e.wire < static_cast<int>(wires_.size()),
+                   "fault event wire out of range");
+        schedule_.push_back(std::move(e));
+    }
+
+    std::vector<FaultWireDesc> descs;
+    descs.reserve(wires_.size());
+    for (const Wire &w : wires_)
+        descs.push_back({w.ni, w.buf, w.router, w.interposer, w.spanHops});
+    for (FaultEvent &e : generateFaultSchedule(cfg_, descs, seed))
+        schedule_.push_back(std::move(e));
+
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.tick < b.tick;
+                     });
+}
+
+void
+FaultPlane::killWire(int wi, Cycle now)
+{
+    Wire &w = wires_[static_cast<std::size_t>(wi)];
+    if (w.killed)
+        return;
+    w.killed = true;
+    ++stats_.killEvents;
+    // Detection is not instant: the NI keeps dispatching to the dead
+    // port for detectLatency ticks (those worms drop and retransmit),
+    // then masks it and redistributes.
+    Cycle detect = cfg_.detectLatency >= 1 ? cfg_.detectLatency : 1;
+    PlaneEvent pe;
+    pe.kind = PlaneEvent::Kind::MaskBuffer;
+    pe.ni = w.ni;
+    pe.buf = w.buf;
+    due_[now + detect].push_back(pe);
+}
+
+void
+FaultPlane::applyEvent(const FaultEvent &e, Cycle now)
+{
+    int wi = e.wire;
+    if (wi < 0)
+        wi = findWire(e.ni, e.buf);
+    if (wi < 0 || wi >= static_cast<int>(wires_.size()))
+        return;
+    Wire &w = wires_[static_cast<std::size_t>(wi)];
+    switch (e.kind) {
+      case FaultKind::TransientStall: {
+        Cycle dur = e.duration >= 1 ? e.duration : 1;
+        w.stallUntil = std::max(w.stallUntil, now + dur);
+        ++stats_.stallEvents;
+        break;
+      }
+      case FaultKind::TransientCorrupt:
+        w.corruptWormsLeft += e.worms >= 1 ? e.worms : 1;
+        ++stats_.corruptEvents;
+        break;
+      case FaultKind::PermanentLinkKill:
+        killWire(wi, now);
+        break;
+      case FaultKind::PermanentRouterInjKill:
+        // The router's injection front end dies: every registered wire
+        // terminating there goes with it.
+        for (std::size_t i = 0; i < wires_.size(); ++i)
+            if (wires_[i].router == w.router)
+                killWire(static_cast<int>(i), now);
+        break;
+    }
+}
+
+void
+FaultPlane::tick(Cycle now)
+{
+    while (nextEvent_ < schedule_.size() &&
+           schedule_[nextEvent_].tick <= now)
+        applyEvent(schedule_[nextEvent_++], now);
+
+    auto it = due_.begin();
+    while (it != due_.end() && it->first <= now) {
+        for (const PlaneEvent &pe : it->second) {
+            switch (pe.kind) {
+              case PlaneEvent::Kind::Ack:
+                ++stats_.acks;
+                host_->faultDeliverAck(pe.ni, pe.peer, pe.seq);
+                break;
+              case PlaneEvent::Kind::CreditReturn:
+                ++stats_.creditsReconciled;
+                host_->faultReturnCredit(pe.ni, pe.buf, pe.vc);
+                break;
+              case PlaneEvent::Kind::MaskBuffer:
+                ++stats_.maskEvents;
+                host_->faultMaskBuffer(pe.ni, pe.buf);
+                break;
+            }
+        }
+        it = due_.erase(it);
+    }
+}
+
+void
+FaultPlane::touchFlit(int wi, Flit &f)
+{
+    Wire &w = wires_[static_cast<std::size_t>(wi)];
+    if (f.isHead) {
+        // Drop decisions are taken at worm boundaries only: a fault
+        // arming mid-worm lets the in-flight worm finish.
+        w.dropWorm = w.killed || w.corruptWormsLeft > 0;
+        if (w.dropWorm && !w.killed)
+            --w.corruptWormsLeft;
+    }
+    if (w.dropWorm)
+        f.fcs ^= 0x5a5a; // the corruption the checksum then detects
+}
+
+void
+FaultPlane::onChecksumDrop(int wi, const Flit &f, Cycle now)
+{
+    const Wire &w = wires_[static_cast<std::size_t>(wi)];
+    ++stats_.flitsDropped;
+    if (f.isHead)
+        ++stats_.wormsDropped;
+    // Credit reconciliation: the sender debited a credit for this flit
+    // but the router never buffered it, so no credit will ever come
+    // back in-band. Restore it after the wire's round-trip latency or
+    // the VC leaks a slot per drop and eventually deadlocks.
+    PlaneEvent pe;
+    pe.kind = PlaneEvent::Kind::CreditReturn;
+    pe.ni = w.ni;
+    pe.buf = w.buf;
+    pe.vc = f.vc;
+    due_[now + w.creditLatency].push_back(pe);
+}
+
+void
+FaultPlane::scheduleAck(NodeId to, NodeId peer, std::uint32_t seq,
+                        Cycle now)
+{
+    Cycle lat = cfg_.ackLatency >= 1 ? cfg_.ackLatency : 1;
+    PlaneEvent pe;
+    pe.kind = PlaneEvent::Kind::Ack;
+    pe.ni = to;
+    pe.peer = peer;
+    pe.seq = seq;
+    due_[now + lat].push_back(pe);
+}
+
+} // namespace eqx

@@ -26,4 +26,13 @@ UbumpModel::areaForBumps(int bumps) const
     return bumps * bumpAreaMm2();
 }
 
+double
+UbumpModel::faultExposureWeight(bool interposer, int span_hops) const
+{
+    if (!interposer)
+        return 1.0;
+    return static_cast<double>(bumpsPerWireRoundTrip) +
+           static_cast<double>(span_hops < 0 ? 0 : span_hops);
+}
+
 } // namespace eqx

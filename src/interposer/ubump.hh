@@ -35,6 +35,15 @@ struct UbumpModel
 
     /** Total area for a bump count, in mm^2. */
     double areaForBumps(int bumps) const;
+
+    /**
+     * Relative fault exposure of one injection wire, used to weight
+     * random fault-site selection (fault subsystem, DESIGN.md §11).
+     * An interposer wire is exposed through each ubump it lands on
+     * plus its RDL run (one unit per mesh hop spanned); an on-die NI
+     * feed has unit exposure.
+     */
+    double faultExposureWeight(bool interposer, int span_hops) const;
 };
 
 } // namespace eqx

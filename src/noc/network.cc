@@ -92,8 +92,11 @@ Network::Network(const NetworkSpec &spec)
             int in_idx = routerRef(i).addInputPort(PortKind::LocalInj,
                                                    Dir::Local, cc);
             int buf = ni->addInjBuffer(1, fc, i, /*interposer=*/false);
+            auto wi = static_cast<std::uint32_t>(routerFlitWires_.size());
             routerFlitWires_.push_back({fc, i, in_idx});
             niCreditWires_.push_back({cc, i, buf});
+            injWires_.push_back({wi, i, buf, i, /*interposer=*/false,
+                                 /*spanHops=*/0, /*creditLatency=*/1});
         }
 
         // Ejection port(s).
@@ -129,8 +132,11 @@ Network::Network(const NetworkSpec &spec)
                                                    Dir::Local, cc);
             int buf = nis_[static_cast<std::size_t>(cb)]->addInjBuffer(
                 1, fc, e, /*interposer=*/true);
+            auto wi = static_cast<std::uint32_t>(routerFlitWires_.size());
             routerFlitWires_.push_back({fc, e, in_idx});
             niCreditWires_.push_back({cc, cb, buf});
+            injWires_.push_back({wi, cb, buf, e, /*interposer=*/true,
+                                 span, static_cast<Cycle>(lat)});
             ++remoteInjPorts_;
         }
     }
@@ -159,6 +165,55 @@ Network::Network(const NetworkSpec &spec)
         for (auto &w : niCreditWires_)
             w.chan->setScheduler(this, tag++);
     }
+}
+
+void
+Network::armFaults(const FaultConfig &cfg, const std::string &name,
+                   std::uint64_t seed)
+{
+    eqx_assert(!plane_, "armFaults: faults already armed");
+    eqx_assert(tick_ == 0, "armFaults: network already ticked");
+    if (!cfg.enabled())
+        return;
+    plane_ = std::make_unique<FaultPlane>(
+        cfg, name, static_cast<FaultPlaneHost *>(this));
+    wireFault_.assign(routerFlitWires_.size(), -1);
+    for (const auto &iw : injWires_) {
+        int id = plane_->addWire(iw.ni, iw.buf, iw.router,
+                                 iw.interposer, iw.spanHops,
+                                 iw.creditLatency);
+        wireFault_[iw.wire] = id;
+    }
+    plane_->finalize(seed);
+    for (auto &ni : nis_)
+        ni->attachFaultPlane(plane_.get());
+}
+
+void
+Network::faultDeliverAck(NodeId ni, NodeId peer, std::uint32_t seq)
+{
+    nis_[static_cast<std::size_t>(ni)]->ackArrived(peer, seq);
+}
+
+void
+Network::faultReturnCredit(NodeId ni, int buf, int vc)
+{
+    nis_[static_cast<std::size_t>(ni)]->creditArrived(buf, vc);
+}
+
+void
+Network::faultMaskBuffer(NodeId ni, int buf)
+{
+    nis_[static_cast<std::size_t>(ni)]->maskBuffer(buf);
+}
+
+int
+Network::maskedInjBuffers() const
+{
+    int total = 0;
+    for (const auto &ni : nis_)
+        total += ni->maskedBuffers();
+    return total;
 }
 
 void
@@ -207,6 +262,8 @@ Network::internalTick()
         return;
     }
     ++tick_;
+    if (plane_)
+        plane_->tick(tick_);
     deliver();
     // The three stage passes reproduce the exhaustive order (all SA,
     // then all VA, then all RC, ascending router id). The router
@@ -257,6 +314,8 @@ void
 Network::internalTickExhaustive()
 {
     ++tick_;
+    if (plane_)
+        plane_->tick(tick_);
     deliverExhaustive();
     for (auto &r : routers_)
         r->switchAllocStage(tick_);
@@ -281,6 +340,30 @@ Network::deliverWire(std::uint32_t wire)
 {
     if (wire < niFlitBase_) {
         auto &w = routerFlitWires_[wire];
+        int fw = plane_ ? wireFault_[wire] : -1;
+        if (fw >= 0) {
+            if (plane_->wireStalled(fw, tick_)) {
+                // Withheld: repost so the arrival is retried next tick
+                // (flits keep accumulating in the channel meanwhile).
+                // Reposts can momentarily duplicate a wire in a wheel
+                // slot; the second visit's receive loop just finds the
+                // channel drained.
+                channelDue(wire, tick_ + 1);
+                return;
+            }
+            Flit f;
+            while (w.chan->receive(tick_, f)) {
+                plane_->touchFlit(fw, f);
+                if (f.fcs != flitFcs(f)) {
+                    plane_->onChecksumDrop(fw, f, tick_);
+                    continue;
+                }
+                routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+                    w.port, std::move(f), tick_);
+            }
+            markRouterActive(w.router);
+            return;
+        }
         Flit f;
         while (w.chan->receive(tick_, f))
             routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
@@ -323,10 +406,27 @@ void
 Network::deliverExhaustive()
 {
     Flit f;
-    for (auto &w : routerFlitWires_)
+    for (std::size_t i = 0; i < routerFlitWires_.size(); ++i) {
+        auto &w = routerFlitWires_[i];
+        int fw = plane_ ? wireFault_[i] : -1;
+        if (fw >= 0) {
+            if (plane_->wireStalled(fw, tick_))
+                continue; // the exhaustive scan retries every tick
+            while (w.chan->receive(tick_, f)) {
+                plane_->touchFlit(fw, f);
+                if (f.fcs != flitFcs(f)) {
+                    plane_->onChecksumDrop(fw, f, tick_);
+                    continue;
+                }
+                routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+                    w.port, std::move(f), tick_);
+            }
+            continue;
+        }
         while (w.chan->receive(tick_, f))
             routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
                 w.port, std::move(f), tick_);
+    }
     for (auto &w : niFlitWires_)
         while (w.chan->receive(tick_, f))
             nis_[static_cast<std::size_t>(w.ni)]->acceptEjectedFlit(
@@ -392,6 +492,8 @@ Network::resetStats()
         r->resetStats(tick_);
     for (auto &ni : nis_)
         ni->resetStats();
+    if (plane_)
+        plane_->resetStats();
 }
 
 namespace {
@@ -448,6 +550,34 @@ Network::exportStats(StatGroup &sg, const std::string &prefix) const
     setAt(root, "act.link_flits", static_cast<double>(activity_.linkFlits));
     setAt(root, "act.interposer_flits",
           static_cast<double>(activity_.interposerLinkFlits));
+    // Fault/recovery counters, present only on armed networks so the
+    // un-faulted export schema is untouched.
+    if (plane_) {
+        const FaultStats &fs = plane_->stats();
+        key.resize(root);
+        key += "fault.";
+        const std::size_t fk = key.size();
+        setAt(fk, "seq_packets", static_cast<double>(fs.seqPackets));
+        setAt(fk, "delivered", static_cast<double>(fs.delivered));
+        setAt(fk, "duplicates", static_cast<double>(fs.duplicates));
+        setAt(fk, "retx", static_cast<double>(fs.retransmissions));
+        setAt(fk, "lost", static_cast<double>(fs.lost));
+        setAt(fk, "acks", static_cast<double>(fs.acks));
+        setAt(fk, "worms_dropped",
+              static_cast<double>(fs.wormsDropped));
+        setAt(fk, "flits_dropped",
+              static_cast<double>(fs.flitsDropped));
+        setAt(fk, "credits_reconciled",
+              static_cast<double>(fs.creditsReconciled));
+        setAt(fk, "stall_events", static_cast<double>(fs.stallEvents));
+        setAt(fk, "corrupt_events",
+              static_cast<double>(fs.corruptEvents));
+        setAt(fk, "kill_events", static_cast<double>(fs.killEvents));
+        setAt(fk, "mask_events", static_cast<double>(fs.maskEvents));
+        setAt(fk, "masked_ports",
+              static_cast<double>(maskedInjBuffers()));
+    }
+
     static const char *cls_name[2] = {"req", "rep"};
     for (int c = 0; c < 2; ++c) {
         key.resize(root);
@@ -540,6 +670,10 @@ Network::drained() const
     for (const auto &c : flitChans_)
         if (!c->empty())
             return false;
+    // A pending recovery event (ack, reconciliation credit, mask) is
+    // as real as a buffered flit.
+    if (plane_ && !plane_->quiescent())
+        return false;
     return true;
 }
 

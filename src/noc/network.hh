@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault_model.hh"
+#include "fault/fault_plane.hh"
 #include "noc/channel.hh"
 #include "noc/network_interface.hh"
 #include "noc/packet.hh"
@@ -59,7 +61,7 @@ struct NetworkSpec
  * bit-identical to the exhaustive loop (params.exhaustiveTick keeps
  * the old loop available for equivalence tests and benchmarking).
  */
-class Network : private ChannelScheduler
+class Network : private ChannelScheduler, private FaultPlaneHost
 {
   public:
     explicit Network(const NetworkSpec &spec);
@@ -120,6 +122,22 @@ class Network : private ChannelScheduler
     int numRemoteInjPorts() const { return remoteInjPorts_; }
 
     /**
+     * Arm fault injection (DESIGN.md §11): register every injection
+     * wire with a new FaultPlane, resolve @p cfg's schedule against
+     * them under @p seed, and attach the recovery protocol to all NIs.
+     * Must run before the first tick; a disabled config is a no-op, so
+     * un-faulted runs stay bit-identical to a build without faults.
+     * @p name tags this network for FaultEvent::net filtering.
+     */
+    void armFaults(const FaultConfig &cfg, const std::string &name,
+                   std::uint64_t seed);
+    /** The armed fault plane, or nullptr. */
+    const FaultPlane *faultPlane() const { return plane_.get(); }
+    bool faultArmed() const { return plane_ != nullptr; }
+    /** Injection buffers currently masked by fault detection. */
+    int maskedInjBuffers() const;
+
+    /**
      * Activity-scheduler invariant check (tests): every router holding
      * buffered flits and every non-idle NI must be on its active set.
      * Always true in exhaustive mode.
@@ -135,6 +153,14 @@ class Network : private ChannelScheduler
 
     /** ChannelScheduler: record a pending arrival for a wire. */
     void channelDue(std::uint32_t tag, Cycle due) override;
+
+    // FaultPlaneHost: out-of-band recovery events land on the NIs. No
+    // activation is needed — an NI with protocol state in flight is
+    // non-idle and therefore already on the active set.
+    void faultDeliverAck(NodeId ni, NodeId peer,
+                         std::uint32_t seq) override;
+    void faultReturnCredit(NodeId ni, int buf, int vc) override;
+    void faultMaskBuffer(NodeId ni, int buf) override;
 
     void markRouterActive(NodeId r)
     {
@@ -172,6 +198,26 @@ class Network : private ChannelScheduler
     std::vector<NiFlitWire> niFlitWires_;
     std::vector<RouterCreditWire> routerCreditWires_;
     std::vector<NiCreditWire> niCreditWires_;
+
+    /** One NI-to-router injection wire: the fault domain (DESIGN.md
+     *  §11.1). Recorded at construction so armFaults() can register
+     *  them with the plane in deterministic build order. */
+    struct InjWire
+    {
+        std::uint32_t wire;    ///< index into routerFlitWires_
+        NodeId ni;
+        int buf;               ///< NI injection-buffer index
+        NodeId router;
+        bool interposer;       ///< EIR link (ubump/RDL structure)
+        int spanHops;
+        Cycle creditLatency;
+    };
+    std::vector<InjWire> injWires_;
+
+    std::unique_ptr<FaultPlane> plane_;
+    /** routerFlitWires_ index -> plane wire id, or -1 (mesh links and
+     *  any wire while un-armed are outside the fault domain). */
+    std::vector<int> wireFault_;
 
     // ---- Activity-driven scheduling (DESIGN.md §10) ----
     /**

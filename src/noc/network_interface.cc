@@ -58,6 +58,27 @@ NetworkInterface::inject(const PacketPtr &pkt, Cycle now_ticks)
     if (!canInject())
         return false;
     pkt->cycleCreated = now_ticks;
+    if (plane_) {
+        // Enter the end-to-end protocol: stamp the delivery identity
+        // and open a retransmission record (DESIGN.md §11.3).
+        pkt->seqSrc = node_;
+        pkt->seq = nextSeq_[pkt->dst]++;
+        RetxRecord r;
+        r.peer = pkt->dst;
+        r.seq = pkt->seq;
+        r.type = pkt->type;
+        r.src = pkt->src;
+        r.dst = pkt->dst;
+        r.finalDst = pkt->finalDst;
+        r.bits = pkt->bits;
+        r.addr = pkt->addr;
+        r.tag = pkt->tag;
+        r.created = now_ticks;
+        r.timeout = plane_->config().retxTimeout;
+        r.deadline = now_ticks + r.timeout;
+        retx_.push_back(std::move(r));
+        ++plane_->stats().seqPackets;
+    }
     coreQueue_.push_back(pkt);
     return true;
 }
@@ -119,6 +140,18 @@ NetworkInterface::tickEjection(Cycle now_ticks)
         if (p.creditUp)
             p.creditUp->send(Credit{0, vc}, now_ticks);
         if (f.isTail) {
+            if (plane_ && f.pkt->seqSrc != kInvalidNode) {
+                // Ack every tail (re-acking a duplicate is how a
+                // sender whose first ack raced a timeout converges),
+                // then discard duplicate deliveries.
+                plane_->scheduleAck(f.pkt->seqSrc, node_, f.pkt->seq,
+                                    now_ticks);
+                if (!seen_[f.pkt->seqSrc].insert(f.pkt->seq)) {
+                    ++plane_->stats().duplicates;
+                    continue;
+                }
+                ++plane_->stats().delivered;
+            }
             f.pkt->cycleEjected = now_ticks;
             int c = LatencyStats::classIdx(f.pkt->type);
             latency_->queueLat[c].add(
@@ -174,6 +207,8 @@ NetworkInterface::serializeBuffer(InjBuffer &b, Cycle now_ticks)
     f.isHead = b.flitsSent == 0;
     f.isTail = b.flitsSent == b.numFlits - 1;
     f.vc = b.vc;
+    if (plane_)
+        f.fcs = flitFcs(f); // verified where the wire delivers
     if (f.isHead) {
         b.current->cycleInjected = now_ticks;
         b.current->entryRouter = b.targetRouter;
@@ -233,7 +268,69 @@ NetworkInterface::tick(Cycle now_ticks, Cycle core_now)
         // Pure traffic-sink mode: consume unconditionally.
         delivered_.clear();
     }
+    if (plane_ && !retx_.empty())
+        tickResilience(now_ticks);
     tickInjection(now_ticks);
+}
+
+void
+NetworkInterface::tickResilience(Cycle now_ticks)
+{
+    const FaultConfig &fc = plane_->config();
+    for (std::size_t i = 0; i < retx_.size();) {
+        RetxRecord &r = retx_[i];
+        if (now_ticks < r.deadline) {
+            ++i;
+            continue;
+        }
+        if (fc.retxMax > 0 && r.attempts >= fc.retxMax) {
+            ++plane_->stats().lost;
+            retx_.erase(retx_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+            continue;
+        }
+        // Rebuild a clone carrying the original delivery identity (the
+        // receiver dedups, so a spurious timeout cannot deliver twice)
+        // and the original creation time (latency-under-faults numbers
+        // measure true end-to-end time, recovery included). It jumps
+        // the core-queue capacity on purpose: the packet already held
+        // a slot on its first attempt.
+        PacketPtr clone =
+            makePacket(r.type, r.src, r.dst, r.bits, r.addr, r.tag);
+        clone->finalDst = r.finalDst;
+        clone->seqSrc = node_;
+        clone->seq = r.seq;
+        clone->cycleCreated = r.created;
+        coreQueue_.push_front(std::move(clone));
+        ++r.attempts;
+        r.timeout = std::min(r.timeout * 2, fc.retxTimeoutCap);
+        r.deadline = now_ticks + r.timeout;
+        ++plane_->stats().retransmissions;
+        ++i;
+    }
+}
+
+void
+NetworkInterface::ackArrived(NodeId peer, std::uint32_t seq)
+{
+    for (std::size_t i = 0; i < retx_.size(); ++i) {
+        if (retx_[i].peer == peer && retx_[i].seq == seq) {
+            retx_.erase(retx_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+    // A re-ack for an already-closed (or abandoned) record: ignore.
+}
+
+void
+NetworkInterface::maskBuffer(int buf)
+{
+    auto &b = bufs_[static_cast<std::size_t>(buf)];
+    if (!b.masked) {
+        b.masked = true;
+        ++maskedBufs_;
+    }
 }
 
 void
@@ -249,6 +346,11 @@ NetworkInterface::resetStats()
 bool
 NetworkInterface::idle() const
 {
+    // An open retransmission record is pending work: it keeps the NI
+    // on the active set (so timeouts are polled) and the network
+    // undrained (so a run cannot "finish" with a packet outstanding).
+    if (!retx_.empty())
+        return false;
     if (!coreQueue_.empty() || !delivered_.empty())
         return false;
     for (const auto &b : bufs_)
@@ -276,9 +378,23 @@ MultiPortNi::selectBuffer(const PacketPtr &)
     for (int i = 0; i < n; ++i) {
         int idx = (rr_ + 1 + i) % n;
         const auto &b = bufs_[static_cast<std::size_t>(idx)];
+        if (b.masked)
+            continue;
         if (static_cast<int>(b.queue.size()) < b.capacityPackets) {
             rr_ = idx;
             return idx;
+        }
+    }
+    if (maskedBufs_ == n) {
+        // Every port masked: dispatch anyway (last resort — the dead
+        // wires drop, end-to-end recovery keeps the accounting sane).
+        for (int i = 0; i < n; ++i) {
+            int idx = (rr_ + 1 + i) % n;
+            const auto &b = bufs_[static_cast<std::size_t>(idx)];
+            if (static_cast<int>(b.queue.size()) < b.capacityPackets) {
+                rr_ = idx;
+                return idx;
+            }
         }
     }
     return -1;
@@ -293,14 +409,23 @@ EquiNoxNi::selectBuffer(const PacketPtr &pkt)
     eqx_assert(!(src == dst), "CB does not send packets to itself");
     int base = manhattan(src, dst);
 
-    // Collect EIR buffers that lie on a shortest path and are free.
+    // Collect EIR buffers that lie on a shortest path and are free,
+    // skipping fault-masked ports (a no-op on a healthy NI, keeping
+    // the fault-free policy bit-identical to the pre-fault one).
     int free_eligible[2] = {-1, -1};
     int num_free = 0;
+    int sp_masked = 0;   ///< shortest-path EIRs lost to masking
+    int sp_unmasked = 0; ///< shortest-path EIRs still in service
     for (int i = 1; i < numInjBuffers(); ++i) {
         const auto &b = bufs_[static_cast<std::size_t>(i)];
         Coord e = b.targetCoord;
         if (manhattan(src, e) + manhattan(e, dst) != base)
             continue;
+        if (b.masked) {
+            ++sp_masked;
+            continue;
+        }
+        ++sp_unmasked;
         if (b.availableForDispatch() && num_free < 2)
             free_eligible[num_free++] = i;
     }
@@ -314,15 +439,41 @@ EquiNoxNi::selectBuffer(const PacketPtr &pkt)
         // At most one shortest-path EIR exists; use it, else local.
         if (num_free >= 1)
             return free_eligible[0];
+    } else {
+        // Quadrant destination: up to two shortest-path EIRs.
+        if (num_free == 2) {
+            rr_ ^= 1;
+            return free_eligible[rr_];
+        }
+        if (num_free == 1)
+            return free_eligible[0];
+    }
+
+    // No dispatchable shortest-path EIR. The legacy fallback (local
+    // port, else retry) applies while any shortest-path EIR is merely
+    // busy — or never existed for this destination.
+    if (sp_masked == 0 || sp_unmasked > 0)
         return local_free ? 0 : -1;
+
+    // Degraded fail-over (DESIGN.md §11.4): masking removed every
+    // shortest-path EIR, so equivalence is what's left — any surviving
+    // EIR is still a valid injection point at the cost of a
+    // non-minimal first hop. Rotate strictly over survivors so the
+    // redistributed load stays fair.
+    int n = numInjBuffers();
+    for (int k = 1; k < n; ++k) {
+        int i = 1 + (failRr_ + k) % (n - 1);
+        const auto &b = bufs_[static_cast<std::size_t>(i)];
+        if (b.masked)
+            continue;
+        if (b.availableForDispatch()) {
+            failRr_ = i - 1;
+            return i;
+        }
     }
-    // Quadrant destination: up to two shortest-path EIRs.
-    if (num_free == 2) {
-        rr_ ^= 1;
-        return free_eligible[rr_];
-    }
-    if (num_free == 1)
-        return free_eligible[0];
+    // Survivors busy, or every EIR masked: the local port is the last
+    // resort (never masked out of consideration — a CB with no usable
+    // injection point at all would livelock the core queue).
     return local_free ? 0 : -1;
 }
 

@@ -16,10 +16,13 @@
 #define EQX_NOC_NETWORK_INTERFACE_HH
 
 #include <deque>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault_plane.hh"
 #include "noc/channel.hh"
 #include "noc/packet.hh"
 #include "noc/params.hh"
@@ -89,6 +92,9 @@ class NetworkInterface
         bool interposer = false;        ///< EIR link (energy accounting)
         NodeId targetRouter = kInvalidNode;
         Coord targetCoord;              ///< cached for buffer selection
+        /** Fault detection masked this port: selectBuffer policies
+         *  must route around it (DESIGN.md §11.4). */
+        bool masked = false;
 
         PacketPtr current;              ///< packet mid-serialization
         int numFlits = 0;
@@ -143,6 +149,17 @@ class NetworkInterface
     /** Credit returned by the router for injection buffer @p buf. */
     void creditArrived(int buf, int vc);
 
+    // ---- Fault-recovery protocol (active only when a plane is
+    // attached; see DESIGN.md §11.3) ----
+    /** Arm the end-to-end protocol: inject() stamps sequence numbers
+     *  and opens retransmission records, ejection acks and dedups. */
+    void attachFaultPlane(FaultPlane *plane) { plane_ = plane; }
+    /** End-to-end ack from @p peer: close the (peer, seq) record. */
+    void ackArrived(NodeId peer, std::uint32_t seq);
+    /** Fault detection: stop dispatching to injection buffer @p buf. */
+    void maskBuffer(int buf);
+    int maskedBuffers() const { return maskedBufs_; }
+
     /** Flit arriving from a router ejection port. */
     void acceptEjectedFlit(int ej_port, Flit f);
 
@@ -183,15 +200,69 @@ class NetworkInterface
     std::vector<EjPort> ejPorts_;
     std::deque<PacketPtr> delivered_;
     PacketSink *sink_ = nullptr;
+    FaultPlane *plane_ = nullptr;
+    int maskedBufs_ = 0;
 
   private:
+    /** One un-acked packet awaiting a possible retransmission. The
+     *  record snapshots the fields needed to rebuild a clone, so a
+     *  retransmit never aliases packet state an endpoint or stale
+     *  in-network flit might still reference. */
+    struct RetxRecord
+    {
+        NodeId peer = kInvalidNode; ///< destination NI
+        std::uint32_t seq = 0;
+        PacketType type = PacketType::ReadRequest;
+        NodeId src = kInvalidNode;
+        NodeId dst = kInvalidNode;
+        NodeId finalDst = kInvalidNode;
+        int bits = 0;
+        Addr addr = 0;
+        std::uint64_t tag = 0;
+        Cycle created = 0;     ///< first-attempt timestamp (latency)
+        Cycle deadline = 0;
+        Cycle timeout = 0;     ///< current (backed-off) timeout
+        int attempts = 0;      ///< retransmissions performed
+    };
+
+    /** Receive-side dedup window per source NI: everything below
+     *  lowWater was delivered; out-of-order arrivals sit in `sparse`
+     *  until the window closes behind them, keeping the set tiny. */
+    struct SeqTracker
+    {
+        std::uint32_t lowWater = 0;
+        std::set<std::uint32_t> sparse;
+
+        /** @return true when first seen (deliver), false on a dup. */
+        bool
+        insert(std::uint32_t s)
+        {
+            if (s < lowWater)
+                return false;
+            if (!sparse.insert(s).second)
+                return false;
+            while (!sparse.empty() && *sparse.begin() == lowWater) {
+                sparse.erase(sparse.begin());
+                ++lowWater;
+            }
+            return true;
+        }
+    };
+
     void tickEjection(Cycle now_ticks);
     void tickInjection(Cycle now_ticks);
     void serializeBuffer(InjBuffer &b, Cycle now_ticks);
+    /** Expire / retransmit overdue protocol records. */
+    void tickResilience(Cycle now_ticks);
 
     /// Scratch list of occupied eject VCs, reused across ticks so the
     /// per-port arbitration allocates nothing on the hot path.
     std::vector<int> ejReqs_;
+
+    // Protocol state (allocated lazily; empty unless plane_ is set).
+    std::map<NodeId, std::uint32_t> nextSeq_; ///< per-destination
+    std::vector<RetxRecord> retx_;
+    std::map<NodeId, SeqTracker> seen_;       ///< per-source dedup
 };
 
 /** Single-buffer NI (baseline for PEs and non-EquiNox CBs). */
@@ -223,6 +294,14 @@ class MultiPortNi : public NetworkInterface
  * Buffer Selection 1 policy: only shortest-path EIRs are eligible;
  * quadrant destinations round-robin between the two eligible EIRs;
  * fall back to the local buffer; otherwise retry next cycle.
+ *
+ * Fail-over (DESIGN.md §11.4): when fault detection masks EIR ports,
+ * unmasked shortest-path EIRs keep the legacy policy; once every
+ * shortest-path EIR is masked, dispatch rotates round-robin over all
+ * surviving EIRs — the equivalence property doing real work: any
+ * surviving EIR is still a valid injection point, at the cost of a
+ * non-minimal first hop. With every EIR masked, traffic degrades to
+ * the local port.
  */
 class EquiNoxNi : public NetworkInterface
 {
@@ -234,6 +313,9 @@ class EquiNoxNi : public NetworkInterface
 
   private:
     int rr_ = 0;
+    /** Separate rotation cursor for degraded-mode fail-over so the
+     *  un-masked policy's rr_ sequence stays bit-identical. */
+    int failRr_ = 0;
 };
 
 } // namespace eqx

@@ -53,6 +53,17 @@ struct Packet
      */
     NodeId finalDst = kInvalidNode;
 
+    /**
+     * End-to-end delivery identity, stamped by the source NI only when
+     * the fault-recovery protocol is armed (DESIGN.md §11.3): seqSrc
+     * is the injecting NI and seq its per-destination sequence number.
+     * A retransmitted clone carries the original identity so the
+     * receiver can discard duplicates. seqSrc == kInvalidNode means
+     * the packet is outside the protocol.
+     */
+    NodeId seqSrc = kInvalidNode;
+    std::uint32_t seq = 0;
+
     Cycle queueLatency() const { return cycleInjected - cycleCreated; }
     Cycle networkLatency() const { return cycleEjected - cycleInjected; }
     Cycle totalLatency() const { return cycleEjected - cycleCreated; }
@@ -184,6 +195,11 @@ struct Flit
     /** Scratch: cycle this flit entered the current router's buffer
      *  (internal network ticks), for per-router residence stats. */
     Cycle arrived = 0;
+
+    /** Per-flit checksum, stamped by the NI serializer only on
+     *  fault-armed networks and verified where a wire delivers into a
+     *  router; 0 and ignored otherwise (DESIGN.md §11.2). */
+    std::uint16_t fcs = 0;
 };
 
 /** A flow-control credit returned upstream for one freed buffer slot. */

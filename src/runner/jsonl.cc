@@ -115,6 +115,18 @@ JsonObject::field(const std::string &k, bool v)
     return *this;
 }
 
+JsonObject &
+JsonObject::merge(const JsonObject &other)
+{
+    if (other.first_)
+        return *this;
+    if (!first_)
+        body_ += ',';
+    first_ = false;
+    body_ += other.body_;
+    return *this;
+}
+
 std::string
 JsonObject::str() const
 {

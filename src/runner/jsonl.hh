@@ -32,6 +32,12 @@ class JsonObject
     JsonObject &field(const std::string &key, int v);
     JsonObject &field(const std::string &key, bool v);
 
+    /** Splice every field of @p other in after this object's own
+     *  (caller keeps keys disjoint; duplicates are not checked). */
+    JsonObject &merge(const JsonObject &other);
+
+    bool empty() const { return first_; }
+
     /** The finished object, e.g. {"a":1,"b":"x"}. */
     std::string str() const;
 

@@ -48,6 +48,7 @@ ExperimentRunner::makeSystemConfig(Scheme scheme) const
     sc.seed = cfg_.seed;
     sc.warmupCycles = cfg_.warmupCycles;
     sc.collectMetrics = cfg_.collectMetrics;
+    sc.fault = cfg_.fault;
     if (cfg_.tweak)
         cfg_.tweak(sc);
     return sc;
@@ -176,6 +177,32 @@ cellJsonRecord(const CellResult &c)
         .field("rep_p95_ns", r.repP95Ns)
         .field("rep_p99_ns", r.repP99Ns)
         .field("max_eir_load", r.maxEirLoadPackets);
+    // Fault-resilience columns appear only on fault-armed runs so
+    // the un-faulted record schema stays byte-identical.
+    if (r.faultArmed) {
+        double dr = r.faultSeqPackets
+                        ? static_cast<double>(r.faultDelivered) /
+                              static_cast<double>(r.faultSeqPackets)
+                        : 0.0;
+        double rr = r.faultSeqPackets
+                        ? static_cast<double>(r.faultRetx) /
+                              static_cast<double>(r.faultSeqPackets)
+                        : 0.0;
+        o.field("fault_armed", r.faultArmed)
+            .field("degraded", r.degraded)
+            .field("fault_seq_packets", r.faultSeqPackets)
+            .field("fault_delivered", r.faultDelivered)
+            .field("fault_dups", r.faultDuplicates)
+            .field("fault_retx", r.faultRetx)
+            .field("fault_lost", r.faultLost)
+            .field("fault_worms_dropped", r.faultWormsDropped)
+            .field("fault_flits_dropped", r.faultFlitsDropped)
+            .field("fault_credits_reconciled",
+                   r.faultCreditsReconciled)
+            .field("fault_masked_ports", r.faultMaskedPorts)
+            .field("delivered_ratio", dr)
+            .field("retx_rate", rr);
+    }
     // The observability snapshot rides along "m."-prefixed so schema
     // consumers can separate the fixed columns from the per-router
     // keys (present only when metrics collection was enabled).

@@ -57,6 +57,11 @@ struct ExperimentConfig
     /** Collect the per-router/per-NI snapshot into each RunResult and
      *  emit it ("m."-prefixed keys) in JSONL records. */
     bool collectMetrics = false;
+    /** Fault injection applied to every cell (DESIGN.md §11). JSONL
+     *  records of fault-armed runs grow the fault_* columns; a
+     *  disabled config leaves the schema and results byte-identical
+     *  to a fault-free build. */
+    FaultConfig fault;
     /** Applied to every per-run SystemConfig before construction.
      *  Must be thread-safe when workers != 1 (called concurrently). */
     std::function<void(SystemConfig &)> tweak;

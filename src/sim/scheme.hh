@@ -12,6 +12,7 @@
 
 #include "common/cancel.hh"
 #include "core/design_flow.hh"
+#include "fault/fault_model.hh"
 #include "gpu/cache_bank.hh"
 #include "gpu/pe.hh"
 #include "noc/params.hh"
@@ -105,6 +106,16 @@ struct SystemConfig
      * winds down at the next cycle boundary with completed == false.
      */
     const CancelToken *cancel = nullptr;
+
+    /**
+     * Fault injection and recovery (DESIGN.md §11). Disabled by
+     * default; when enabled, every network the scheme builds is armed
+     * with this config under a per-network stream seed derived from
+     * (fault.seed ? fault.seed : seed, "fault", network name), so
+     * sweeps stay decorrelated and reproducible regardless of worker
+     * count.
+     */
+    FaultConfig fault;
 };
 
 } // namespace eqx

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/placement.hh"
+#include "runner/stream_seed.hh"
 
 namespace eqx {
 
@@ -288,6 +289,15 @@ System::buildNetworks()
         break;
       }
     }
+
+    if (cfg_.fault.enabled()) {
+        std::uint64_t base = cfg_.fault.seed ? cfg_.fault.seed
+                                             : cfg_.seed;
+        for (auto &net : nets_)
+            net->armFaults(cfg_.fault, net->params().name,
+                           deriveStreamSeed(base, "fault",
+                                            net->params().name));
+    }
 }
 
 void
@@ -531,6 +541,23 @@ System::collect(RunResult &out) const
                              ni.injBuffer(b).packetsInjected);
         }
     }
+
+    for (const auto &net : nets_) {
+        if (!net->faultArmed())
+            continue;
+        out.faultArmed = true;
+        const FaultStats &fs = net->faultPlane()->stats();
+        out.faultSeqPackets += fs.seqPackets;
+        out.faultDelivered += fs.delivered;
+        out.faultDuplicates += fs.duplicates;
+        out.faultRetx += fs.retransmissions;
+        out.faultLost += fs.lost;
+        out.faultWormsDropped += fs.wormsDropped;
+        out.faultFlitsDropped += fs.flitsDropped;
+        out.faultCreditsReconciled += fs.creditsReconciled;
+        out.faultMaskedPorts += net->maskedInjBuffers();
+    }
+    out.degraded = out.faultMaskedPorts > 0;
 
     if (cfg_.collectMetrics) {
         out.metrics.reset();

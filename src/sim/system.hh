@@ -61,6 +61,20 @@ struct RunResult
      */
     std::uint64_t maxEirLoadPackets = 0;
 
+    // Fault/recovery aggregates over every network (DESIGN.md §11);
+    // all zero unless SystemConfig::fault was enabled.
+    bool faultArmed = false;
+    bool degraded = false;    ///< fault detection masked >= 1 port
+    std::uint64_t faultSeqPackets = 0;
+    std::uint64_t faultDelivered = 0;
+    std::uint64_t faultDuplicates = 0;
+    std::uint64_t faultRetx = 0;
+    std::uint64_t faultLost = 0;
+    std::uint64_t faultWormsDropped = 0;
+    std::uint64_t faultFlitsDropped = 0;
+    std::uint64_t faultCreditsReconciled = 0;
+    int faultMaskedPorts = 0;
+
     /**
      * Full observability snapshot (per-router, per-port, per-NI-buffer
      * counters, DESIGN.md §9); populated only when

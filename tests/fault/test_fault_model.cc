@@ -1,0 +1,336 @@
+/** @file Fault taxonomy, schedule generation and the fault plane. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "fault/fault_plane.hh"
+
+namespace eqx {
+namespace {
+
+std::vector<FaultWireDesc>
+mixedWires()
+{
+    // Two on-die NI feeds and two interposer EIR links.
+    return {
+        {0, 0, 0, false, 0},
+        {1, 0, 1, false, 0},
+        {2, 1, 5, true, 2},
+        {2, 2, 7, true, 3},
+    };
+}
+
+TEST(FaultKinds, ParseTokensAndGroups)
+{
+    std::uint32_t k = 0;
+    ASSERT_TRUE(parseFaultKinds("stall,corrupt", k));
+    EXPECT_EQ(k, kTransientFaultKinds);
+    ASSERT_TRUE(parseFaultKinds("link_kill", k));
+    EXPECT_EQ(k, faultBit(FaultKind::PermanentLinkKill));
+    ASSERT_TRUE(parseFaultKinds("transient,router_kill", k));
+    EXPECT_EQ(k, kTransientFaultKinds |
+                     faultBit(FaultKind::PermanentRouterInjKill));
+    ASSERT_TRUE(parseFaultKinds("all", k));
+    EXPECT_EQ(k, kAllFaultKinds);
+    EXPECT_FALSE(parseFaultKinds("meltdown", k));
+}
+
+TEST(FaultSchedule, DeterministicForSeedAndDecorrelatedAcrossSeeds)
+{
+    FaultConfig cfg;
+    cfg.ratePerKTick = 50;
+    cfg.kinds = kAllFaultKinds;
+    cfg.horizonTicks = 10'000;
+    auto wires = mixedWires();
+
+    auto a = generateFaultSchedule(cfg, wires, 42);
+    auto b = generateFaultSchedule(cfg, wires, 42);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GT(a.size(), 100u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tick, b[i].tick);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].wire, b[i].wire);
+    }
+
+    auto c = generateFaultSchedule(cfg, wires, 43);
+    bool differs = a.size() != c.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].tick != c[i].tick || a[i].kind != c[i].kind ||
+                  a[i].wire != c[i].wire;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, SortedRatedAndKindMasked)
+{
+    FaultConfig cfg;
+    cfg.ratePerKTick = 10;
+    cfg.kinds = faultBit(FaultKind::TransientCorrupt);
+    cfg.horizonTicks = 100'000;
+    auto sched = generateFaultSchedule(cfg, mixedWires(), 7);
+
+    // Expected count = rate * horizon / 1000 = 1000, +-1 from the
+    // fractional Bernoulli draw (here exact, so equality).
+    EXPECT_NEAR(static_cast<double>(sched.size()), 1000.0, 1.0);
+    Cycle prev = 0;
+    for (const auto &e : sched) {
+        EXPECT_EQ(e.kind, FaultKind::TransientCorrupt);
+        EXPECT_GE(e.tick, prev);
+        EXPECT_GE(e.tick, 1u);
+        EXPECT_LE(e.tick, cfg.horizonTicks);
+        prev = e.tick;
+    }
+}
+
+TEST(FaultSchedule, PermanentKillsRestrictedToInterposerWires)
+{
+    FaultConfig cfg;
+    cfg.ratePerKTick = 20;
+    cfg.kinds = kAllFaultKinds;
+    cfg.horizonTicks = 20'000;
+    auto wires = mixedWires();
+    auto sched = generateFaultSchedule(cfg, wires, 3);
+    int kills = 0;
+    for (const auto &e : sched) {
+        if (!(faultBit(e.kind) & kPermanentFaultKinds))
+            continue;
+        ++kills;
+        EXPECT_TRUE(wires[static_cast<std::size_t>(e.wire)].interposer)
+            << "kill targeted on-die wire " << e.wire;
+    }
+    EXPECT_GT(kills, 0);
+}
+
+TEST(FaultSchedule, KillsFallBackToAllWiresWithoutInterposer)
+{
+    FaultConfig cfg;
+    cfg.ratePerKTick = 20;
+    cfg.kinds = faultBit(FaultKind::PermanentLinkKill);
+    cfg.horizonTicks = 10'000;
+    std::vector<FaultWireDesc> wires = {{0, 0, 0, false, 0},
+                                        {1, 0, 1, false, 0}};
+    auto sched = generateFaultSchedule(cfg, wires, 9);
+    EXPECT_GT(sched.size(), 0u);
+    for (const auto &e : sched)
+        EXPECT_LT(e.wire, 2);
+}
+
+TEST(FaultModel, FlitFcsDistinguishesFields)
+{
+    Flit a;
+    a.index = 1;
+    a.vc = 0;
+    Flit b = a;
+    b.index = 2;
+    EXPECT_NE(flitFcs(a), flitFcs(b));
+    Flit c = a;
+    c.vc = 1;
+    EXPECT_NE(flitFcs(a), flitFcs(c));
+    Flit d = a;
+    d.isTail = true;
+    EXPECT_NE(flitFcs(a), flitFcs(d));
+}
+
+/** Records every host callback with its arrival order. */
+struct RecordingHost : FaultPlaneHost
+{
+    std::vector<std::tuple<NodeId, NodeId, std::uint32_t>> acks;
+    std::vector<std::tuple<NodeId, int, int>> credits;
+    std::vector<std::pair<NodeId, int>> masks;
+
+    void
+    faultDeliverAck(NodeId ni, NodeId peer, std::uint32_t seq) override
+    {
+        acks.emplace_back(ni, peer, seq);
+    }
+    void
+    faultReturnCredit(NodeId ni, int buf, int vc) override
+    {
+        credits.emplace_back(ni, buf, vc);
+    }
+    void
+    faultMaskBuffer(NodeId ni, int buf) override
+    {
+        masks.emplace_back(ni, buf);
+    }
+};
+
+FaultPlane
+makePlane(const FaultConfig &cfg, RecordingHost &host,
+          const std::string &net = "reply")
+{
+    FaultPlane plane(cfg, net, &host);
+    for (const auto &w : mixedWires())
+        plane.addWire(w.ni, w.buf, w.router, w.interposer, w.spanHops,
+                      /*credit_latency=*/2);
+    return plane;
+}
+
+TEST(FaultPlane, StallCoversExactlyDurationTicks)
+{
+    FaultConfig cfg;
+    cfg.forceProtocol = true;
+    FaultEvent e;
+    e.tick = 5;
+    e.kind = FaultKind::TransientStall;
+    e.wire = 0;
+    e.duration = 3;
+    cfg.events.push_back(e);
+    RecordingHost host;
+    FaultPlane plane = makePlane(cfg, host);
+    plane.finalize(1);
+
+    for (Cycle t = 1; t <= 10; ++t) {
+        plane.tick(t);
+        bool stalled = plane.wireStalled(0, t);
+        EXPECT_EQ(stalled, t >= 5 && t < 8) << "tick " << t;
+        EXPECT_FALSE(plane.wireStalled(1, t));
+    }
+    EXPECT_EQ(plane.stats().stallEvents, 1u);
+}
+
+TEST(FaultPlane, CorruptPerturbsWholeWormsOnly)
+{
+    FaultConfig cfg;
+    cfg.forceProtocol = true;
+    FaultEvent e;
+    e.tick = 1;
+    e.kind = FaultKind::TransientCorrupt;
+    e.wire = 2;
+    e.worms = 1;
+    cfg.events.push_back(e);
+    RecordingHost host;
+    FaultPlane plane = makePlane(cfg, host);
+    plane.finalize(1);
+    plane.tick(1);
+
+    auto flit = [](bool head, bool tail, int idx) {
+        Flit f;
+        f.isHead = head;
+        f.isTail = tail;
+        f.index = idx;
+        f.fcs = flitFcs(f);
+        return f;
+    };
+    // Worm 1: every flit (head, body, tail) must arrive corrupted.
+    for (int i = 0; i < 3; ++i) {
+        Flit f = flit(i == 0, i == 2, i);
+        plane.touchFlit(2, f);
+        EXPECT_NE(f.fcs, flitFcs(f)) << "worm 1 flit " << i;
+    }
+    // Worm 2: the corruption budget is spent; clean end to end.
+    for (int i = 0; i < 3; ++i) {
+        Flit f = flit(i == 0, i == 2, i);
+        plane.touchFlit(2, f);
+        EXPECT_EQ(f.fcs, flitFcs(f)) << "worm 2 flit " << i;
+    }
+}
+
+TEST(FaultPlane, ChecksumDropSchedulesCreditReconciliation)
+{
+    FaultConfig cfg;
+    cfg.forceProtocol = true;
+    RecordingHost host;
+    FaultPlane plane = makePlane(cfg, host);
+    plane.finalize(1);
+
+    Flit f;
+    f.isHead = true;
+    f.vc = 1;
+    plane.onChecksumDrop(2, f, /*now=*/10);
+    EXPECT_FALSE(plane.quiescent());
+    plane.tick(11); // creditLatency = 2: not yet due
+    EXPECT_TRUE(host.credits.empty());
+    plane.tick(12);
+    ASSERT_EQ(host.credits.size(), 1u);
+    EXPECT_EQ(host.credits[0], std::make_tuple(NodeId{2}, 1, 1));
+    EXPECT_TRUE(plane.quiescent());
+    EXPECT_EQ(plane.stats().wormsDropped, 1u);
+    EXPECT_EQ(plane.stats().flitsDropped, 1u);
+    EXPECT_EQ(plane.stats().creditsReconciled, 1u);
+}
+
+TEST(FaultPlane, AckDeliveredAfterAckLatency)
+{
+    FaultConfig cfg;
+    cfg.forceProtocol = true;
+    cfg.ackLatency = 4;
+    RecordingHost host;
+    FaultPlane plane = makePlane(cfg, host);
+    plane.finalize(1);
+
+    plane.scheduleAck(/*to=*/1, /*peer=*/2, /*seq=*/7, /*now=*/100);
+    plane.tick(103);
+    EXPECT_TRUE(host.acks.empty());
+    plane.tick(104);
+    ASSERT_EQ(host.acks.size(), 1u);
+    EXPECT_EQ(host.acks[0],
+              std::make_tuple(NodeId{1}, NodeId{2}, std::uint32_t{7}));
+    EXPECT_EQ(plane.stats().acks, 1u);
+}
+
+TEST(FaultPlane, RouterKillMasksEveryWireOfThatRouterOnce)
+{
+    FaultConfig cfg;
+    cfg.forceProtocol = true;
+    cfg.detectLatency = 3;
+    FaultEvent e;
+    e.tick = 10;
+    e.kind = FaultKind::PermanentRouterInjKill;
+    e.wire = 0; // router 0 owns exactly wire 0
+    cfg.events.push_back(e);
+    FaultEvent e2 = e;
+    e2.tick = 11;
+    e2.kind = FaultKind::PermanentLinkKill; // re-kill: idempotent
+    cfg.events.push_back(e2);
+    RecordingHost host;
+    FaultPlane plane = makePlane(cfg, host);
+    plane.finalize(1);
+
+    for (Cycle t = 1; t <= 20; ++t)
+        plane.tick(t);
+    EXPECT_EQ(plane.stats().killEvents, 1u);
+    ASSERT_EQ(host.masks.size(), 1u);
+    EXPECT_EQ(host.masks[0], std::make_pair(NodeId{0}, 0));
+}
+
+TEST(FaultPlane, ExplicitEventsFilterByNetAndResolveTargets)
+{
+    FaultConfig cfg;
+    cfg.forceProtocol = true;
+    FaultEvent other;
+    other.tick = 1;
+    other.net = "request"; // not this plane's network: dropped
+    other.wire = 0;
+    cfg.events.push_back(other);
+    FaultEvent by_ni;
+    by_ni.tick = 2;
+    by_ni.wire = -1; // resolve by (ni, buf)
+    by_ni.ni = 2;
+    by_ni.buf = 2;
+    cfg.events.push_back(by_ni);
+    FaultEvent any_ip;
+    any_ip.tick = 3;
+    any_ip.wire = FaultEvent::kAnyInterposerWire;
+    cfg.events.push_back(any_ip);
+    FaultEvent absent;
+    absent.tick = 4;
+    absent.wire = -1;
+    absent.ni = 99; // structure absent on this network: dropped
+    absent.buf = 0;
+    cfg.events.push_back(absent);
+
+    RecordingHost host;
+    FaultPlane plane = makePlane(cfg, host);
+    plane.finalize(1);
+
+    ASSERT_EQ(plane.schedule().size(), 2u);
+    EXPECT_EQ(plane.schedule()[0].wire, 3); // (ni 2, buf 2)
+    EXPECT_EQ(plane.schedule()[1].wire, 2); // first interposer wire
+}
+
+} // namespace
+} // namespace eqx

@@ -221,6 +221,72 @@ TEST(MultiPortNiTest, RoundRobinFairUnderPermanentlyFullBuffer)
     EXPECT_EQ(picked[2], 20);
 }
 
+TEST_F(EquiNoxNiTest, OneMaskedEirShiftsToTheUnmaskedShortestPath)
+{
+    // (6,6): shortest-path EIRs are E(1) and S(3). Masking E must pin
+    // every dispatch on S — still the legacy policy, no detours.
+    ni->maskBuffer(1);
+    EXPECT_EQ(ni->maskedBuffers(), 1);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), 3);
+}
+
+TEST_F(EquiNoxNiTest, AllShortestPathEirsMaskedFailsOverFairly)
+{
+    // Masking both shortest-path EIRs of (6,6) enters degraded mode:
+    // dispatch must rotate strictly over the survivors W(2) and N(4)
+    // even though neither is on a shortest path.
+    ni->maskBuffer(1);
+    ni->maskBuffer(3);
+    int picks[5] = {0, 0, 0, 0, 0};
+    int prev = -1;
+    for (int i = 0; i < 20; ++i) {
+        int b = ni->selectBuffer(replyTo({6, 6}));
+        ASSERT_TRUE(b == 2 || b == 4) << b;
+        EXPECT_NE(b, prev);
+        prev = b;
+        ++picks[b];
+    }
+    EXPECT_EQ(picks[2], 10);
+    EXPECT_EQ(picks[4], 10);
+}
+
+TEST_F(EquiNoxNiTest, ThreeMaskedEirsUseTheSoleSurvivor)
+{
+    ni->maskBuffer(1);
+    ni->maskBuffer(3);
+    ni->maskBuffer(4);
+    EXPECT_EQ(ni->maskedBuffers(), 3);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), 2);
+}
+
+TEST_F(EquiNoxNiTest, AllEirsMaskedDegradesToLocalWithoutLivelock)
+{
+    for (int b = 1; b <= 4; ++b)
+        ni->maskBuffer(b);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), 0);
+    // Local busy too: retry (-1), never an EIR and never a crash.
+    ni->occupy(0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), -1);
+}
+
+TEST_F(EquiNoxNiTest, MaskingIsIdempotentAndSurvivorsMustBeFree)
+{
+    ni->maskBuffer(1);
+    ni->maskBuffer(1);
+    EXPECT_EQ(ni->maskedBuffers(), 1);
+    // Degraded mode still honours buffer occupancy: with the sole
+    // shortest-path survivor masked and every other EIR busy, fall
+    // back to local.
+    ni->maskBuffer(3);
+    ni->occupy(2);
+    ni->occupy(4);
+    EXPECT_EQ(ni->selectBuffer(replyTo({6, 6})), 0);
+}
+
 TEST(NiInjection, PerBufferLoadCountersTrackInjection)
 {
     Topology topo(4, 4);

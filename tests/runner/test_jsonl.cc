@@ -1,0 +1,108 @@
+/** @file JSON escaping, object building and JSONL streaming. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "runner/jsonl.hh"
+
+namespace eqx {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("bench/lud x=3"), "bench/lud x=3");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndNewlines)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    // Remaining control characters take the \uXXXX form.
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, EscapingIsIdempotentOnItsOutput)
+{
+    // Escaping the already-escaped form only doubles backslashes —
+    // i.e. the output never contains a raw quote, newline or control
+    // byte that would break out of a JSON string literal.
+    std::string nasty = "line1\nline2 \"quoted\" back\\slash\t\x02";
+    std::string once = jsonEscape(nasty);
+    for (char c : once) {
+        EXPECT_NE(c, '\n');
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+    // Every quote in the escaped form is preceded by a backslash.
+    for (std::size_t i = 0; i < once.size(); ++i) {
+        if (once[i] == '"') {
+            EXPECT_EQ(once[i - 1], '\\');
+        }
+    }
+}
+
+TEST(JsonObject, FieldsKeepInsertionOrderAndTypes)
+{
+    JsonObject o;
+    o.field("s", "x\ny").field("d", 1.5).field("i", -2).field("b", true);
+    EXPECT_EQ(o.str(), "{\"s\":\"x\\ny\",\"d\":1.5,\"i\":-2,\"b\":true}");
+}
+
+TEST(JsonObject, NonFiniteDoublesBecomeNull)
+{
+    JsonObject o;
+    o.field("nan", 0.0 / 0.0).field("inf", 1.0 / 0.0);
+    EXPECT_EQ(o.str(), "{\"nan\":null,\"inf\":null}");
+}
+
+TEST(JsonObject, MergeSplicesAndEmptyMergeIsNoop)
+{
+    JsonObject a;
+    a.field("x", 1);
+    JsonObject b;
+    b.field("y", 2).field("z", "q\"r");
+    JsonObject empty;
+    EXPECT_TRUE(empty.empty());
+    a.merge(b).merge(empty);
+    EXPECT_EQ(a.str(), "{\"x\":1,\"y\":2,\"z\":\"q\\\"r\"}");
+
+    // Merging into an empty object must not emit a leading comma.
+    JsonObject c;
+    c.merge(b);
+    EXPECT_EQ(c.str(), "{\"y\":2,\"z\":\"q\\\"r\"}");
+    EXPECT_FALSE(c.empty());
+}
+
+TEST(JsonlWriter, WritesOneRecordPerLine)
+{
+    std::string path = ::testing::TempDir() + "eqx_test_jsonl.jsonl";
+    {
+        JsonlWriter w(path);
+        JsonObject o;
+        o.field("name", "wl \"a\"\nb").field("v", 3);
+        w.write(o.str());
+        JsonObject p;
+        p.field("v", 4);
+        w.write(p.str());
+        EXPECT_EQ(w.lines(), 2u);
+    }
+    std::ifstream in(path);
+    std::string l1, l2, extra;
+    ASSERT_TRUE(std::getline(in, l1));
+    ASSERT_TRUE(std::getline(in, l2));
+    EXPECT_FALSE(std::getline(in, extra));
+    // The embedded newline stayed escaped: the record is one line.
+    EXPECT_EQ(l1, "{\"name\":\"wl \\\"a\\\"\\nb\",\"v\":3}");
+    EXPECT_EQ(l2, "{\"v\":4}");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace eqx
