@@ -30,13 +30,13 @@ main(int argc, char **argv)
     ExperimentConfig base;
     base.seed = seed;
     base.instScale = scale;
-    base.schemes = {Scheme::SeparateBase};
     base.workloads = workloadSubset(nbench);
     applySweepArgs(base, cfg);
+    base.schemes = {"SeparateBase"}; // fixed: the ablation baseline
     base.jsonlPath.clear(); // per-point runners would clobber one file
     ExperimentRunner base_runner(base);
     double sep = schemeGeomean(base_runner.runMatrix(),
-                               Scheme::SeparateBase, exec);
+                               "SeparateBase", exec);
 
     std::printf("\nEquiNox group-size cap sweep (exec normalized to "
                 "SeparateBase = 1.0):\n");
@@ -51,15 +51,15 @@ main(int argc, char **argv)
         ExperimentConfig ec;
         ec.seed = seed;
         ec.instScale = scale;
-        ec.schemes = {Scheme::EquiNox};
         ec.workloads = workloadSubset(nbench);
         ec.tweak = [&](SystemConfig &sc) { sc.preDesign = &design; };
         applySweepArgs(ec, cfg);
+        ec.schemes = {"EquiNox"};
         if (!ec.jsonlPath.empty())
             ec.jsonlPath += ".cap" + std::to_string(cap);
         ExperimentRunner runner(ec);
         double eq =
-            schemeGeomean(runner.runMatrix(), Scheme::EquiNox, exec);
+            schemeGeomean(runner.runMatrix(), "EquiNox", exec);
         std::printf("%10d %6d %8d %12.3f\n", cap, design.numEirs(),
                     static_cast<int>(design.plan.size()), eq / sep);
     }
@@ -70,17 +70,17 @@ main(int argc, char **argv)
         ExperimentConfig ec;
         ec.seed = seed;
         ec.instScale = scale;
-        ec.schemes = {Scheme::MultiPort};
         ec.workloads = workloadSubset(nbench);
         ec.tweak = [&](SystemConfig &sc) {
             sc.multiPortInjPorts = ports;
         };
         applySweepArgs(ec, cfg);
+        ec.schemes = {"MultiPort"};
         if (!ec.jsonlPath.empty())
             ec.jsonlPath += ".ports" + std::to_string(ports);
         ExperimentRunner runner(ec);
         double mp =
-            schemeGeomean(runner.runMatrix(), Scheme::MultiPort, exec);
+            schemeGeomean(runner.runMatrix(), "MultiPort", exec);
         std::printf("%10d %12.3f\n", ports, mp / sep);
     }
     return 0;

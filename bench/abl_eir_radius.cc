@@ -30,14 +30,14 @@ main(int argc, char **argv)
     ExperimentConfig base;
     base.seed = seed;
     base.instScale = scale;
-    base.schemes = {Scheme::SeparateBase};
     base.workloads = workloadSubset(nbench);
     applySweepArgs(base, cfg);
+    base.schemes = {"SeparateBase"}; // fixed: the ablation baseline
     base.jsonlPath.clear(); // per-point runners would clobber one file
     ExperimentRunner base_runner(base);
     auto base_cells = base_runner.runMatrix();
     auto exec = [](const RunResult &r) { return r.execNs; };
-    double sep = schemeGeomean(base_cells, Scheme::SeparateBase, exec);
+    double sep = schemeGeomean(base_cells, "SeparateBase", exec);
 
     std::printf("\n%8s %6s %7s %7s %9s %11s %13s\n", "maxHops", "eirs",
                 "cross", "maxSpan", "repeater", "exec vs Sep",
@@ -51,15 +51,15 @@ main(int argc, char **argv)
         ExperimentConfig ec;
         ec.seed = seed;
         ec.instScale = scale;
-        ec.schemes = {Scheme::EquiNox};
         ec.workloads = workloadSubset(nbench);
         ec.tweak = [&](SystemConfig &sc) { sc.preDesign = &design; };
         applySweepArgs(ec, cfg);
+        ec.schemes = {"EquiNox"};
         if (!ec.jsonlPath.empty())
             ec.jsonlPath += ".hops" + std::to_string(radius);
         ExperimentRunner runner(ec);
         auto cells = runner.runMatrix();
-        double eq = schemeGeomean(cells, Scheme::EquiNox, exec);
+        double eq = schemeGeomean(cells, "EquiNox", exec);
 
         std::printf("%8d %6d %7d %7d %9s %10.3f %13.3f\n", radius,
                     design.numEirs(), design.rdl.crossings,

@@ -30,10 +30,10 @@ using namespace eqx;
 namespace {
 
 void
-printPoint(const char *label, const std::vector<Scheme> &schemes,
+printPoint(const char *label, const std::vector<std::string> &schemes,
            const std::vector<CellResult> &cells)
 {
-    for (Scheme s : schemes) {
+    for (const std::string &s : schemes) {
         std::uint64_t seq = 0, del = 0, retx = 0, lost = 0, worms = 0;
         int masked = 0, n = 0;
         double p99 = 0;
@@ -60,7 +60,7 @@ printPoint(const char *label, const std::vector<Scheme> &schemes,
                         : 0.0;
         std::printf("%-14s %-14s %9.6f %9.6f %8llu %6llu %6d %10.2f"
                     " %4s\n",
-                    label, schemeName(s), dr, rr,
+                    label, s.c_str(), dr, rr,
                     static_cast<unsigned long long>(worms),
                     static_cast<unsigned long long>(lost), masked,
                     n ? p99 / n : 0.0, completed ? "yes" : "NO");
@@ -85,17 +85,18 @@ main(int argc, char **argv)
     Cycle kill_tick = static_cast<Cycle>(cfg.getInt("kill_tick", 500));
     std::string jsonl_base = cfg.getString("jsonl", "");
 
-    std::vector<Scheme> schemes = {Scheme::SeparateBase,
-                                   Scheme::EquiNox};
+    std::vector<std::string> schemes = {"SeparateBase", "EquiNox"};
+    if (cfg.has("scheme"))
+        schemes = parseSchemeList(cfg.getString("scheme"));
 
     auto runPoint = [&](const char *label, const FaultConfig &fc,
                         const std::string &jsonl_suffix) {
         ExperimentConfig ec;
         ec.seed = seed;
         ec.instScale = scale;
-        ec.schemes = schemes;
         ec.workloads = workloadSubset(nbench);
         applySweepArgs(ec, cfg);
+        ec.schemes = schemes;
         ec.fault = fc;
         // A permanently faulted run must still terminate promptly.
         ec.tweak = [](SystemConfig &sc) { sc.maxCycles = 400'000; };

@@ -5,6 +5,9 @@
  *   scale=<f>     instruction-count scale (default varies per bench)
  *   benchmarks=<n> use only the first n workloads
  *   seed=<n>
+ *   scheme=<key>[,<key>...]  restrict the sweep to these schemes
+ *                 (SchemeRegistry names or aliases, any case; an
+ *                 unknown key aborts listing the registered schemes)
  * and the matrix benches additionally accept the sweep-engine knobs:
  *   workers=<n>   pool worker threads (default 0 = all hardware
  *                 threads; results are identical for any value)
@@ -55,10 +58,48 @@ parseBenchArgs(int argc, char **argv)
     return cfg;
 }
 
+/**
+ * Parse a comma-separated scheme= list into registry keys. Lookup is
+ * case-insensitive over names and aliases; unknown keys are fatal and
+ * print the registered key list. Returns canonical names.
+ */
+inline std::vector<std::string>
+parseSchemeList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        std::string key =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!key.empty())
+            out.push_back(SchemeRegistry::instance().byName(key).name());
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (out.empty())
+        eqx_fatal("empty scheme list; registered schemes: ",
+                  SchemeRegistry::instance().keyList());
+    return out;
+}
+
+/** Apply the shared scheme= restriction, when given. */
+inline void
+applySchemeArg(ExperimentConfig &ec, const Config &cfg)
+{
+    std::string spec = cfg.getString("scheme", "");
+    if (!spec.empty())
+        ec.schemes = parseSchemeList(spec);
+}
+
 /** Apply the shared sweep-engine arguments to a matrix experiment. */
 inline void
 applySweepArgs(ExperimentConfig &ec, const Config &cfg)
 {
+    applySchemeArg(ec, cfg);
     ec.workers = static_cast<int>(cfg.getInt("workers", 0));
     ec.jobTimeoutSec = cfg.getDouble("timeout", 0);
     ec.jobRetries = static_cast<int>(cfg.getInt("retries", 1));
@@ -96,12 +137,12 @@ applyFaultArgs(FaultConfig &fc, const Config &cfg)
  */
 inline void
 printMetricsDigest(const std::vector<CellResult> &cells,
-                   const std::vector<Scheme> &schemes)
+                   const std::vector<std::string> &schemes)
 {
     std::printf("\nobservability digest (metrics=1)\n");
     std::printf("%-18s %12s %14s %14s %12s\n", "scheme", "hot-router",
                 "hot-flits", "credit-stalls", "max-eir-load");
-    for (Scheme s : schemes) {
+    for (const std::string &s : schemes) {
         int hot_router = -1;
         double hot_flits = 0, stalls = 0;
         std::uint64_t max_eir = 0;
@@ -126,7 +167,7 @@ printMetricsDigest(const std::vector<CellResult> &cells,
                     stalls += v;
             }
         }
-        std::printf("%-18s %12d %14.0f %14.0f %12llu\n", schemeName(s),
+        std::printf("%-18s %12d %14.0f %14.0f %12llu\n", s.c_str(),
                     hot_router, hot_flits, stalls,
                     static_cast<unsigned long long>(max_eir));
     }

@@ -40,27 +40,27 @@ main(int argc, char **argv)
 
     printNormalizedTable(cells, ec.schemes, "Fig 9(a) execution time",
                          [](const RunResult &r) { return r.execNs; },
-                         Scheme::SingleBase);
+                         "SingleBase");
     printNormalizedTable(cells, ec.schemes, "Fig 9(b) NoC energy",
                          [](const RunResult &r) { return r.energyPj; },
-                         Scheme::SingleBase);
+                         "SingleBase");
     printNormalizedTable(cells, ec.schemes, "Fig 9(c) EDP",
                          [](const RunResult &r) { return r.edp; },
-                         Scheme::SingleBase);
+                         "SingleBase");
 
     // Paper headline ratios.
     auto exec = [](const RunResult &r) { return r.execNs; };
     auto energy = [](const RunResult &r) { return r.energyPj; };
     auto edp = [](const RunResult &r) { return r.edp; };
-    double eq_t = schemeGeomean(cells, Scheme::EquiNox, exec);
-    double sb_t = schemeGeomean(cells, Scheme::SingleBase, exec);
-    double sp_t = schemeGeomean(cells, Scheme::SeparateBase, exec);
-    double eq_e = schemeGeomean(cells, Scheme::EquiNox, energy);
-    double sb_e = schemeGeomean(cells, Scheme::SingleBase, energy);
-    double sp_e = schemeGeomean(cells, Scheme::SeparateBase, energy);
-    double eq_d = schemeGeomean(cells, Scheme::EquiNox, edp);
-    double sb_d = schemeGeomean(cells, Scheme::SingleBase, edp);
-    double sp_d = schemeGeomean(cells, Scheme::SeparateBase, edp);
+    double eq_t = schemeGeomean(cells, "EquiNox", exec);
+    double sb_t = schemeGeomean(cells, "SingleBase", exec);
+    double sp_t = schemeGeomean(cells, "SeparateBase", exec);
+    double eq_e = schemeGeomean(cells, "EquiNox", energy);
+    double sb_e = schemeGeomean(cells, "SingleBase", energy);
+    double sp_e = schemeGeomean(cells, "SeparateBase", energy);
+    double eq_d = schemeGeomean(cells, "EquiNox", edp);
+    double sb_d = schemeGeomean(cells, "SingleBase", edp);
+    double sp_d = schemeGeomean(cells, "SeparateBase", edp);
 
     std::printf("\nheadline reductions (paper -> measured)\n");
     std::printf("exec vs SingleBase  : 47.7%% -> %.1f%%\n",

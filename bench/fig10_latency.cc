@@ -38,7 +38,7 @@ main(int argc, char **argv)
         std::printf("\n%-18s %9s %9s %9s %9s %9s %9s\n", "scheme",
                     "req-p50", "req-p95", "req-p99", "rep-p50",
                     "rep-p95", "rep-p99");
-        for (Scheme s : ec.schemes) {
+        for (const std::string &s : ec.schemes) {
             double p[6] = {0, 0, 0, 0, 0, 0};
             int n = 0;
             for (const auto &c : cells) {
@@ -53,7 +53,7 @@ main(int argc, char **argv)
                 ++n;
             }
             std::printf("%-18s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
-                        schemeName(s), p[0] / n, p[1] / n, p[2] / n,
+                        s.c_str(), p[0] / n, p[1] / n, p[2] / n,
                         p[3] / n, p[4] / n, p[5] / n);
         }
     }
@@ -63,7 +63,7 @@ main(int argc, char **argv)
                 "req-queue", "req-net", "rep-queue", "rep-net", "total",
                 "norm");
     double base_total = 0;
-    for (Scheme s : ec.schemes) {
+    for (const std::string &s : ec.schemes) {
         double rq = 0, rn = 0, pq = 0, pn = 0;
         int n = 0;
         for (const auto &c : cells) {
@@ -80,14 +80,14 @@ main(int argc, char **argv)
         pq /= n;
         pn /= n;
         double total = rq + rn + pq + pn;
-        if (s == Scheme::SingleBase)
+        if (s == "SingleBase")
             base_total = total;
         std::printf("%-18s %10.2f %10.2f %10.2f %10.2f %10.2f %8.3f\n",
-                    schemeName(s), rq, rn, pq, pn, total,
+                    s.c_str(), rq, rn, pq, pn, total,
                     total / base_total);
     }
 
-    auto avg = [&](Scheme s, auto metric) {
+    auto avg = [&](const std::string &s, auto metric) {
         double v = 0;
         int n = 0;
         for (const auto &c : cells)
@@ -104,19 +104,19 @@ main(int argc, char **argv)
     std::printf("\nEquiNox latency reductions vs SingleBase "
                 "(paper -> measured):\n");
     std::printf("request: 44.6%% -> %.1f%%\n",
-                100.0 * (1.0 - avg(Scheme::EquiNox, req) /
-                                   avg(Scheme::SingleBase, req)));
+                100.0 * (1.0 - avg("EquiNox", req) /
+                                   avg("SingleBase", req)));
     std::printf("reply  : 40.6%% -> %.1f%%\n",
-                100.0 * (1.0 - avg(Scheme::EquiNox, rep) /
-                                   avg(Scheme::SingleBase, rep)));
+                100.0 * (1.0 - avg("EquiNox", rep) /
+                                   avg("SingleBase", rep)));
     std::printf("total  : 45.8%% -> %.1f%%\n",
-                100.0 * (1.0 - avg(Scheme::EquiNox, tot) /
-                                   avg(Scheme::SingleBase, tot)));
+                100.0 * (1.0 - avg("EquiNox", tot) /
+                                   avg("SingleBase", tot)));
     std::printf("\nrequest latency exceeds reply latency "
                 "(backpressure, paper Section 6.4):\n");
-    for (Scheme s : ec.schemes)
+    for (const std::string &s : ec.schemes)
         std::printf("  %-18s req=%.2f ns rep=%.2f ns %s\n",
-                    schemeName(s), avg(s, req), avg(s, rep),
+                    s.c_str(), avg(s, req), avg(s, rep),
                     avg(s, req) > avg(s, rep) ? "[req > rep]" : "");
     return 0;
 }

@@ -41,7 +41,7 @@ main(int argc, char **argv)
         // injection bottleneck the paper's scalability argument rests
         // on.
         ec.instScale = cfg.getDouble("scale", 0.15);
-        ec.schemes = {Scheme::SeparateBase, Scheme::EquiNox};
+        ec.schemes = {"SeparateBase", "EquiNox"};
         ec.workloads = workloadSubset(nbench);
         ec.tweak = [](SystemConfig &sc) {
             sc.design.mcts.iterationsPerLevel = 300;
@@ -50,8 +50,8 @@ main(int argc, char **argv)
         ExperimentRunner runner(ec);
         auto cells = runner.runMatrix();
         auto ipc = [](const RunResult &r) { return r.ipc; };
-        double sep = schemeGeomean(cells, Scheme::SeparateBase, ipc);
-        double eq = schemeGeomean(cells, Scheme::EquiNox, ipc);
+        double sep = schemeGeomean(cells, "SeparateBase", ipc);
+        double eq = schemeGeomean(cells, "EquiNox", ipc);
         std::printf("%5dx%-3d %14.2f %14.2f %9.2fx %9.2fx\n", n, n, sep,
                     eq, eq / sep, idx < 3 ? paper[idx] : 0.0);
         ++idx;

@@ -22,7 +22,7 @@ main(int argc, char **argv)
     ExperimentConfig ec;
     ec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
     ec.instScale = cfg.getDouble("scale", 0.2);
-    ec.schemes = {Scheme::SeparateBase};
+    ec.schemes = {"SeparateBase"};
     ec.workloads = workloadSubset(
         static_cast<std::size_t>(cfg.getInt("benchmarks", 12)));
 

@@ -14,6 +14,7 @@
 
 #include "common/config.hh"
 #include "core/design_flow.hh"
+#include "schemes/scheme_registry.hh"
 
 using namespace eqx;
 
@@ -29,7 +30,18 @@ main(int argc, char **argv)
     int size = static_cast<int>(cfg.getInt("size", 8));
     std::uint64_t seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
 
-    std::printf("=== search methods on a %dx%d mesh ===\n", size, size);
+    // Everything registered with the SchemeRegistry, including
+    // variants that exist only as registry entries (no legacy enum).
+    std::printf("=== registered schemes ===\n");
+    std::printf("%-18s %-6s %-10s %s\n", "name", "nets",
+                "reply-net", "summary");
+    for (const SchemeModel *m : SchemeRegistry::instance().models())
+        std::printf("%-18s %-6s %-10s %s\n", m->name(),
+                    m->singleNetwork() ? "single" : "split",
+                    m->singleNetwork() ? "-" : m->replyNetName(),
+                    m->summary());
+
+    std::printf("\n=== search methods on a %dx%d mesh ===\n", size, size);
     for (SearchMethod m :
          {SearchMethod::Mcts, SearchMethod::Greedy, SearchMethod::Random,
           SearchMethod::Anneal, SearchMethod::Genetic}) {

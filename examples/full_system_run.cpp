@@ -20,9 +20,9 @@ using namespace eqx;
 namespace {
 
 void
-dumpRun(Scheme scheme, const RunResult &r, const System *sys)
+dumpRun(const std::string &scheme, const RunResult &r, const System *sys)
 {
-    std::printf("\n--- %s ---\n", schemeName(scheme));
+    std::printf("\n--- %s ---\n", scheme.c_str());
     std::printf("completed=%d cycles=%llu exec=%.1f ns insts=%llu "
                 "ipc=%.2f\n",
                 r.completed ? 1 : 0,
@@ -90,8 +90,14 @@ main(int argc, char **argv)
     wp.instsPerPe = static_cast<std::uint64_t>(
         static_cast<double>(wp.instsPerPe) * cfg.getDouble("scale", 0.3));
 
-    std::vector<Scheme> schemes = allSchemes();
-    std::string only = cfg.getString("scheme", "");
+    // The paper's seven by default; scheme= picks any registered
+    // scheme through the SchemeRegistry (name or alias, any case —
+    // unknown keys abort with the registered key list).
+    std::vector<std::string> schemes = paperSchemeNames();
+    if (cfg.has("scheme"))
+        schemes = {SchemeRegistry::instance()
+                       .byName(cfg.getString("scheme"))
+                       .name()};
 
     std::printf("benchmark=%s instsPerPe=%llu\n", wp.name.c_str(),
                 static_cast<unsigned long long>(wp.instsPerPe));
@@ -101,13 +107,11 @@ main(int argc, char **argv)
     dp.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
     EquiNoxDesign design = buildEquiNoxDesign(dp);
 
-    for (Scheme s : schemes) {
-        if (!only.empty() && only != schemeName(s))
-            continue;
+    for (const std::string &s : schemes) {
         SystemConfig sc;
-        sc.scheme = s;
+        sc.schemeKey = s;
         sc.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
-        if (s == Scheme::EquiNox)
+        if (SchemeRegistry::instance().byName(s).usesEquiNoxDesign())
             sc.preDesign = &design;
         System sys(sc, wp);
         RunResult r = sys.run();

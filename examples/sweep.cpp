@@ -8,10 +8,13 @@
  *
  * Usage (key=value args):
  *   sweep [workers=0] [benchmarks=8] [scale=0.2] [seed=1]
- *         [timeout=0] [retries=1] [progress=1]
+ *         [scheme=key,key,...] [timeout=0] [retries=1] [progress=1]
  *         [jsonl=out.jsonl] [csv=out.csv]
  *         [decorrelate=0] [verify=0] [warmup=0] [metrics=0]
  *
+ *   scheme=...     restrict the sweep to these SchemeRegistry keys
+ *                  (names or aliases, any case); default is the
+ *                  paper's seven schemes
  *   workers=0      use all hardware threads (1 = serial)
  *   timeout=SEC    per-job wall-clock timeout (0 = off; keeping it
  *                  off preserves bit-for-bit determinism)
@@ -81,6 +84,25 @@ main(int argc, char **argv)
     ec.decorrelateSeeds = cfg.getBool("decorrelate", false);
     ec.warmupCycles = static_cast<Cycle>(cfg.getInt("warmup", 0));
     ec.collectMetrics = cfg.getBool("metrics", false);
+    if (cfg.has("scheme")) {
+        // Resolve each comma-separated key through the SchemeRegistry
+        // (case-insensitive names or aliases; unknown keys are fatal).
+        ec.schemes.clear();
+        std::string spec = cfg.getString("scheme");
+        for (std::size_t start = 0; start <= spec.size();) {
+            std::size_t comma = spec.find(',', start);
+            std::size_t len = comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start;
+            std::string key = spec.substr(start, len);
+            if (!key.empty())
+                ec.schemes.push_back(
+                    SchemeRegistry::instance().byName(key).name());
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+    }
 
     int workers = resolveWorkerCount(ec.workers);
     std::printf("sweep: %zu benchmarks x %zu schemes = %zu cells on "
@@ -102,7 +124,7 @@ main(int argc, char **argv)
         cpu_ms += c.wallMs;
         if (c.failed)
             std::printf("  FAILED %s/%s after %d attempt(s)%s%s\n",
-                        c.benchmark.c_str(), schemeName(c.scheme),
+                        c.benchmark.c_str(), c.scheme.c_str(),
                         c.attempts, c.error.empty() ? "" : ": ",
                         c.error.c_str());
     }
@@ -121,9 +143,15 @@ main(int argc, char **argv)
         std::printf("streamed %zu JSONL records to %s\n", cells.size(),
                     ec.jsonlPath.c_str());
 
+    // Normalize to SingleBase when swept, else to the first scheme
+    // (a scheme= restriction may exclude the paper's baseline).
+    std::string baseline = "SingleBase";
+    if (std::find(ec.schemes.begin(), ec.schemes.end(), baseline) ==
+        ec.schemes.end())
+        baseline = ec.schemes.front();
     printNormalizedTable(cells, ec.schemes, "execution time",
                          [](const RunResult &r) { return r.execNs; },
-                         Scheme::SingleBase);
+                         baseline);
 
     if (ec.collectMetrics) {
         // Per-scheme digest of the observability snapshot: tail
@@ -133,7 +161,7 @@ main(int argc, char **argv)
         std::printf("%-18s %10s %10s %10s %12s %10s\n", "scheme",
                     "rep-p50", "rep-p95", "rep-p99", "max-eir-load",
                     "m-keys");
-        for (Scheme s : ec.schemes) {
+        for (const std::string &s : ec.schemes) {
             double p50 = 0, p95 = 0, p99 = 0;
             std::uint64_t max_eir = 0;
             std::size_t keys = 0;
@@ -150,7 +178,7 @@ main(int argc, char **argv)
                 ++n;
             }
             std::printf("%-18s %10.2f %10.2f %10.2f %12llu %10zu\n",
-                        schemeName(s), p50 / n, p95 / n, p99 / n,
+                        s.c_str(), p50 / n, p95 / n, p99 / n,
                         static_cast<unsigned long long>(max_eir), keys);
         }
     }

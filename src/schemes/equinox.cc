@@ -1,0 +1,99 @@
+/**
+ * @file
+ * EquiNox, the paper's proposal: split networks whose reply side gives
+ * each cache bank a group of Equivalent Injection Routers reached over
+ * dedicated interposer wires, spreading the few-to-many reply traffic
+ * across the mesh. CB placement and EIR grouping come from the design
+ * flow (src/core).
+ */
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "schemes/equinox_model.hh"
+#include "schemes/registration.hh"
+#include "schemes/scheme_registry.hh"
+#include "sim/system.hh"
+
+namespace eqx {
+
+const EquiNoxDesign *
+EquiNoxFamilyModel::placeCbs(const SystemConfig &cfg,
+                             EquiNoxDesign &owned,
+                             std::vector<Coord> &cbs) const
+{
+    const EquiNoxDesign *design = cfg.preDesign;
+    if (!design) {
+        DesignParams dp = cfg.design;
+        dp.width = cfg.width;
+        dp.height = cfg.height;
+        dp.numCbs = cfg.numCbs;
+        dp.seed = cfg.seed;
+        owned = buildEquiNoxDesign(dp);
+        design = &owned;
+    }
+    eqx_assert(design->width == cfg.width &&
+                   design->height == cfg.height,
+               "EquiNox design size mismatch");
+    cbs = design->cbs;
+    return design;
+}
+
+void
+EquiNoxFamilyModel::modReplySpec(const SchemeBuild &b,
+                                 NetworkSpec &rep) const
+{
+    eqx_assert(b.design, "EquiNox scheme built without a design");
+    rep.eirGroups = b.design->eirGroupsByNode();
+}
+
+void
+EquiNoxFamilyModel::collectSchemeStats(
+    const SchemeBuild &, const std::vector<std::unique_ptr<Network>> &nets,
+    RunResult &out) const
+{
+    // Measured max per-injection-point load of the reply network (the
+    // simulated check of the MCTS evaluator's maxLoad): max over every
+    // NI injection buffer, local ports included. Only CB NIs inject
+    // replies, so PE-side buffers contribute zero.
+    if (nets.size() < 2)
+        return;
+    const Network &rep = *nets[1];
+    for (NodeId n = 0; n < rep.topology().numNodes(); ++n) {
+        const NetworkInterface &ni = rep.ni(n);
+        for (int b = 0; b < ni.numInjBuffers(); ++b)
+            out.maxEirLoadPackets =
+                std::max(out.maxEirLoadPackets,
+                         ni.injBuffer(b).packetsInjected);
+    }
+}
+
+namespace {
+
+class EquiNoxModel final : public EquiNoxFamilyModel
+{
+  public:
+    const char *name() const override { return "EquiNox"; }
+
+    const char *
+    summary() const override
+    {
+        return "the paper's proposal: equivalent injection routers";
+    }
+
+    std::optional<Scheme>
+    legacyEnum() const override
+    {
+        return Scheme::EquiNox;
+    }
+};
+
+} // namespace
+
+void
+registerEquiNoxSchemes(SchemeRegistry &r)
+{
+    r.add(std::make_unique<EquiNoxModel>());
+}
+
+} // namespace eqx

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared base of the EquiNox scheme variants: deploys (or runs) the
+ * EquiNox design flow for CB placement, attaches the design's EIR
+ * groups to the reply network, and reports the measured max
+ * per-injection-point load. Variant TUs subclass this and override
+ * the identity block plus whatever build facts differ — see
+ * equinox_xy.cc for the worked example (XY reply routing).
+ */
+
+#ifndef EQX_SCHEMES_EQUINOX_MODEL_HH
+#define EQX_SCHEMES_EQUINOX_MODEL_HH
+
+#include "schemes/scheme_model.hh"
+
+namespace eqx {
+
+class EquiNoxFamilyModel : public SplitSchemeModel
+{
+  public:
+    bool usesEquiNoxDesign() const override { return true; }
+
+    const EquiNoxDesign *placeCbs(const SystemConfig &cfg,
+                                  EquiNoxDesign &owned,
+                                  std::vector<Coord> &cbs) const override;
+
+    void collectSchemeStats(
+        const SchemeBuild &b,
+        const std::vector<std::unique_ptr<Network>> &nets,
+        RunResult &out) const override;
+
+  protected:
+    void modReplySpec(const SchemeBuild &b,
+                      NetworkSpec &rep) const override;
+};
+
+} // namespace eqx
+
+#endif // EQX_SCHEMES_EQUINOX_MODEL_HH

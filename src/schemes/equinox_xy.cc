@@ -1,0 +1,55 @@
+/**
+ * @file
+ * EquiNox-XY: the EquiNox reply network under plain XY
+ * dimension-order routing instead of minimal-adaptive. The routing
+ * ablation for the paper's claim that EIR spreading, not adaptivity,
+ * carries the reply-side win — and the worked example of adding a
+ * scheme variant as one translation unit (DESIGN.md §12): everything
+ * it needs is this file plus its registration hook; System is
+ * untouched.
+ */
+
+#include "schemes/equinox_model.hh"
+#include "schemes/registration.hh"
+#include "schemes/scheme_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class EquiNoxXyModel final : public EquiNoxFamilyModel
+{
+  public:
+    const char *name() const override { return "EquiNox-XY"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"equinoxxy"};
+    }
+
+    const char *
+    summary() const override
+    {
+        return "EquiNox with an XY-routed (non-adaptive) reply net";
+    }
+
+    // No legacyEnum(): this variant exists only under its string key.
+
+  protected:
+    RoutingMode
+    replyRouting() const override
+    {
+        return RoutingMode::XY;
+    }
+};
+
+} // namespace
+
+void
+registerEquiNoxXySchemes(SchemeRegistry &r)
+{
+    r.add(std::make_unique<EquiNoxXyModel>());
+}
+
+} // namespace eqx

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Internal registration hooks: one per scheme-family translation unit.
+ * SchemeRegistry::instance() calls them exactly once, in the paper's
+ * comparison order, so registration order (and therefore the default
+ * scheme enumeration) is deterministic regardless of link order. A new
+ * scheme TU adds its hook here and to the instance() call list —
+ * nothing else in the tree changes.
+ */
+
+#ifndef EQX_SCHEMES_REGISTRATION_HH
+#define EQX_SCHEMES_REGISTRATION_HH
+
+namespace eqx {
+
+class SchemeRegistry;
+
+void registerSingleSchemes(SchemeRegistry &r);     // single.cc
+void registerCmeshSchemes(SchemeRegistry &r);      // cmesh.cc
+void registerSeparateBaseSchemes(SchemeRegistry &r); // separate_base.cc
+void registerDa2MeshSchemes(SchemeRegistry &r);    // da2mesh.cc
+void registerMultiPortSchemes(SchemeRegistry &r);  // multiport.cc
+void registerEquiNoxSchemes(SchemeRegistry &r);    // equinox.cc
+void registerEquiNoxXySchemes(SchemeRegistry &r);  // equinox_xy.cc
+
+} // namespace eqx
+
+#endif // EQX_SCHEMES_REGISTRATION_HH

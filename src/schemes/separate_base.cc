@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SeparateBase: split request/reply physical networks, both under
+ * minimal-adaptive routing — the baseline the paper's few-to-many
+ * injection analysis starts from.
+ */
+
+#include "schemes/registration.hh"
+#include "schemes/scheme_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class SeparateBaseModel final : public SplitSchemeModel
+{
+  public:
+    const char *name() const override { return "SeparateBase"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"separate"};
+    }
+
+    const char *
+    summary() const override
+    {
+        return "split request/reply physical networks";
+    }
+
+    std::optional<Scheme>
+    legacyEnum() const override
+    {
+        return Scheme::SeparateBase;
+    }
+};
+
+} // namespace
+
+void
+registerSeparateBaseSchemes(SchemeRegistry &r)
+{
+    r.add(std::make_unique<SeparateBaseModel>());
+}
+
+} // namespace eqx

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SingleBase and VC-Mono: one shared physical XY network carries both
+ * packet classes on class-partitioned VCs; VC-Mono additionally lets a
+ * worm monopolize its VC end to end [Jang et al.].
+ */
+
+#include "schemes/injectors.hh"
+#include "schemes/registration.hh"
+#include "schemes/scheme_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class SingleNetModel : public SchemeModel
+{
+  public:
+    explicit SingleNetModel(bool vc_mono) : vcMono_(vc_mono) {}
+
+    const char *
+    name() const override
+    {
+        return vcMono_ ? "VC-Mono" : "SingleBase";
+    }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        if (vcMono_)
+            return {"vcmono"};
+        return {"single"};
+    }
+
+    const char *
+    summary() const override
+    {
+        return vcMono_
+                   ? "single network + VC monopolization [Jang et al.]"
+                   : "one shared physical network, Diamond placement";
+    }
+
+    std::optional<Scheme>
+    legacyEnum() const override
+    {
+        return vcMono_ ? Scheme::VcMono : Scheme::SingleBase;
+    }
+
+    bool singleNetwork() const override { return true; }
+    const char *replyNetName() const override { return "single"; }
+
+    std::vector<NetworkSpec>
+    networkSpecs(const SchemeBuild &b) const override
+    {
+        NetworkSpec spec;
+        spec.params = baseParams(b.cfg, "single");
+        spec.params.classVcs = true;
+        spec.params.routing = RoutingMode::XY;
+        spec.params.vcMono = vcMono_;
+        std::vector<NetworkSpec> out;
+        out.push_back(std::move(spec));
+        return out;
+    }
+
+    std::unique_ptr<PacketInjector>
+    makeInjector(const SchemeBuild &,
+                 const std::vector<std::unique_ptr<Network>> &nets,
+                 NodeId node, bool) const override
+    {
+        return std::make_unique<DirectInjector>(nets[0].get(), node);
+    }
+
+  private:
+    bool vcMono_;
+};
+
+} // namespace
+
+void
+registerSingleSchemes(SchemeRegistry &r)
+{
+    r.add(std::make_unique<SingleNetModel>(/*vc_mono=*/false));
+    r.add(std::make_unique<SingleNetModel>(/*vc_mono=*/true));
+}
+
+} // namespace eqx

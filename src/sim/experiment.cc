@@ -38,13 +38,15 @@ ExperimentRunner::equinoxDesign()
 }
 
 SystemConfig
-ExperimentRunner::makeSystemConfig(Scheme scheme) const
+ExperimentRunner::makeSystemConfig(const SchemeModel &model) const
 {
     SystemConfig sc;
     sc.width = cfg_.width;
     sc.height = cfg_.height;
     sc.numCbs = cfg_.numCbs;
-    sc.scheme = scheme;
+    sc.schemeKey = model.name();
+    if (auto e = model.legacyEnum())
+        sc.scheme = *e;
     sc.seed = cfg_.seed;
     sc.warmupCycles = cfg_.warmupCycles;
     sc.collectMetrics = cfg_.collectMetrics;
@@ -55,17 +57,19 @@ ExperimentRunner::makeSystemConfig(Scheme scheme) const
 }
 
 RunResult
-ExperimentRunner::runOne(Scheme scheme, const WorkloadProfile &profile,
+ExperimentRunner::runOne(const std::string &scheme,
+                         const WorkloadProfile &profile,
                          const CancelToken *cancel)
 {
-    SystemConfig sc = makeSystemConfig(scheme);
+    const SchemeModel &model = SchemeRegistry::instance().byName(scheme);
+    SystemConfig sc = makeSystemConfig(model);
     sc.cancel = cancel;
     // The tweak hook may have pinned its own design (ablations do).
-    if (scheme == Scheme::EquiNox && !sc.preDesign)
+    if (model.usesEquiNoxDesign() && !sc.preDesign)
         sc.preDesign = &equinoxDesign();
     if (cfg_.decorrelateSeeds)
         sc.seed =
-            deriveStreamSeed(cfg_.seed, schemeName(scheme), profile.name);
+            deriveStreamSeed(cfg_.seed, model.name(), profile.name);
 
     WorkloadProfile wp = profile;
     wp.instsPerPe = static_cast<std::uint64_t>(
@@ -84,29 +88,38 @@ ExperimentRunner::runMatrix()
     // scheme-minor); the pool may execute cells in any order, but
     // every job writes only its own pre-assigned slot, so the
     // returned vector is invariant to scheduling.
+    // Resolve every scheme key up front: an unknown key fails fast,
+    // and aliases collapse to their canonical model.
+    std::vector<const SchemeModel *> models;
+    for (const auto &key : cfg_.schemes)
+        models.push_back(&SchemeRegistry::instance().byName(key));
+
     struct CellRef
     {
         const WorkloadProfile *wp;
-        Scheme scheme;
+        const SchemeModel *model;
     };
     std::vector<CellRef> order;
     for (const auto &wp : cfg_.workloads)
-        for (Scheme s : cfg_.schemes)
-            order.push_back({&wp, s});
+        for (const SchemeModel *m : models)
+            order.push_back({&wp, m});
 
     std::vector<CellResult> cells(order.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
-        cells[i].scheme = order[i].scheme;
+        cells[i].scheme = order[i].model->name();
         cells[i].benchmark = order[i].wp->name;
     }
 
     // The shared EquiNox design is lazily cached and must be built
     // before the fan-out (jobs only ever read it). Skip when a tweak
     // hook pins its own design — the cache would go unused.
-    bool wants_equinox = false;
-    for (Scheme s : cfg_.schemes)
-        wants_equinox |= s == Scheme::EquiNox;
-    if (wants_equinox && !makeSystemConfig(Scheme::EquiNox).preDesign)
+    const SchemeModel *wants_design = nullptr;
+    for (const SchemeModel *m : models)
+        if (m->usesEquiNoxDesign()) {
+            wants_design = m;
+            break;
+        }
+    if (wants_design && !makeSystemConfig(*wants_design).preDesign)
         equinoxDesign();
 
     std::unique_ptr<JsonlWriter> jsonl;
@@ -134,9 +147,9 @@ ExperimentRunner::runMatrix()
         const CellRef &ref = order[ctx.index];
         if (cfg_.verbose)
             eqx_inform("running ", ref.wp->name, " on ",
-                       schemeName(ref.scheme));
+                       ref.model->name());
         cells[ctx.index].result =
-            runOne(ref.scheme, *ref.wp, ctx.cancel);
+            runOne(ref.model->name(), *ref.wp, ctx.cancel);
         return cells[ctx.index].result.completed;
     });
     return cells;
@@ -148,7 +161,7 @@ cellJsonRecord(const CellResult &c)
     const RunResult &r = c.result;
     JsonObject o;
     o.field("benchmark", c.benchmark)
-        .field("scheme", schemeName(c.scheme))
+        .field("scheme", c.scheme)
         .field("failed", c.failed)
         .field("attempts", c.attempts)
         .field("wall_ms", c.wallMs);
@@ -231,7 +244,7 @@ writeCellsCsv(const std::vector<CellResult> &cells,
                      "%s,%s,%d,%llu,%.3f,%llu,%.4f,%.1f,%.6g,%.4f,%.3f,"
                      "%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%.3f,%.3f,"
                      "%.3f,%.3f,%.3f,%.3f,%llu\n",
-                     c.benchmark.c_str(), schemeName(c.scheme),
+                     c.benchmark.c_str(), c.scheme.c_str(),
                      r.completed ? 1 : 0,
                      static_cast<unsigned long long>(r.cycles), r.execNs,
                      static_cast<unsigned long long>(r.totalInsts),
@@ -250,25 +263,34 @@ writeCellsCsv(const std::vector<CellResult> &cells,
 }
 
 double
-schemeGeomean(const std::vector<CellResult> &cells, Scheme scheme,
+schemeGeomean(const std::vector<CellResult> &cells,
+              const std::string &scheme,
               const std::function<double(const RunResult &)> &metric)
 {
+    // Cells carry canonical names; accept any registry key here.
+    std::string name = SchemeRegistry::instance().byName(scheme).name();
     std::vector<double> vals;
     for (const auto &c : cells)
-        if (c.scheme == scheme)
+        if (c.scheme == name)
             vals.push_back(metric(c.result));
     return geomean(vals);
 }
 
 void
 printNormalizedTable(const std::vector<CellResult> &cells,
-                     const std::vector<Scheme> &schemes,
+                     const std::vector<std::string> &schemes,
                      const std::string &metric_name,
                      const std::function<double(const RunResult &)> &metric,
-                     Scheme baseline)
+                     const std::string &baseline)
 {
+    const SchemeRegistry &reg = SchemeRegistry::instance();
+    std::vector<std::string> names;
+    for (const auto &s : schemes)
+        names.push_back(reg.byName(s).name());
+    std::string base_name = reg.byName(baseline).name();
+
     // benchmark -> scheme -> value
-    std::map<std::string, std::map<Scheme, double>> table;
+    std::map<std::string, std::map<std::string, double>> table;
     std::vector<std::string> bench_order;
     for (const auto &c : cells) {
         if (!table.count(c.benchmark))
@@ -277,17 +299,18 @@ printNormalizedTable(const std::vector<CellResult> &cells,
     }
 
     std::printf("\n%s (normalized to %s)\n", metric_name.c_str(),
-                schemeName(baseline));
+                base_name.c_str());
     std::printf("%-16s", "benchmark");
-    for (Scheme s : schemes)
-        std::printf(" %16s", schemeName(s));
+    for (const auto &s : names)
+        std::printf(" %16s", s.c_str());
     std::printf("\n");
 
-    std::map<Scheme, std::vector<double>> norm_per_scheme;
+    std::map<std::string, std::vector<double>> norm_per_scheme;
     for (const auto &b : bench_order) {
-        double base = table[b].count(baseline) ? table[b][baseline] : 0;
+        double base =
+            table[b].count(base_name) ? table[b][base_name] : 0;
         std::printf("%-16s", b.c_str());
-        for (Scheme s : schemes) {
+        for (const auto &s : names) {
             double v = table[b].count(s) ? table[b][s] : 0;
             double norm = base > 0 ? v / base : 0;
             norm_per_scheme[s].push_back(norm);
@@ -296,7 +319,7 @@ printNormalizedTable(const std::vector<CellResult> &cells,
         std::printf("\n");
     }
     std::printf("%-16s", "geomean");
-    for (Scheme s : schemes)
+    for (const auto &s : names)
         std::printf(" %16.3f", geomean(norm_per_scheme[s]));
     std::printf("\n");
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runner/job_pool.hh"
+#include "schemes/scheme_registry.hh"
 #include "sim/system.hh"
 
 namespace eqx {
@@ -26,7 +27,7 @@ namespace eqx {
 /** One (scheme, benchmark) cell of a result matrix. */
 struct CellResult
 {
-    Scheme scheme;
+    std::string scheme; ///< canonical SchemeRegistry name
     std::string benchmark;
     RunResult result;
 
@@ -47,7 +48,10 @@ struct ExperimentConfig
     int height = 8;
     int numCbs = 8;
     std::uint64_t seed = 1;
-    std::vector<Scheme> schemes = allSchemes();
+    /** SchemeRegistry keys (name or alias, any case) to sweep. The
+     *  default is the paper's seven; registry-only variants like
+     *  "EquiNox-XY" slot in by name. */
+    std::vector<std::string> schemes = paperSchemeNames();
     std::vector<WorkloadProfile> workloads;
     /** Scale factor on instsPerPe (benches shrink runs for speed). */
     double instScale = 1.0;
@@ -95,8 +99,10 @@ class ExperimentRunner
     /** The (cached) EquiNox design used for every EquiNox run. */
     const EquiNoxDesign &equinoxDesign();
 
-    /** Run one cell (optionally under a cancellation token). */
-    RunResult runOne(Scheme scheme, const WorkloadProfile &profile,
+    /** Run one cell (optionally under a cancellation token). The
+     *  scheme is any registry key — name or alias, any case. */
+    RunResult runOne(const std::string &scheme,
+                     const WorkloadProfile &profile,
                      const CancelToken *cancel = nullptr);
 
     /**
@@ -109,7 +115,7 @@ class ExperimentRunner
     const ExperimentConfig &config() const { return cfg_; }
 
   private:
-    SystemConfig makeSystemConfig(Scheme scheme) const;
+    SystemConfig makeSystemConfig(const SchemeModel &model) const;
 
     ExperimentConfig cfg_;
     EquiNoxDesign design_;
@@ -125,13 +131,14 @@ std::string cellJsonRecord(const CellResult &cell);
  */
 void printNormalizedTable(
     const std::vector<CellResult> &cells,
-    const std::vector<Scheme> &schemes,
+    const std::vector<std::string> &schemes,
     const std::string &metric_name,
     const std::function<double(const RunResult &)> &metric,
-    Scheme baseline);
+    const std::string &baseline);
 
 /** Geomean of a metric for one scheme across all benchmarks. */
-double schemeGeomean(const std::vector<CellResult> &cells, Scheme scheme,
+double schemeGeomean(const std::vector<CellResult> &cells,
+                     const std::string &scheme,
                      const std::function<double(const RunResult &)> &metric);
 
 /**

@@ -8,6 +8,7 @@
 #define EQX_SIM_SCHEME_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/cancel.hh"
@@ -31,6 +32,8 @@ enum class Scheme : std::uint8_t
     EquiNox,         ///< the paper's proposal
 };
 
+// Legacy scheme queries, answered by the SchemeRegistry
+// (src/schemes): every enum value maps to a registered SchemeModel.
 const char *schemeName(Scheme s);
 std::vector<Scheme> allSchemes();
 
@@ -44,6 +47,16 @@ struct SystemConfig
     int height = 8;
     int numCbs = 8;
     Scheme scheme = Scheme::SeparateBase;
+
+    /**
+     * Registry key of the scheme to build (SchemeRegistry name or
+     * alias, matched case-insensitively). When non-empty it overrides
+     * `scheme`, which lets registry-only variants like "EquiNox-XY" —
+     * schemes with no legacy enum value — run through the stock
+     * System/ExperimentRunner stack.
+     */
+    std::string schemeKey;
+
     std::uint64_t seed = 1;
 
     PeParams pe;

@@ -1,149 +1,25 @@
 #include "sim/system.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
-#include "core/placement.hh"
 #include "runner/stream_seed.hh"
+#include "schemes/scheme_registry.hh"
 
 namespace eqx {
 
 namespace {
 
-/** Injects at a fixed node of a fixed network. */
-class DirectInjector : public PacketInjector
+const SchemeModel &
+resolveModel(const SystemConfig &cfg)
 {
-  public:
-    DirectInjector(Network *net, NodeId node) : net_(net), node_(node) {}
-
-    bool
-    tryInject(const PacketPtr &pkt) override
-    {
-        return net_->inject(node_, pkt);
-    }
-
-  private:
-    Network *net_;
-    NodeId node_;
-};
-
-/** Stripes reply packets across the DA2Mesh subnets by destination. */
-class SubnetInjector : public PacketInjector
-{
-  public:
-    SubnetInjector(std::vector<Network *> subnets, NodeId node)
-        : subnets_(std::move(subnets)), node_(node)
-    {}
-
-    bool
-    tryInject(const PacketPtr &pkt) override
-    {
-        auto idx = static_cast<std::size_t>(pkt->dst) % subnets_.size();
-        return subnets_[idx]->inject(node_, pkt);
-    }
-
-  private:
-    std::vector<Network *> subnets_;
-    NodeId node_;
-};
-
-/** CMesh tile -> overlay node mapping (2x2 concentration). */
-struct CmeshMap
-{
-    int tileW;
-    int cmW;
-
-    NodeId
-    overlayNode(NodeId tile) const
-    {
-        int x = static_cast<int>(tile) % tileW;
-        int y = static_cast<int>(tile) / tileW;
-        return static_cast<NodeId>((y / 2) * cmW + x / 2);
-    }
-};
-
-/**
- * Interposer-CMesh injection: distant destinations ride the overlay,
- * near ones (or an overlay-full fallback) take the mesh.
- */
-class OverlayInjector : public PacketInjector
-{
-  public:
-    OverlayInjector(Network *mesh, Network *overlay, NodeId node,
-                    CmeshMap map, int min_hops)
-        : mesh_(mesh), overlay_(overlay), node_(node), map_(map),
-          minHops_(min_hops)
-    {}
-
-    bool
-    tryInject(const PacketPtr &pkt) override
-    {
-        const Topology &t = mesh_->topology();
-        int dist = manhattan(t.coord(node_), t.coord(pkt->dst));
-        NodeId entry = map_.overlayNode(node_);
-        NodeId exit = map_.overlayNode(pkt->dst);
-        if (dist >= minHops_ && entry != exit) {
-            NodeId tile_dst = pkt->dst;
-            pkt->finalDst = tile_dst;
-            pkt->dst = exit;
-            if (overlay_->inject(entry, pkt))
-                return true;
-            pkt->dst = tile_dst; // fall back to the mesh
-            pkt->finalDst = kInvalidNode;
-        }
-        return mesh_->inject(node_, pkt);
-    }
-
-  private:
-    Network *mesh_;
-    Network *overlay_;
-    NodeId node_;
-    CmeshMap map_;
-    int minHops_;
-};
-
-/** Overlay exit: hands packets to the endpoint of their finalDst tile. */
-class CmeshExitSink : public PacketSink
-{
-  public:
-    explicit CmeshExitSink(const std::vector<PacketSink *> *tile_sinks)
-        : tileSinks_(tile_sinks)
-    {}
-
-    bool
-    canAccept(const PacketPtr &pkt) override
-    {
-        return sinkOf(pkt)->canAccept(pkt);
-    }
-
-    void
-    accept(const PacketPtr &pkt, Cycle core_now) override
-    {
-        PacketSink *s = sinkOf(pkt);
-        // Restore the tile-namespace destination for the endpoint.
-        pkt->dst = pkt->finalDst;
-        s->accept(pkt, core_now);
-    }
-
-  private:
-    PacketSink *
-    sinkOf(const PacketPtr &pkt) const
-    {
-        eqx_assert(pkt->finalDst != kInvalidNode,
-                   "overlay packet without finalDst");
-        PacketSink *s =
-            (*tileSinks_)[static_cast<std::size_t>(pkt->finalDst)];
-        eqx_assert(s, "overlay packet for a tile without an endpoint");
-        return s;
-    }
-
-    const std::vector<PacketSink *> *tileSinks_;
-};
+    if (!cfg.schemeKey.empty())
+        return SchemeRegistry::instance().byName(cfg.schemeKey);
+    return SchemeRegistry::instance().byEnum(cfg.scheme);
+}
 
 } // namespace
 
 System::System(const SystemConfig &config, const WorkloadProfile &profile)
-    : cfg_(config)
+    : cfg_(config), model_(&resolveModel(cfg_))
 {
     eqx_assert(cfg_.numCbs >= 1, "need at least one cache bank");
     buildPlacement();
@@ -156,139 +32,19 @@ System::~System() = default;
 void
 System::buildPlacement()
 {
-    if (cfg_.scheme == Scheme::EquiNox) {
-        if (cfg_.preDesign) {
-            designUsed_ = cfg_.preDesign;
-        } else {
-            DesignParams dp = cfg_.design;
-            dp.width = cfg_.width;
-            dp.height = cfg_.height;
-            dp.numCbs = cfg_.numCbs;
-            dp.seed = cfg_.seed;
-            ownedDesign_ = buildEquiNoxDesign(dp);
-            designUsed_ = &ownedDesign_;
-        }
-        eqx_assert(designUsed_->width == cfg_.width &&
-                       designUsed_->height == cfg_.height,
-                   "EquiNox design size mismatch");
-        cbCoords_ = designUsed_->cbs;
-    } else {
-        cbCoords_ = makePlacement(PlacementKind::Diamond, cfg_.width,
-                                  cfg_.height, cfg_.numCbs);
-    }
+    designUsed_ = model_->placeCbs(cfg_, ownedDesign_, cbCoords_);
+    // The CB-node table every later build step (and the model) shares.
+    cbNodes_.clear();
+    for (const auto &c : cbCoords_)
+        cbNodes_.push_back(static_cast<NodeId>(c.y * cfg_.width + c.x));
 }
 
 void
 System::buildNetworks()
 {
-    auto base = [&](const std::string &name) {
-        NocParams p;
-        p.name = name;
-        p.width = cfg_.width;
-        p.height = cfg_.height;
-        p.vcsPerPort = cfg_.vcsPerPort;
-        p.vcDepthFlits = cfg_.vcDepthFlits;
-        p.flitBits = cfg_.flitBits;
-        p.exhaustiveTick = cfg_.exhaustiveNocTick;
-        return p;
-    };
-
-    std::vector<NodeId> cb_nodes;
-    for (const auto &c : cbCoords_)
-        cb_nodes.push_back(
-            static_cast<NodeId>(c.y * cfg_.width + c.x));
-
-    switch (cfg_.scheme) {
-      case Scheme::SingleBase:
-      case Scheme::VcMono: {
-        NetworkSpec spec;
-        spec.params = base("single");
-        spec.params.classVcs = true;
-        spec.params.routing = RoutingMode::XY;
-        spec.params.vcMono = cfg_.scheme == Scheme::VcMono;
+    SchemeBuild build{cfg_, cbCoords_, cbNodes_, designUsed_};
+    for (auto &spec : model_->networkSpecs(build))
         nets_.push_back(std::make_unique<Network>(spec));
-        break;
-      }
-      case Scheme::InterposerCMesh: {
-        NetworkSpec mesh;
-        mesh.params = base("single");
-        mesh.params.classVcs = true;
-        mesh.params.routing = RoutingMode::XY;
-        nets_.push_back(std::make_unique<Network>(mesh));
-
-        NetworkSpec overlay;
-        overlay.params = base("cmesh");
-        overlay.params.width = (cfg_.width + 1) / 2;
-        overlay.params.height = (cfg_.height + 1) / 2;
-        overlay.params.flitBits = cfg_.cmeshFlitBits;
-        overlay.params.classVcs = true;
-        overlay.params.routing = RoutingMode::XY;
-        overlay.params.geoLinksInterposer = true;
-        for (NodeId n = 0; n < overlay.params.numNodes(); ++n) {
-            NodeMods m;
-            m.kind = NiKind::MultiPort;
-            m.localInjPorts = 4; // one per concentrated tile
-            m.localEjPorts = 4;
-            overlay.mods[n] = m;
-        }
-        nets_.push_back(std::make_unique<Network>(overlay));
-        break;
-      }
-      case Scheme::SeparateBase:
-      case Scheme::Da2Mesh:
-      case Scheme::MultiPort:
-      case Scheme::EquiNox: {
-        NetworkSpec req;
-        req.params = base("request");
-        req.params.classes = {true, false};
-        req.params.routing = RoutingMode::MinimalAdaptive;
-        if (cfg_.scheme == Scheme::MultiPort) {
-            for (NodeId n : cb_nodes) {
-                NodeMods m;
-                m.localEjPorts = cfg_.multiPortEjPorts;
-                req.mods[n] = m;
-            }
-        }
-        nets_.push_back(std::make_unique<Network>(req));
-
-        if (cfg_.scheme == Scheme::Da2Mesh) {
-            for (int s = 0; s < cfg_.da2Subnets; ++s) {
-                NetworkSpec sub;
-                sub.params = base("reply-sub" + std::to_string(s));
-                sub.params.classes = {false, true};
-                sub.params.flitBits =
-                    std::max(1, cfg_.flitBits / cfg_.da2Subnets);
-                sub.params.routing = RoutingMode::XY;
-                // Narrow wormhole buffers: packets span several
-                // routers rather than fitting one VC, which is how the
-                // original DA2Mesh keeps its subnets cheap.
-                sub.params.vcDepthFlits = 8;
-                // 2.5x clock: 3 ticks on even core cycles, 2 on odd.
-                sub.params.ticksEvenCycle = 3;
-                sub.params.ticksOddCycle = 2;
-                nets_.push_back(std::make_unique<Network>(sub));
-            }
-            break;
-        }
-
-        NetworkSpec rep;
-        rep.params = base("reply");
-        rep.params.classes = {false, true};
-        rep.params.routing = RoutingMode::MinimalAdaptive;
-        if (cfg_.scheme == Scheme::MultiPort) {
-            for (NodeId n : cb_nodes) {
-                NodeMods m;
-                m.kind = NiKind::MultiPort;
-                m.localInjPorts = cfg_.multiPortInjPorts;
-                rep.mods[n] = m;
-            }
-        }
-        if (cfg_.scheme == Scheme::EquiNox)
-            rep.eirGroups = designUsed_->eirGroupsByNode();
-        nets_.push_back(std::make_unique<Network>(rep));
-        break;
-      }
-    }
 
     if (cfg_.fault.enabled()) {
         std::uint64_t base = cfg_.fault.seed ? cfg_.fault.seed
@@ -306,55 +62,18 @@ System::buildEndpoints(const WorkloadProfile &profile)
     int num_nodes = cfg_.width * cfg_.height;
     std::vector<bool> is_cb(static_cast<std::size_t>(num_nodes), false);
     amap_.lineBytes = 64;
-    amap_.cbNodes.clear();
-    for (const auto &c : cbCoords_) {
-        NodeId n = static_cast<NodeId>(c.y * cfg_.width + c.x);
+    amap_.cbNodes = cbNodes_;
+    for (NodeId n : cbNodes_)
         is_cb[static_cast<std::size_t>(n)] = true;
-        amap_.cbNodes.push_back(n);
-    }
 
-    Network *net0 = nets_[0].get();
-    Network *reply_net =
-        (!isSingleNetwork(cfg_.scheme) && cfg_.scheme != Scheme::Da2Mesh)
-            ? nets_[1].get()
-            : nullptr;
-
-    // Tile-indexed sink table (used by the CMesh exit sinks too).
+    // Tile-indexed sink table (used by overlay exit sinks too).
     tileSinks_.assign(static_cast<std::size_t>(num_nodes), nullptr);
 
-    CmeshMap cmap{cfg_.width, (cfg_.width + 1) / 2};
-
-    auto makeInjector = [&](NodeId node, bool for_reply)
+    SchemeBuild build{cfg_, cbCoords_, cbNodes_, designUsed_};
+    auto make_injector = [&](NodeId node, bool for_reply)
         -> PacketInjector * {
-        std::unique_ptr<PacketInjector> inj;
-        switch (cfg_.scheme) {
-          case Scheme::SingleBase:
-          case Scheme::VcMono:
-            inj = std::make_unique<DirectInjector>(net0, node);
-            break;
-          case Scheme::InterposerCMesh:
-            inj = std::make_unique<OverlayInjector>(
-                net0, nets_[1].get(), node, cmap, cfg_.cmeshMinHops);
-            break;
-          case Scheme::SeparateBase:
-          case Scheme::MultiPort:
-          case Scheme::EquiNox:
-            inj = std::make_unique<DirectInjector>(
-                for_reply ? reply_net : net0, node);
-            break;
-          case Scheme::Da2Mesh:
-            if (for_reply) {
-                std::vector<Network *> subs;
-                for (std::size_t i = 1; i < nets_.size(); ++i)
-                    subs.push_back(nets_[i].get());
-                inj = std::make_unique<SubnetInjector>(std::move(subs),
-                                                       node);
-            } else {
-                inj = std::make_unique<DirectInjector>(net0, node);
-            }
-            break;
-        }
-        injectors_.push_back(std::move(inj));
+        injectors_.push_back(
+            model_->makeInjector(build, nets_, node, for_reply));
         return injectors_.back().get();
     };
 
@@ -362,12 +81,12 @@ System::buildEndpoints(const WorkloadProfile &profile)
     int pe_index = 0;
     for (NodeId n = 0; n < num_nodes; ++n) {
         if (is_cb[static_cast<std::size_t>(n)]) {
-            auto *inj = makeInjector(n, /*for_reply=*/true);
+            auto *inj = make_injector(n, /*for_reply=*/true);
             cbs_.push_back(std::make_unique<CacheBank>(n, cfg_.cb, inj,
                                                        &cfg_.sizes));
             tileSinks_[static_cast<std::size_t>(n)] = cbs_.back().get();
         } else {
-            auto *inj = makeInjector(n, /*for_reply=*/false);
+            auto *inj = make_injector(n, /*for_reply=*/false);
             PeTraceGen gen(profile, pe_index, cfg_.seed);
             pes_.push_back(std::make_unique<ProcessingElement>(
                 n, cfg_.pe, std::move(gen), &amap_, inj, &cfg_.sizes));
@@ -376,28 +95,7 @@ System::buildEndpoints(const WorkloadProfile &profile)
         }
     }
 
-    // Wire sinks to the networks.
-    for (NodeId n = 0; n < num_nodes; ++n) {
-        PacketSink *s = tileSinks_[static_cast<std::size_t>(n)];
-        if (isSingleNetwork(cfg_.scheme)) {
-            net0->setSink(n, s);
-        } else {
-            // Requests eject at CBs; replies eject at PEs.
-            if (is_cb[static_cast<std::size_t>(n)]) {
-                net0->setSink(n, s);
-            } else {
-                for (std::size_t i = 1; i < nets_.size(); ++i)
-                    nets_[i]->setSink(n, s);
-            }
-        }
-    }
-
-    if (cfg_.scheme == Scheme::InterposerCMesh) {
-        auto sink = std::make_unique<CmeshExitSink>(&tileSinks_);
-        for (NodeId n = 0; n < nets_[1]->topology().numNodes(); ++n)
-            nets_[1]->setSink(n, sink.get());
-        overlaySinks_.push_back(std::move(sink));
-    }
+    model_->wireSinks(build, nets_, tileSinks_, overlaySinks_);
 }
 
 void
@@ -527,20 +225,9 @@ System::collect(RunResult &out) const
         }
     }
 
-    // Measured max per-injection-point load of the EquiNox reply
-    // network (the simulated check of the MCTS evaluator's maxLoad):
-    // max over every NI injection buffer, local ports included. Only
-    // CB NIs inject replies, so PE-side buffers contribute zero.
-    if (cfg_.scheme == Scheme::EquiNox && nets_.size() > 1) {
-        const Network &rep = *nets_[1];
-        for (NodeId n = 0; n < rep.topology().numNodes(); ++n) {
-            const NetworkInterface &ni = rep.ni(n);
-            for (int b = 0; b < ni.numInjBuffers(); ++b)
-                out.maxEirLoadPackets =
-                    std::max(out.maxEirLoadPackets,
-                             ni.injBuffer(b).packetsInjected);
-        }
-    }
+    // Scheme-specific result fields (EquiNox's max-EIR load, say).
+    SchemeBuild build{cfg_, cbCoords_, cbNodes_, designUsed_};
+    model_->collectSchemeStats(build, nets_, out);
 
     for (const auto &net : nets_) {
         if (!net->faultArmed())
@@ -576,10 +263,10 @@ System::run()
     collect(out);
     if (cancelled_)
         eqx_warn("system run cancelled at cycle ", cycle_, " (",
-                 schemeName(cfg_.scheme), ")");
+                 model_->name(), ")");
     else if (!out.completed)
         eqx_warn("system run hit maxCycles=", cfg_.maxCycles,
-                 " before draining (", schemeName(cfg_.scheme), ")");
+                 " before draining (", model_->name(), ")");
     return out;
 }
 

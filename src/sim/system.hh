@@ -23,6 +23,8 @@
 
 namespace eqx {
 
+class SchemeModel;
+
 /** Aggregated outcome of one (scheme, benchmark) run. */
 struct RunResult
 {
@@ -132,6 +134,9 @@ class System
     int numCacheBanks() const { return static_cast<int>(cbs_.size()); }
     const EquiNoxDesign *design() const { return designUsed_; }
 
+    /** The SchemeModel this system was built from. */
+    const SchemeModel &schemeModel() const { return *model_; }
+
   private:
     void buildPlacement();
     void buildNetworks();
@@ -139,9 +144,11 @@ class System
     void collect(RunResult &out) const;
 
     SystemConfig cfg_;
+    const SchemeModel *model_; ///< registry-owned, resolved once
     PowerModel power_;
 
     std::vector<Coord> cbCoords_;
+    std::vector<NodeId> cbNodes_; ///< cbCoords_ as tile node ids
     AddressMap amap_;
 
     EquiNoxDesign ownedDesign_;       ///< when the flow runs in-system

@@ -135,7 +135,7 @@ TEST(FaultSystem, FaultedSweepBitIdenticalAcrossWorkerCounts)
         ExperimentConfig ec;
         ec.workloads = workloadSubset(2);
         ec.instScale = 0.04;
-        ec.schemes = {Scheme::SeparateBase, Scheme::MultiPort};
+        ec.schemes = {"SeparateBase", "MultiPort"};
         ec.workers = workers;
         ec.jsonlPath = jsonl;
         ec.fault.ratePerKTick = 8;
@@ -156,7 +156,7 @@ TEST(FaultSystem, FaultedSweepBitIdenticalAcrossWorkerCounts)
         EXPECT_EQ(c1[i].scheme, cn[i].scheme) << i;
         EXPECT_EQ(c1[i].benchmark, cn[i].benchmark) << i;
         EXPECT_TRUE(sameFaultedResult(c1[i].result, cn[i].result))
-            << c1[i].benchmark << "/" << schemeName(c1[i].scheme);
+            << c1[i].benchmark << "/" << c1[i].scheme;
         drops += c1[i].result.faultWormsDropped;
     }
     // The schedule fired, so this compared real recovery activity.

@@ -33,7 +33,7 @@ const RunResult &
 result(Scheme s)
 {
     for (const auto &c : cells())
-        if (c.scheme == s)
+        if (c.scheme == schemeName(s))
             return c.result;
     throw std::logic_error("scheme missing");
 }
@@ -42,7 +42,7 @@ TEST(SchemeShape, PerformanceOrdering)
 {
     // Everyone finishes.
     for (const auto &c : cells())
-        ASSERT_TRUE(c.result.completed) << schemeName(c.scheme);
+        ASSERT_TRUE(c.result.completed) << c.scheme;
 
     // Fig 9(a): separate networks beat the shared network...
     EXPECT_LT(result(Scheme::SeparateBase).execNs,

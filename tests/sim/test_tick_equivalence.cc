@@ -42,7 +42,7 @@ expectCellsIdentical(const std::vector<CellResult> &a,
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(stripWallMs(cellJsonRecord(a[i])),
                   stripWallMs(cellJsonRecord(e[i])))
-            << a[i].benchmark << "/" << schemeName(a[i].scheme);
+            << a[i].benchmark << "/" << a[i].scheme;
     }
 }
 
@@ -57,7 +57,7 @@ baselineMatrix(bool exhaustive)
     ExperimentConfig ec;
     ec.workloads = workloadSubset(2);
     ec.instScale = 0.04;
-    ec.schemes = {Scheme::SingleBase, Scheme::VcMono, Scheme::MultiPort};
+    ec.schemes = {"SingleBase", "VC-Mono", "MultiPort"};
     ec.collectMetrics = true;
     ec.warmupCycles = 20;
     ec.tweak = [exhaustive](SystemConfig &sc) {
@@ -81,7 +81,7 @@ equinoxCell(bool exhaustive)
     ExperimentConfig ec;
     ec.workloads = workloadSubset(1);
     ec.instScale = 0.04;
-    ec.schemes = {Scheme::EquiNox};
+    ec.schemes = {"EquiNox"};
     ec.collectMetrics = true;
     ec.warmupCycles = 20;
     ec.tweak = [exhaustive](SystemConfig &sc) {
