@@ -17,7 +17,15 @@
  *   jsonl=<path>  stream per-cell JSONL records
  *   warmup=<n>    reset NoC stats at core cycle n (0 = off)
  *   metrics=1     per-router/per-NI observability snapshot per cell
+ * and the sweep-fabric knobs (src/sweep, see DESIGN.md §13):
+ *   cache=<dir>   consult/populate the content-addressed cell cache;
+ *                 a repeated run serves every cell without simulating
+ *   journal=<p>   write-ahead journal: one record per finished cell
+ *   resume=1     recover an existing journal instead of truncating it
+ *   shard=<i/N>   run only this shard's cells (deterministic split;
+ *                 merge the journals with `sweep merge=...`)
  *
+
  * Fault-campaign benches additionally accept (see EXPERIMENTS.md):
  *   fault_rate=<f>     expected fault events / 1000 ticks / network
  *   fault_types=<s>    stall,corrupt,link_kill,router_kill or the
@@ -44,6 +52,8 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sweep/shard.hh"
+#include "sweep/sweep_runner.hh"
 
 namespace eqx {
 
@@ -107,6 +117,51 @@ applySweepArgs(ExperimentConfig &ec, const Config &cfg)
     ec.jsonlPath = cfg.getString("jsonl", "");
     ec.warmupCycles = static_cast<Cycle>(cfg.getInt("warmup", 0));
     ec.collectMetrics = cfg.getBool("metrics", false);
+}
+
+/** Parse the sweep-fabric arguments (cache= journal= resume= shard=). */
+inline SweepOptions
+parseFabricArgs(const Config &cfg)
+{
+    SweepOptions so;
+    so.cacheDir = cfg.getString("cache", "");
+    so.journalPath = cfg.getString("journal", "");
+    so.resume = cfg.getBool("resume", false);
+    std::string shard = cfg.getString("shard", "");
+    if (!shard.empty() &&
+        !parseShardSpec(shard, so.shardIndex, so.shardCount))
+        eqx_fatal("bad shard= spec '", shard,
+                  "' (want i/N with 0 <= i < N)");
+    if (so.resume && so.journalPath.empty())
+        eqx_fatal("resume=1 needs journal=<path>");
+    return so;
+}
+
+/**
+ * Run the matrix, through the sweep fabric when any of its knobs is
+ * set (printing the served/simulated split) and directly otherwise.
+ */
+inline std::vector<CellResult>
+runMatrixOrSweep(const ExperimentConfig &ec, const SweepOptions &so)
+{
+    if (!so.enabled()) {
+        ExperimentRunner runner(ec);
+        return runner.runMatrix();
+    }
+    SweepOutcome out = runSweep(ec, so);
+    std::printf("sweep fabric: %zu/%zu cells (shard %d/%d), "
+                "%zu journal + %zu cache served, %zu simulated, "
+                "%zu failed\n",
+                out.shardCells, out.totalCells, so.shardIndex,
+                so.shardCount, out.journalHits, out.cacheHits,
+                out.simulated, out.failed);
+    return std::move(out.cells);
+}
+
+inline std::vector<CellResult>
+runMatrixOrSweep(const ExperimentConfig &ec, const Config &cfg)
+{
+    return runMatrixOrSweep(ec, parseFabricArgs(cfg));
 }
 
 /** Apply the fault-injection arguments to a fault config. */

@@ -30,8 +30,7 @@ main(int argc, char **argv)
     ec.verbose = cfg.getBool("verbose", false);
     applySweepArgs(ec, cfg);
 
-    ExperimentRunner runner(ec);
-    auto cells = runner.runMatrix();
+    auto cells = runMatrixOrSweep(ec, cfg);
 
     if (cfg.has("csv"))
         writeCellsCsv(cells, cfg.getString("csv"));

@@ -29,8 +29,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cfg.getInt("benchmarks", 8)));
     applySweepArgs(ec, cfg);
 
-    ExperimentRunner runner(ec);
-    auto cells = runner.runMatrix();
+    auto cells = runMatrixOrSweep(ec, cfg);
 
     if (ec.collectMetrics) {
         printMetricsDigest(cells, ec.schemes);

@@ -47,8 +47,12 @@ main(int argc, char **argv)
             sc.design.mcts.iterationsPerLevel = 300;
         };
         applySweepArgs(ec, cfg);
-        ExperimentRunner runner(ec);
-        auto cells = runner.runMatrix();
+        // One journal per mesh size: the loop would otherwise reopen
+        // (and truncate) the same file three times.
+        SweepOptions so = parseFabricArgs(cfg);
+        if (!so.journalPath.empty())
+            so.journalPath += ".s" + std::to_string(n);
+        auto cells = runMatrixOrSweep(ec, so);
         auto ipc = [](const RunResult &r) { return r.ipc; };
         double sep = schemeGeomean(cells, "SeparateBase", ipc);
         double eq = schemeGeomean(cells, "EquiNox", ipc);

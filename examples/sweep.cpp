@@ -11,6 +11,9 @@
  *         [scheme=key,key,...] [timeout=0] [retries=1] [progress=1]
  *         [jsonl=out.jsonl] [csv=out.csv]
  *         [decorrelate=0] [verify=0] [warmup=0] [metrics=0]
+ *         [cache=dir] [journal=path] [resume=0] [shard=i/N]
+ *         [digest=0]
+ *   sweep merge=a.jnl,b.jnl out=merged.jsonl [gaps=0]
  *
  *   scheme=...     restrict the sweep to these SchemeRegistry keys
  *                  (names or aliases, any case); default is the
@@ -25,6 +28,25 @@
  *   metrics=1      collect the per-router / per-NI observability
  *                  snapshot per cell ("m."-prefixed JSONL keys) and
  *                  print a per-scheme digest
+ *
+ * Sweep fabric (src/sweep, DESIGN.md §13):
+ *   cache=DIR      content-addressed cell cache: cells whose digest
+ *                  is stored are served without simulating; repeated
+ *                  identical sweeps simulate nothing
+ *   journal=PATH   write-ahead journal of this run's cells
+ *   resume=1       recover an existing journal (skip its cells)
+ *                  instead of truncating it
+ *   shard=i/N      run only the cells shard i of N owns; the split
+ *                  is a pure function of (seed, scheme, benchmark)
+ *   digest=1       dry run: list every cell's digest (and owning
+ *                  shard under shard=i/N), simulate nothing
+ *   merge=A,B,...  merge shard journals into canonical JSONL at
+ *                  out= (default merged.jsonl); gaps=1 tolerates an
+ *                  incomplete shard set
+ *
+ * Exit status: 0 only when every requested cell succeeded (and, with
+ * verify=1, matched the serial reference; with merge=, the merge was
+ * complete and consistent).
  */
 
 #include <algorithm>
@@ -35,12 +57,33 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "runner/job_pool.hh"
 #include "sim/experiment.hh"
+#include "sweep/shard.hh"
+#include "sweep/sweep_runner.hh"
 
 using namespace eqx;
 
 namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &spec)
+{
+    std::vector<std::string> out;
+    for (std::size_t start = 0; start <= spec.size();) {
+        std::size_t comma = spec.find(',', start);
+        std::size_t len =
+            comma == std::string::npos ? std::string::npos : comma - start;
+        std::string item = spec.substr(start, len);
+        if (!item.empty())
+            out.push_back(std::move(item));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
 
 bool
 sameRunResult(const RunResult &a, const RunResult &b)
@@ -70,6 +113,21 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i)
         toks.emplace_back(argv[i]);
     cfg.parseArgs(toks);
+
+    if (cfg.has("merge")) {
+        std::vector<std::string> inputs =
+            splitCommas(cfg.getString("merge"));
+        std::string out = cfg.getString("out", "merged.jsonl");
+        MergeResult mr =
+            mergeJournals(inputs, out, cfg.getBool("gaps", false));
+        if (!mr.ok()) {
+            std::fprintf(stderr, "merge failed: %s\n", mr.error.c_str());
+            return 1;
+        }
+        std::printf("merged %zu cells from %zu journal(s) into %s\n",
+                    mr.cells, mr.inputs, out.c_str());
+        return 0;
+    }
 
     ExperimentConfig ec;
     ec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
@@ -104,6 +162,32 @@ main(int argc, char **argv)
         }
     }
 
+    SweepOptions so;
+    so.cacheDir = cfg.getString("cache", "");
+    so.journalPath = cfg.getString("journal", "");
+    so.resume = cfg.getBool("resume", false);
+    std::string shard_spec = cfg.getString("shard", "");
+    if (!shard_spec.empty() &&
+        !parseShardSpec(shard_spec, so.shardIndex, so.shardCount))
+        eqx_fatal("bad shard= spec '", shard_spec,
+                  "' (want i/N with 0 <= i < N)");
+    if (so.resume && so.journalPath.empty())
+        eqx_fatal("resume=1 needs journal=<path>");
+
+    if (cfg.getBool("digest", false)) {
+        // Dry run: identity only, nothing simulated.
+        auto ids = listCellDigests(ec, so.shardCount);
+        std::printf("%5s %-18s %-16s %5s  %s\n", "cell", "scheme",
+                    "benchmark", "shard", "digest");
+        for (const auto &id : ids)
+            std::printf("%5zu %-18s %-16s %5d  %s\n", id.index,
+                        id.scheme.c_str(), id.benchmark.c_str(),
+                        id.shard, id.digest.hex().c_str());
+        std::printf("%zu cells, schema v%d\n", ids.size(),
+                    kSweepSchemaVersion);
+        return 0;
+    }
+
     int workers = resolveWorkerCount(ec.workers);
     std::printf("sweep: %zu benchmarks x %zu schemes = %zu cells on "
                 "%d worker%s\n",
@@ -112,8 +196,19 @@ main(int argc, char **argv)
                 workers == 1 ? "" : "s");
 
     auto t0 = std::chrono::steady_clock::now();
-    ExperimentRunner runner(ec);
-    auto cells = runner.runMatrix();
+    std::vector<CellResult> cells;
+    if (so.enabled()) {
+        SweepOutcome out = runSweep(ec, so);
+        std::printf("sweep fabric: %zu/%zu cells (shard %d/%d), "
+                    "%zu journal + %zu cache served, %zu simulated\n",
+                    out.shardCells, out.totalCells, so.shardIndex,
+                    so.shardCount, out.journalHits, out.cacheHits,
+                    out.simulated);
+        cells = std::move(out.cells);
+    } else {
+        ExperimentRunner runner(ec);
+        cells = runner.runMatrix();
+    }
     auto t1 = std::chrono::steady_clock::now();
     double wall_s = std::chrono::duration<double>(t1 - t0).count();
 
@@ -191,13 +286,19 @@ main(int argc, char **argv)
         serial.jsonlPath.clear();
         ExperimentRunner ref(serial);
         auto ref_cells = ref.runMatrix();
+        // The reference always runs the full matrix; index by each
+        // cell's canonical slot so shard=/cache= runs verify too.
         std::size_t mismatches = 0;
         for (std::size_t i = 0; i < cells.size(); ++i)
-            if (!sameRunResult(cells[i].result, ref_cells[i].result))
+            if (cells[i].index >= ref_cells.size() ||
+                !sameRunResult(cells[i].result,
+                               ref_cells[cells[i].index].result))
                 ++mismatches;
         std::printf("verify: %zu/%zu cells bit-identical to serial\n",
                     cells.size() - mismatches, cells.size());
-        return mismatches ? 1 : 0;
+        // Permanent cell failures still fail the run: a clean verify
+        // of the cells that *did* finish must not mask them.
+        return (failed || mismatches) ? 1 : 0;
     }
     return failed ? 1 : 0;
 }

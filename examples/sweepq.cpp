@@ -1,0 +1,110 @@
+/**
+ * @file
+ * sweepq: minimal sweepd client. Sends one query over the daemon's
+ * Unix-domain socket and prints the streamed response lines to
+ * stdout.
+ *
+ * Usage (key=value args):
+ *   sweepq socket=/tmp/eqx-sweepd.sock \
+ *          [cmd=cells] [scheme=EquiNox,SingleBase] \
+ *          [benchmarks=bfs,hotspot] [seed=N]
+ *
+ *   cmd=ping | stats | cells | shutdown    (default cells)
+ *
+ * Exit status: 0 when the daemon answered the query ({"done":...} for
+ * cells, {"ok":true} otherwise), 1 on connection or protocol failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/config.hh"
+#include "runner/jsonl.hh"
+#include "sweep/record_io.hh"
+
+using namespace eqx;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    std::vector<std::string> toks;
+    for (int i = 1; i < argc; ++i)
+        toks.emplace_back(argv[i]);
+    cfg.parseArgs(toks);
+
+    std::string path = cfg.getString("socket", "/tmp/eqx-sweepd.sock");
+    std::string cmd = cfg.getString("cmd", "cells");
+
+    JsonObject q;
+    q.field("cmd", cmd);
+    if (cfg.has("scheme"))
+        q.field("schemes", cfg.getString("scheme"));
+    if (cfg.has("benchmarks"))
+        q.field("benchmarks", cfg.getString("benchmarks"));
+    if (cfg.has("seed"))
+        q.field("seed",
+                static_cast<std::uint64_t>(cfg.getInt("seed", 1)));
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "sweepq: socket path too long\n");
+        return 1;
+    }
+    std::strcpy(addr.sun_path, path.c_str());
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)) != 0) {
+        std::fprintf(stderr, "sweepq: cannot connect to %s\n",
+                     path.c_str());
+        if (fd >= 0)
+            ::close(fd);
+        return 1;
+    }
+
+    std::string line = q.str() + '\n';
+    if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(line.size())) {
+        std::fprintf(stderr, "sweepq: send failed\n");
+        ::close(fd);
+        return 1;
+    }
+    // Half-close: the daemon sees EOF after our single query and
+    // closes the connection once the response is streamed.
+    ::shutdown(fd, SHUT_WR);
+
+    bool answered = false;
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string resp = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            std::printf("%s\n", resp.c_str());
+            JsonFields fields;
+            if (parseFlatJson(resp, fields)) {
+                auto done = fields.find("done");
+                auto ok = fields.find("ok");
+                if (done != fields.end() && done->second.asBool())
+                    answered = true;
+                else if (cmd != "cells" && ok != fields.end() &&
+                         ok->second.asBool())
+                    answered = true;
+            }
+        }
+    }
+    ::close(fd);
+    return answered ? 0 : 1;
+}

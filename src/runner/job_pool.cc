@@ -67,6 +67,31 @@ JobPool::workerLoop(int worker_id, std::size_t count, const JobFn &fn,
             break;
 
         JobReport rep;
+        if (cfg_.shortCircuit) {
+            auto t0 = Clock::now();
+            bool served = false;
+            try {
+                served = cfg_.shortCircuit(i);
+            } catch (const std::exception &e) {
+                eqx_warn("job ", i, " short-circuit hook threw: ",
+                         e.what(), " — running the job instead");
+            }
+            if (served) {
+                rep.status = JobStatus::Ok;
+                rep.attempts = 0;
+                rep.shortCircuited = true;
+                rep.wallMs = std::chrono::duration<double, std::milli>(
+                                 Clock::now() - t0)
+                                 .count();
+                reports[i] = rep;
+                done_.fetch_add(1, std::memory_order_relaxed);
+                if (cfg_.onJobDone) {
+                    std::lock_guard<std::mutex> lock(doneMu_);
+                    cfg_.onJobDone(i, rep);
+                }
+                continue;
+            }
+        }
         int max_attempts = 1 + cfg_.retries;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
             slot.token.reset();

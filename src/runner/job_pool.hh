@@ -57,9 +57,11 @@ struct JobContext
 struct JobReport
 {
     JobStatus status = JobStatus::Ok;
-    int attempts = 0;    ///< attempts actually made (>= 1)
-    double wallMs = 0;   ///< wall-clock of the final attempt
+    int attempts = 0;    ///< attempts actually made (0 if short-circuited)
+    double wallMs = 0;   ///< wall-clock of the final attempt (or lookup)
     std::string error;   ///< exception text, when status == Failed
+    /** Satisfied by the shortCircuit hook without running the job. */
+    bool shortCircuited = false;
 
     bool ok() const { return status == JobStatus::Ok; }
 };
@@ -79,6 +81,15 @@ struct JobPoolConfig
     std::string progressLabel = "jobs";
     /** Called (serialized, from worker threads) after each job ends. */
     std::function<void(std::size_t index, const JobReport &)> onJobDone;
+    /**
+     * Result-cache hook, consulted before a job's first attempt:
+     * return true to satisfy the job without running it (the hook is
+     * expected to deposit the result wherever the job function would
+     * have). Short-circuited jobs count as completed, report
+     * attempts == 0, and still fire onJobDone. Must be safe to call
+     * concurrently for distinct indices.
+     */
+    std::function<bool(std::size_t index)> shortCircuit;
 };
 
 /** Clamp a requested worker count to something sane. */

@@ -56,8 +56,13 @@ class JsonObject
 class JsonlWriter
 {
   public:
-    /** Opens (truncates) the file; fatal if it cannot be created. */
-    explicit JsonlWriter(const std::string &path);
+    /**
+     * Opens (truncates) the file; fatal if it cannot be created. With
+     * append = true existing records are kept and writes extend the
+     * file — the journaled-resume mode of src/sweep (the caller is
+     * responsible for truncating any torn trailing record first).
+     */
+    explicit JsonlWriter(const std::string &path, bool append = false);
     ~JsonlWriter();
 
     JsonlWriter(const JsonlWriter &) = delete;

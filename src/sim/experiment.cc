@@ -56,28 +56,36 @@ ExperimentRunner::makeSystemConfig(const SchemeModel &model) const
     return sc;
 }
 
+PreparedCell
+ExperimentRunner::prepareCell(const std::string &scheme,
+                              const WorkloadProfile &profile)
+{
+    const SchemeModel &model = SchemeRegistry::instance().byName(scheme);
+    PreparedCell cell;
+    cell.sc = makeSystemConfig(model);
+    // The tweak hook may have pinned its own design (ablations do).
+    if (model.usesEquiNoxDesign() && !cell.sc.preDesign)
+        cell.sc.preDesign = &equinoxDesign();
+    if (cfg_.decorrelateSeeds)
+        cell.sc.seed =
+            deriveStreamSeed(cfg_.seed, model.name(), profile.name);
+
+    cell.wp = profile;
+    cell.wp.instsPerPe = static_cast<std::uint64_t>(
+        static_cast<double>(cell.wp.instsPerPe) * cfg_.instScale);
+    if (cell.wp.instsPerPe < 64)
+        cell.wp.instsPerPe = 64;
+    return cell;
+}
+
 RunResult
 ExperimentRunner::runOne(const std::string &scheme,
                          const WorkloadProfile &profile,
                          const CancelToken *cancel)
 {
-    const SchemeModel &model = SchemeRegistry::instance().byName(scheme);
-    SystemConfig sc = makeSystemConfig(model);
-    sc.cancel = cancel;
-    // The tweak hook may have pinned its own design (ablations do).
-    if (model.usesEquiNoxDesign() && !sc.preDesign)
-        sc.preDesign = &equinoxDesign();
-    if (cfg_.decorrelateSeeds)
-        sc.seed =
-            deriveStreamSeed(cfg_.seed, model.name(), profile.name);
-
-    WorkloadProfile wp = profile;
-    wp.instsPerPe = static_cast<std::uint64_t>(
-        static_cast<double>(wp.instsPerPe) * cfg_.instScale);
-    if (wp.instsPerPe < 64)
-        wp.instsPerPe = 64;
-
-    System sys(sc, wp);
+    PreparedCell cell = prepareCell(scheme, profile);
+    cell.sc.cancel = cancel;
+    System sys(cell.sc, cell.wp);
     return sys.run();
 }
 
@@ -108,6 +116,22 @@ ExperimentRunner::runMatrix()
     for (std::size_t i = 0; i < order.size(); ++i) {
         cells[i].scheme = order[i].model->name();
         cells[i].benchmark = order[i].wp->name;
+        cells[i].index = i;
+    }
+
+    // Shard predicate: drop cells another shard owns. Indices keep
+    // their canonical (unsharded) values so shard outputs merge back
+    // into single-process order.
+    if (cfg_.cellFilter) {
+        std::vector<CellRef> kept_order;
+        std::vector<CellResult> kept_cells;
+        for (std::size_t i = 0; i < order.size(); ++i)
+            if (cfg_.cellFilter(cells[i])) {
+                kept_order.push_back(order[i]);
+                kept_cells.push_back(std::move(cells[i]));
+            }
+        order = std::move(kept_order);
+        cells = std::move(kept_cells);
     }
 
     // The shared EquiNox design is lazily cached and must be built
@@ -134,13 +158,32 @@ ExperimentRunner::runMatrix()
     pc.progressLabel = "sweep";
     pc.onJobDone = [&](std::size_t i, const JobReport &rep) {
         CellResult &cell = cells[i];
-        cell.failed = !rep.ok();
-        cell.attempts = rep.attempts;
-        cell.wallMs = rep.wallMs;
-        cell.error = rep.error;
+        if (rep.shortCircuited) {
+            // The lookup hook restored the cell from cache/journal,
+            // including its original attempts/failed fields; only the
+            // wall clock (the lookup cost) is this run's own.
+            cell.wallMs = rep.wallMs;
+        } else {
+            cell.failed = !rep.ok();
+            cell.attempts = rep.attempts;
+            cell.wallMs = rep.wallMs;
+            cell.error = rep.error;
+        }
         if (jsonl)
             jsonl->write(cellJsonRecord(cell));
+        if (cfg_.cellDone)
+            cfg_.cellDone(cell);
     };
+    if (cfg_.cellLookup)
+        // The content-addressed cache consult, running in the pool
+        // path so cache-served cells never occupy a simulation slot.
+        pc.shortCircuit = [&](std::size_t i) {
+            CellResult &cell = cells[i];
+            if (!cfg_.cellLookup(cell))
+                return false;
+            cell.fromCache = true;
+            return true;
+        };
 
     JobPool pool(pc);
     pool.run(order.size(), [&](const JobContext &ctx) {
@@ -157,6 +200,12 @@ ExperimentRunner::runMatrix()
 
 std::string
 cellJsonRecord(const CellResult &c)
+{
+    return cellJsonObject(c).str();
+}
+
+JsonObject
+cellJsonObject(const CellResult &c)
 {
     const RunResult &r = c.result;
     JsonObject o;
@@ -221,7 +270,7 @@ cellJsonRecord(const CellResult &c)
     // keys (present only when metrics collection was enabled).
     for (const auto &[k, v] : r.metrics.all())
         o.field("m." + k, v);
-    return o.str();
+    return o;
 }
 
 void

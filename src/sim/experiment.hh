@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runner/job_pool.hh"
+#include "runner/jsonl.hh"
 #include "schemes/scheme_registry.hh"
 #include "sim/system.hh"
 
@@ -39,6 +40,16 @@ struct CellResult
     int attempts = 1;
     double wallMs = 0;
     std::string error;
+
+    /**
+     * Canonical matrix index (workload-major, scheme-minor) over the
+     * *unsharded* matrix. Stable across shard splits, so sharded
+     * sweep journals can be merged back into single-process order.
+     * Not part of the sweep JSONL record schema.
+     */
+    std::size_t index = 0;
+    /** Served by the cell cache/journal instead of simulated. */
+    bool fromCache = false;
 };
 
 /** Configuration of a full experiment matrix. */
@@ -88,6 +99,33 @@ struct ExperimentConfig
      *  traces across schemes; design-space data generation wants
      *  statistically independent cells. */
     bool decorrelateSeeds = false;
+
+    // ---- Sweep fabric hooks (src/sweep) ----
+    // All three see the cell's identity fields (scheme, benchmark,
+    // index) filled in; all must be thread-safe for workers != 1.
+    /** When set, the matrix is restricted to cells this passes —
+     *  the shard predicate. Skipped cells are absent from the
+     *  returned vector and from JSONL output. */
+    std::function<bool(const CellResult &)> cellFilter;
+    /** Consulted in the pool path before a cell is simulated: fill
+     *  the cell (result/failed/attempts/error) and return true to
+     *  serve it from cache/journal without running. */
+    std::function<bool(CellResult &)> cellLookup;
+    /** Called (serialized) after every finished cell, cache-served or
+     *  simulated; the cache/journal population point. */
+    std::function<void(const CellResult &)> cellDone;
+};
+
+/**
+ * One cell fully prepared for execution: the post-tweak SystemConfig
+ * (seed already decorrelated when configured, EquiNox design pinned)
+ * and the post-instScale workload. This is exactly what System will
+ * simulate — and therefore exactly what the src/sweep digest hashes.
+ */
+struct PreparedCell
+{
+    SystemConfig sc;
+    WorkloadProfile wp;
 };
 
 /** Runs the matrix; caches the EquiNox design across benchmarks. */
@@ -104,6 +142,15 @@ class ExperimentRunner
     RunResult runOne(const std::string &scheme,
                      const WorkloadProfile &profile,
                      const CancelToken *cancel = nullptr);
+
+    /**
+     * Resolve one cell to the exact (SystemConfig, WorkloadProfile)
+     * pair runOne would simulate, without running it. Thread-safe
+     * once the EquiNox design has been built (runMatrix prebuilds
+     * it); the digest layer of src/sweep hashes this.
+     */
+    PreparedCell prepareCell(const std::string &scheme,
+                             const WorkloadProfile &profile);
 
     /**
      * Run every (scheme, workload) pair through the job pool.
@@ -124,6 +171,10 @@ class ExperimentRunner
 
 /** One cell as a flat JSON object (the sweep JSONL record schema). */
 std::string cellJsonRecord(const CellResult &cell);
+
+/** The same record as a JsonObject, for callers that splice extra
+ *  fields around it (the src/sweep cache/journal records). */
+JsonObject cellJsonObject(const CellResult &cell);
 
 /**
  * Print a benchmark x scheme table of metric values normalized to

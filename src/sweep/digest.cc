@@ -1,0 +1,88 @@
+#include "sweep/digest.hh"
+
+#include <cstdio>
+
+#include "runner/stream_seed.hh"
+#include "sim/config_serial.hh"
+
+namespace eqx {
+
+namespace {
+
+/** FNV-1a 64 over bytes from an arbitrary offset basis, avalanched. */
+std::uint64_t
+fnvMix(const std::string &data, std::uint64_t basis)
+{
+    std::uint64_t h = basis;
+    for (char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL; // FNV prime
+    }
+    return detail::mix64(h);
+}
+
+} // namespace
+
+std::string
+CellDigest::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+bool
+CellDigest::fromHex(const std::string &s, CellDigest &out)
+{
+    if (s.size() != 32)
+        return false;
+    std::uint64_t parts[2] = {0, 0};
+    for (int half = 0; half < 2; ++half)
+        for (int i = 0; i < 16; ++i) {
+            char c = s[static_cast<std::size_t>(half * 16 + i)];
+            std::uint64_t v;
+            if (c >= '0' && c <= '9')
+                v = static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v = static_cast<std::uint64_t>(c - 'a' + 10);
+            else
+                return false;
+            parts[half] = (parts[half] << 4) | v;
+        }
+    out.hi = parts[0];
+    out.lo = parts[1];
+    return true;
+}
+
+CellDigest
+digestBlob(const std::string &canonical_blob, int schema_version)
+{
+    // The schema salt prefixes the hashed stream, so a version bump
+    // changes every digest (and therefore every cache address).
+    std::string salted = "eqx-sweep-schema-v";
+    salted += std::to_string(schema_version);
+    salted += '\n';
+    salted += canonical_blob;
+
+    CellDigest d;
+    // Two independent offset bases give 128 bits from one stream; each
+    // half is a full-avalanche 64-bit hash on its own.
+    d.hi = fnvMix(salted, 0xcbf29ce484222325ULL);
+    d.lo = fnvMix(salted, 0x6c62272e07bb0142ULL);
+    return d;
+}
+
+CellDigest
+cellDigest(ExperimentRunner &runner, const std::string &scheme,
+           const WorkloadProfile &profile, int schema_version)
+{
+    PreparedCell cell = runner.prepareCell(scheme, profile);
+    KvBlob blob;
+    serializeSystemConfig(cell.sc, blob);
+    serializeWorkloadProfile(cell.wp, blob);
+    return digestBlob(blob.canonical(), schema_version);
+}
+
+} // namespace eqx

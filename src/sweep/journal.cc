@@ -1,0 +1,110 @@
+#include "sweep/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace eqx {
+
+JournalLoad
+loadJournal(const std::string &path, int expect_schema)
+{
+    JournalLoad load;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return load;
+    load.existed = true;
+
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    std::map<std::pair<std::uint64_t, std::uint64_t>, bool> seen;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            // No terminating newline: the torn tail of a crashed
+            // append. Everything before `pos` stands; this does not.
+            break;
+        }
+        std::string line = text.substr(pos, nl - pos);
+        CellRecord rec;
+        if (!parseCellRecord(line, rec, expect_schema)) {
+            // A *complete* line that does not parse is interior
+            // corruption, not a crash artifact — flag for rewrite but
+            // keep scanning: later records are still good data.
+            load.needsRewrite = true;
+            pos = nl + 1;
+            continue;
+        }
+        auto key = std::make_pair(rec.digest.hi, rec.digest.lo);
+        if (!seen.emplace(key, true).second) {
+            // Duplicate digest (an interrupted run resumed and
+            // re-journaled): same simulation, keep the first.
+            pos = nl + 1;
+            if (!load.needsRewrite)
+                load.validBytes = pos;
+            continue;
+        }
+        load.records.push_back(std::move(rec));
+        pos = nl + 1;
+        if (!load.needsRewrite)
+            load.validBytes = pos;
+    }
+    return load;
+}
+
+SweepJournal::SweepJournal(const std::string &path, bool resume)
+    : path_(path)
+{
+    if (resume) {
+        JournalLoad load = loadJournal(path_);
+        recovered_ = std::move(load.records);
+        if (load.needsRewrite) {
+            eqx_warn("journal ", path_, ": interior corruption, "
+                     "rewriting ", recovered_.size(), " intact records");
+            writer_ = std::make_unique<JsonlWriter>(path_);
+            for (const auto &rec : recovered_)
+                writer_->write(cellRecordLine(rec));
+        } else {
+            if (load.existed) {
+                // Drop a torn trailing record so the append stream
+                // starts on a clean line boundary.
+                if (::truncate(path_.c_str(),
+                               static_cast<off_t>(load.validBytes)) != 0)
+                    eqx_fatal("cannot truncate journal ", path_, ": ",
+                              std::strerror(errno));
+            }
+            writer_ = std::make_unique<JsonlWriter>(path_,
+                                                    /*append=*/true);
+        }
+    } else {
+        writer_ = std::make_unique<JsonlWriter>(path_);
+    }
+
+    for (std::size_t i = 0; i < recovered_.size(); ++i)
+        byDigest_[{recovered_[i].digest.hi, recovered_[i].digest.lo}] = i;
+}
+
+const CellRecord *
+SweepJournal::find(const CellDigest &digest) const
+{
+    auto it = byDigest_.find({digest.hi, digest.lo});
+    return it == byDigest_.end() ? nullptr : &recovered_[it->second];
+}
+
+void
+SweepJournal::append(const CellRecord &rec)
+{
+    writer_->write(cellRecordLine(rec));
+    appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace eqx

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-shard write-ahead journal (DESIGN.md §13). Every successfully
+ * finished cell is appended as one CellRecord line before the sweep
+ * moves on, so a crash — kill -9, OOM, power loss mid-write — loses
+ * at most the record being written. Resume loads the journal back,
+ * truncates a torn trailing record, and re-opens the file in append
+ * mode; cells whose digest is already journaled are served from the
+ * recovered records instead of being re-simulated.
+ *
+ * Interior corruption (a complete line that does not parse — bit rot,
+ * a concurrent writer on the same path) is survivable too: the intact
+ * records are kept and the journal is rewritten from them.
+ */
+
+#ifndef EQX_SWEEP_JOURNAL_HH
+#define EQX_SWEEP_JOURNAL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/jsonl.hh"
+#include "sweep/record_io.hh"
+
+namespace eqx {
+
+/** What loadJournal recovered from an existing journal file. */
+struct JournalLoad
+{
+    /** Intact records, file order, deduplicated by digest (first
+     *  occurrence wins; a duplicate digest is the same simulation). */
+    std::vector<CellRecord> records;
+    /** Byte length of the intact prefix. A torn trailing record —
+     *  the crash signature — lies beyond this offset. */
+    std::size_t validBytes = 0;
+    /** A complete interior line failed to parse: the prefix is not
+     *  trustworthy as-is and the journal must be rewritten from
+     *  `records` instead of truncated to validBytes. */
+    bool needsRewrite = false;
+    /** The file existed (an absent journal is a valid empty load). */
+    bool existed = false;
+};
+
+/**
+ * Read a journal tolerantly. Never fails: unreadable or absent files
+ * load as empty, torn tails are excluded via validBytes, interior
+ * corruption sets needsRewrite.
+ */
+JournalLoad loadJournal(const std::string &path,
+                        int expect_schema = kSweepSchemaVersion);
+
+/** The open journal of one running sweep shard. */
+class SweepJournal
+{
+  public:
+    /**
+     * Open @p path for writing. With resume = false any existing file
+     * is truncated. With resume = true the existing records are
+     * recovered first (see loadJournal), the file is repaired —
+     * truncated past a torn tail, or rewritten on interior corruption
+     * — and writes append after them.
+     */
+    SweepJournal(const std::string &path, bool resume);
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /** Records recovered at open (empty unless resuming). */
+    const std::vector<CellRecord> &recovered() const { return recovered_; }
+
+    /** Find a recovered record by digest (nullptr if absent). */
+    const CellRecord *find(const CellDigest &digest) const;
+
+    /**
+     * Append one record. Thread-safe (the underlying writer locks and
+     * flushes per line); callers serialize per digest naturally since
+     * each cell finishes once.
+     */
+    void append(const CellRecord &rec);
+
+    /** Records appended by this process (excludes recovered ones). */
+    std::size_t appended() const { return appended_.load(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<CellRecord> recovered_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t>
+        byDigest_;
+    std::unique_ptr<JsonlWriter> writer_;
+    std::atomic<std::size_t> appended_{0};
+};
+
+} // namespace eqx
+
+#endif // EQX_SWEEP_JOURNAL_HH

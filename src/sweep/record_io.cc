@@ -1,0 +1,354 @@
+#include "sweep/record_io.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace eqx {
+
+double
+JsonValue::asDouble() const
+{
+    if (kind == Kind::Number)
+        return std::strtod(text.c_str(), nullptr);
+    if (kind == Kind::Bool)
+        return boolean ? 1.0 : 0.0;
+    // null carries a non-finite double (the writer emits null for
+    // NaN/Inf), so null -> NaN -> null round-trips.
+    return std::nan("");
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number)
+        return 0;
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+std::int64_t
+JsonValue::asI64() const
+{
+    if (kind != Kind::Number)
+        return 0;
+    return std::strtoll(text.c_str(), nullptr, 10);
+}
+
+namespace {
+
+void
+skipWs(const std::string &s, std::size_t &p)
+{
+    while (p < s.size() &&
+           (s[p] == ' ' || s[p] == '\t' || s[p] == '\r' || s[p] == '\n'))
+        ++p;
+}
+
+/** Parse a JSON string literal starting at the opening quote. */
+bool
+parseString(const std::string &s, std::size_t &p, std::string &out)
+{
+    if (p >= s.size() || s[p] != '"')
+        return false;
+    ++p;
+    out.clear();
+    while (p < s.size()) {
+        char c = s[p];
+        if (c == '"') {
+            ++p;
+            return true;
+        }
+        if (c == '\\') {
+            if (p + 1 >= s.size())
+                return false;
+            char e = s[p + 1];
+            p += 2;
+            switch (e) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                  if (p + 4 > s.size())
+                      return false;
+                  unsigned v = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = s[p + static_cast<std::size_t>(i)];
+                      v <<= 4;
+                      if (h >= '0' && h <= '9')
+                          v |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          v |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          v |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return false;
+                  }
+                  p += 4;
+                  // The writer only emits \u00xx control escapes;
+                  // decode the BMP anyway, reject surrogates.
+                  if (v >= 0xd800 && v <= 0xdfff)
+                      return false;
+                  if (v < 0x80) {
+                      out += static_cast<char>(v);
+                  } else if (v < 0x800) {
+                      out += static_cast<char>(0xc0 | (v >> 6));
+                      out += static_cast<char>(0x80 | (v & 0x3f));
+                  } else {
+                      out += static_cast<char>(0xe0 | (v >> 12));
+                      out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
+                      out += static_cast<char>(0x80 | (v & 0x3f));
+                  }
+                  break;
+              }
+              default:
+                  return false;
+            }
+            continue;
+        }
+        out += c;
+        ++p;
+    }
+    return false; // unterminated
+}
+
+bool
+parseValue(const std::string &s, std::size_t &p, JsonValue &out)
+{
+    if (p >= s.size())
+        return false;
+    char c = s[p];
+    if (c == '"') {
+        out.kind = JsonValue::Kind::String;
+        return parseString(s, p, out.text);
+    }
+    if (s.compare(p, 4, "true") == 0) {
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        p += 4;
+        return true;
+    }
+    if (s.compare(p, 5, "false") == 0) {
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        p += 5;
+        return true;
+    }
+    if (s.compare(p, 4, "null") == 0) {
+        out.kind = JsonValue::Kind::Null;
+        p += 4;
+        return true;
+    }
+    // Number: the strict JSON grammar
+    // -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — strtod alone
+    // would admit non-JSON spellings like "01", "+1", ".5" or "0x1".
+    std::size_t start = p;
+    auto digits = [&s, &p] {
+        std::size_t n = 0;
+        while (p < s.size() && s[p] >= '0' && s[p] <= '9')
+            ++p, ++n;
+        return n;
+    };
+    if (p < s.size() && s[p] == '-')
+        ++p;
+    if (p < s.size() && s[p] == '0')
+        ++p; // a leading zero stands alone
+    else if (digits() == 0)
+        return false;
+    if (p < s.size() && s[p] == '.') {
+        ++p;
+        if (digits() == 0)
+            return false;
+    }
+    if (p < s.size() && (s[p] == 'e' || s[p] == 'E')) {
+        ++p;
+        if (p < s.size() && (s[p] == '-' || s[p] == '+'))
+            ++p;
+        if (digits() == 0)
+            return false;
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.text = s.substr(start, p - start);
+    return true;
+}
+
+} // namespace
+
+bool
+parseFlatJson(const std::string &line, JsonFields &out)
+{
+    out.clear();
+    std::size_t p = 0;
+    skipWs(line, p);
+    if (p >= line.size() || line[p] != '{')
+        return false;
+    ++p;
+    skipWs(line, p);
+    if (p < line.size() && line[p] == '}') {
+        ++p;
+        skipWs(line, p);
+        return p == line.size();
+    }
+    for (;;) {
+        skipWs(line, p);
+        std::string key;
+        if (!parseString(line, p, key))
+            return false;
+        skipWs(line, p);
+        if (p >= line.size() || line[p] != ':')
+            return false;
+        ++p;
+        skipWs(line, p);
+        JsonValue v;
+        if (!parseValue(line, p, v))
+            return false;
+        out[key] = std::move(v);
+        skipWs(line, p);
+        if (p >= line.size())
+            return false;
+        if (line[p] == ',') {
+            ++p;
+            continue;
+        }
+        if (line[p] == '}') {
+            ++p;
+            skipWs(line, p);
+            return p == line.size();
+        }
+        return false;
+    }
+}
+
+std::string
+cellRecordLine(const CellRecord &rec)
+{
+    const RunResult &r = rec.cell.result;
+    JsonObject o;
+    o.field("_digest", rec.digest.hex())
+        .field("_schema", rec.schema)
+        .field("_cell", static_cast<std::uint64_t>(rec.cell.index))
+        // Energy breakdown rides along under private keys: it is part
+        // of RunResult but not of the public sweep JSONL schema, and a
+        // cache hit must restore it for benches that read it.
+        .field("_e_buffer", r.energy.buffer)
+        .field("_e_crossbar", r.energy.crossbar)
+        .field("_e_alloc", r.energy.allocators)
+        .field("_e_links", r.energy.links)
+        .field("_e_ilinks", r.energy.interposerLinks)
+        .field("_e_leak", r.energy.leakage)
+        .merge(cellJsonObject(rec.cell));
+    return o.str();
+}
+
+bool
+parseCellRecord(const std::string &line, CellRecord &out,
+                int expect_schema)
+{
+    JsonFields f;
+    if (!parseFlatJson(line, f))
+        return false;
+
+    auto it = f.find("_digest");
+    if (it == f.end() ||
+        !CellDigest::fromHex(it->second.text, out.digest))
+        return false;
+    it = f.find("_schema");
+    if (it == f.end() || it->second.kind != JsonValue::Kind::Number)
+        return false;
+    out.schema = it->second.asInt();
+    if (out.schema != expect_schema)
+        return false;
+    it = f.find("_cell");
+    if (it == f.end() || it->second.kind != JsonValue::Kind::Number)
+        return false;
+
+    if (!f.count("benchmark") || !f.count("scheme") ||
+        !f.count("completed"))
+        return false;
+
+    auto str = [&](const char *k) {
+        auto i = f.find(k);
+        return i == f.end() ? std::string() : i->second.text;
+    };
+    auto num = [&](const char *k) {
+        auto i = f.find(k);
+        return i == f.end() ? 0.0 : i->second.asDouble();
+    };
+    auto u64 = [&](const char *k) -> std::uint64_t {
+        auto i = f.find(k);
+        return i == f.end() ? 0 : i->second.asU64();
+    };
+    auto boolean = [&](const char *k) {
+        auto i = f.find(k);
+        return i != f.end() && i->second.asBool();
+    };
+
+    CellResult &c = out.cell;
+    c = CellResult{};
+    c.index = static_cast<std::size_t>(f["_cell"].asU64());
+    c.benchmark = str("benchmark");
+    c.scheme = str("scheme");
+    c.failed = boolean("failed");
+    c.attempts = static_cast<int>(u64("attempts"));
+    c.wallMs = num("wall_ms");
+    c.error = str("error");
+
+    RunResult &r = c.result;
+    r.completed = boolean("completed");
+    r.cycles = u64("cycles");
+    r.execNs = num("exec_ns");
+    r.totalInsts = u64("total_insts");
+    r.ipc = num("ipc");
+    r.energyPj = num("energy_pj");
+    r.edp = num("edp");
+    r.areaMm2 = num("area_mm2");
+    r.reqQueueNs = num("req_queue_ns");
+    r.reqNetNs = num("req_net_ns");
+    r.repQueueNs = num("rep_queue_ns");
+    r.repNetNs = num("rep_net_ns");
+    r.reqPackets = u64("req_packets");
+    r.repPackets = u64("rep_packets");
+    r.requestBits = u64("request_bits");
+    r.replyBits = u64("reply_bits");
+    r.reqP50Ns = num("req_p50_ns");
+    r.reqP95Ns = num("req_p95_ns");
+    r.reqP99Ns = num("req_p99_ns");
+    r.repP50Ns = num("rep_p50_ns");
+    r.repP95Ns = num("rep_p95_ns");
+    r.repP99Ns = num("rep_p99_ns");
+    r.maxEirLoadPackets = u64("max_eir_load");
+
+    r.energy.buffer = num("_e_buffer");
+    r.energy.crossbar = num("_e_crossbar");
+    r.energy.allocators = num("_e_alloc");
+    r.energy.links = num("_e_links");
+    r.energy.interposerLinks = num("_e_ilinks");
+    r.energy.leakage = num("_e_leak");
+
+    if (f.count("fault_armed")) {
+        r.faultArmed = boolean("fault_armed");
+        r.degraded = boolean("degraded");
+        r.faultSeqPackets = u64("fault_seq_packets");
+        r.faultDelivered = u64("fault_delivered");
+        r.faultDuplicates = u64("fault_dups");
+        r.faultRetx = u64("fault_retx");
+        r.faultLost = u64("fault_lost");
+        r.faultWormsDropped = u64("fault_worms_dropped");
+        r.faultFlitsDropped = u64("fault_flits_dropped");
+        r.faultCreditsReconciled = u64("fault_credits_reconciled");
+        r.faultMaskedPorts = static_cast<int>(u64("fault_masked_ports"));
+        // delivered_ratio / retx_rate are derived columns; the
+        // re-render recomputes them from the counters above.
+    }
+
+    for (const auto &[k, v] : f)
+        if (k.size() > 2 && k[0] == 'm' && k[1] == '.')
+            r.metrics.set(k.substr(2), v.asDouble());
+
+    return true;
+}
+
+} // namespace eqx

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cache/journal record IO: the on-disk record schema of the sweep
+ * fabric and an exact round-trip between it and CellResult.
+ *
+ * A record is one flat JSON object: the sweep JSONL record
+ * (cellJsonObject) prefixed with fabric metadata (`_digest`,
+ * `_schema`, `_cell`) and the energy-breakdown extras (`_e_*`) the
+ * public JSONL schema does not carry. The round trip is exact:
+ * re-rendering a parsed record reproduces the original bytes
+ * (doubles are written %.17g and re-parsed with strtod), which is
+ * what lets a fully cache-served sweep emit JSONL byte-identical —
+ * modulo wall_ms — to the run that populated the cache.
+ *
+ * The parser handles exactly what the JsonObject builder emits: one
+ * flat object of string / number / bool / null values. It is also the
+ * wire parser of the sweepd query protocol.
+ */
+
+#ifndef EQX_SWEEP_RECORD_IO_HH
+#define EQX_SWEEP_RECORD_IO_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sweep/digest.hh"
+
+namespace eqx {
+
+/** One parsed flat-JSON value. Number text is kept raw so integer
+ *  fields round-trip without passing through a double. */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        String,
+        Number,
+        Bool,
+        Null,
+    };
+    Kind kind = Kind::Null;
+    std::string text; ///< unescaped string, or raw number token
+    bool boolean = false;
+
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    std::int64_t asI64() const;
+    int asInt() const { return static_cast<int>(asI64()); }
+    bool asBool() const { return kind == Kind::Bool && boolean; }
+};
+
+/** Field map of one flat JSON object, in key order of appearance. */
+using JsonFields = std::map<std::string, JsonValue>;
+
+/**
+ * Parse one flat JSON object (no nesting, no arrays). Returns false
+ * on any syntax error or on nested values. Duplicate keys keep the
+ * last occurrence.
+ */
+bool parseFlatJson(const std::string &line, JsonFields &out);
+
+/** One cache/journal record. */
+struct CellRecord
+{
+    CellDigest digest;
+    int schema = kSweepSchemaVersion;
+    CellResult cell; ///< cell.index carries the canonical matrix index
+};
+
+/** Render a record (see file header for the schema). */
+std::string cellRecordLine(const CellRecord &rec);
+
+/**
+ * Parse a record line. Returns false on malformed JSON, a missing or
+ * malformed `_digest`/`_schema`/`_cell` header, or a schema version
+ * other than @p expect_schema — all of which the cache counts as
+ * corrupt entries.
+ */
+bool parseCellRecord(const std::string &line, CellRecord &out,
+                     int expect_schema = kSweepSchemaVersion);
+
+} // namespace eqx
+
+#endif // EQX_SWEEP_RECORD_IO_HH

@@ -1,0 +1,192 @@
+#include "sweep/sweep_runner.hh"
+
+#include <memory>
+#include <optional>
+
+#include "common/logging.hh"
+#include "sweep/cell_cache.hh"
+#include "sweep/journal.hh"
+#include "sweep/shard.hh"
+
+namespace eqx {
+
+namespace {
+
+/** Where a finished cell's result came from. */
+enum CellSource : std::uint8_t
+{
+    kSimulated = 0,
+    kJournal,
+    kCache,
+};
+
+/**
+ * State shared between the hooks. The hooks are installed into the
+ * ExperimentConfig *before* the runner copies it, but the digests are
+ * only filled in after the runner exists (computing them needs
+ * prepareCell) — a shared_ptr bridges that.
+ */
+struct FabricState
+{
+    std::vector<CellDigest> digests; ///< canonical index -> digest
+    std::vector<std::uint8_t> source; ///< canonical index -> CellSource
+    CellCache *cache = nullptr;
+    SweepJournal *journal = nullptr;
+};
+
+} // namespace
+
+SweepOutcome
+runSweep(const ExperimentConfig &config, const SweepOptions &opt)
+{
+    eqx_assert(opt.shardCount >= 1 && opt.shardIndex >= 0 &&
+                   opt.shardIndex < opt.shardCount,
+               "bad shard spec ", opt.shardIndex, "/", opt.shardCount);
+
+    std::optional<CellCache> cache;
+    std::optional<SweepJournal> journal;
+    auto state = std::make_shared<FabricState>();
+    if (!opt.cacheDir.empty()) {
+        cache.emplace(opt.cacheDir);
+        state->cache = &*cache;
+    }
+    if (!opt.journalPath.empty()) {
+        journal.emplace(opt.journalPath, opt.resume);
+        state->journal = &*journal;
+    }
+
+    ExperimentConfig ec = config;
+
+    if (opt.shardCount > 1) {
+        auto prev = ec.cellFilter;
+        int idx = opt.shardIndex;
+        int cnt = opt.shardCount;
+        std::uint64_t seed = ec.seed;
+        ec.cellFilter = [prev, seed, idx, cnt](const CellResult &c) {
+            if (prev && !prev(c))
+                return false;
+            return cellShard(seed, c.scheme, c.benchmark, cnt) == idx;
+        };
+    }
+
+    if (state->cache || state->journal) {
+        auto prev = ec.cellLookup;
+        ec.cellLookup = [state, prev](CellResult &c) {
+            const CellDigest &d = state->digests[c.index];
+            std::size_t idx = c.index;
+            if (state->journal) {
+                if (const CellRecord *rec = state->journal->find(d)) {
+                    c = rec->cell;
+                    c.index = idx;
+                    state->source[idx] = kJournal;
+                    return true;
+                }
+            }
+            if (state->cache) {
+                CellResult hit;
+                if (state->cache->lookup(d, hit)) {
+                    hit.index = idx;
+                    c = std::move(hit);
+                    state->source[idx] = kCache;
+                    return true;
+                }
+            }
+            return prev ? prev(c) : false;
+        };
+    }
+
+    {
+        auto prev = ec.cellDone;
+        auto onCell = opt.onCell;
+        ec.cellDone = [state, onCell, prev](const CellResult &c) {
+            const CellDigest &d = state->digests[c.index];
+            std::uint8_t src = state->source[c.index];
+            if (!c.failed) {
+                // Journal every owned success — including cache-served
+                // cells, so each shard's journal alone is a complete
+                // record of its cells and merges need no cache access.
+                if (state->journal && src != kJournal) {
+                    CellRecord rec;
+                    rec.digest = d;
+                    rec.cell = c;
+                    state->journal->append(rec);
+                }
+                // Store back unless the cache itself served it; this
+                // also warms the cache from journal-recovered cells.
+                if (state->cache && src != kCache)
+                    state->cache->store(d, c);
+            }
+            if (onCell)
+                onCell(d, c);
+            if (prev)
+                prev(c);
+        };
+    }
+
+    ExperimentRunner runner(ec);
+
+    // Digests in canonical (workload-major, scheme-minor) order,
+    // including cells other shards own: hooks index this vector by
+    // the cell's canonical index. Single-threaded on purpose — the
+    // first EquiNox cell lazily builds the shared design here.
+    state->digests.reserve(ec.workloads.size() * ec.schemes.size());
+    for (const auto &wp : ec.workloads)
+        for (const auto &key : ec.schemes)
+            state->digests.push_back(cellDigest(runner, key, wp));
+    state->source.assign(state->digests.size(), kSimulated);
+
+    SweepOutcome out;
+    out.totalCells = state->digests.size();
+    out.cells = runner.runMatrix();
+    out.shardCells = out.cells.size();
+
+    for (const auto &c : out.cells) {
+        switch (state->source[c.index]) {
+          case kJournal: ++out.journalHits; break;
+          case kCache:   ++out.cacheHits;  break;
+          default:       ++out.simulated;  break;
+        }
+        if (c.failed)
+            ++out.failed;
+    }
+    if (cache)
+        out.stored = cache->stores();
+
+    out.stats.set("sweep.total_cells",
+                  static_cast<double>(out.totalCells));
+    out.stats.set("sweep.shard_cells",
+                  static_cast<double>(out.shardCells));
+    out.stats.set("sweep.journal_hits",
+                  static_cast<double>(out.journalHits));
+    out.stats.set("sweep.cache_hits",
+                  static_cast<double>(out.cacheHits));
+    out.stats.set("sweep.simulated", static_cast<double>(out.simulated));
+    out.stats.set("sweep.failed", static_cast<double>(out.failed));
+    if (cache)
+        cache->exportStats(out.stats);
+    return out;
+}
+
+std::vector<CellId>
+listCellDigests(const ExperimentConfig &config, int shard_count)
+{
+    eqx_assert(shard_count >= 1, "bad shard count ", shard_count);
+
+    ExperimentRunner runner(config);
+    std::vector<CellId> ids;
+    ids.reserve(config.workloads.size() * config.schemes.size());
+    for (const auto &wp : config.workloads)
+        for (const auto &key : config.schemes) {
+            CellId id;
+            id.index = ids.size();
+            id.scheme = SchemeRegistry::instance().byName(key).name();
+            id.benchmark = wp.name;
+            id.digest = cellDigest(runner, key, wp);
+            id.shard = cellShard(config.seed, id.scheme, id.benchmark,
+                                 shard_count);
+            ids.push_back(std::move(id));
+        }
+    return ids;
+}
+
+} // namespace eqx

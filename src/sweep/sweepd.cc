@@ -1,0 +1,348 @@
+#include "sweep/sweepd.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "workloads/profiles.hh"
+
+namespace eqx {
+
+namespace {
+
+/** Blocking full write; MSG_NOSIGNAL so a vanished client is an error
+ *  return, not a SIGPIPE. This blocking is the backpressure: a slow
+ *  reader stalls the stream (and through the serialized onCell hook,
+ *  the sweep) instead of growing an unbounded buffer. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    return writeAll(fd, line + '\n');
+}
+
+void
+writeError(int fd, const std::string &msg)
+{
+    JsonObject o;
+    o.field("ok", false).field("error", msg);
+    writeLine(fd, o.str());
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string item = s.substr(pos, comma - pos);
+        while (!item.empty() && item.front() == ' ')
+            item.erase(item.begin());
+        while (!item.empty() && item.back() == ' ')
+            item.pop_back();
+        if (!item.empty())
+            out.push_back(std::move(item));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Non-fatal workload lookup (workloadByName aborts on unknown). */
+const WorkloadProfile *
+findWorkload(const std::string &name)
+{
+    for (const auto &wp : workloadSuite())
+        if (wp.name == name)
+            return &wp;
+    return nullptr;
+}
+
+} // namespace
+
+SweepdServer::SweepdServer(SweepdConfig cfg) : cfg_(std::move(cfg))
+{
+    eqx_assert(!cfg_.cacheDir.empty(), "sweepd requires a cache dir");
+}
+
+SweepdServer::~SweepdServer()
+{
+    stop();
+}
+
+bool
+SweepdServer::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.empty() ||
+        cfg_.socketPath.size() >= sizeof(addr.sun_path)) {
+        eqx_warn("sweepd: bad socket path '", cfg_.socketPath, "'");
+        return false;
+    }
+    std::strcpy(addr.sun_path, cfg_.socketPath.c_str());
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        eqx_warn("sweepd: socket(): ", std::strerror(errno));
+        return false;
+    }
+    // A stale socket file from a crashed daemon would fail the bind.
+    ::unlink(cfg_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 8) != 0) {
+        eqx_warn("sweepd: cannot listen on ", cfg_.socketPath, ": ",
+                 std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    running_.store(true);
+    stopping_.store(false);
+    thread_ = std::thread([this] { acceptLoop(); });
+    eqx_inform("sweepd listening on ", cfg_.socketPath);
+    return true;
+}
+
+void
+SweepdServer::requestStop()
+{
+    stopping_.store(true);
+}
+
+void
+SweepdServer::wait()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+SweepdServer::stop()
+{
+    requestStop();
+    wait();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(cfg_.socketPath.c_str());
+    }
+}
+
+void
+SweepdServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int r = ::poll(&pfd, 1, /*timeout ms=*/200);
+        if (r < 0 && errno != EINTR)
+            break;
+        if (r <= 0 || !(pfd.revents & POLLIN))
+            continue; // timeout tick: re-check stopping_
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        handleConnection(fd);
+        ::close(fd);
+    }
+    // The loop owns the socket once it is running: a client-initiated
+    // shutdown must not leave a stale socket file behind. stop() sees
+    // listenFd_ == -1 afterwards (it joins the thread first).
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(cfg_.socketPath.c_str());
+    running_.store(false);
+}
+
+void
+SweepdServer::handleConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        // Wake periodically so a shutdown requested elsewhere (API
+        // call, another client) closes idle connections too.
+        pollfd pfd{fd, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 200);
+        if (r < 0 && errno != EINTR)
+            return;
+        if (r <= 0) {
+            if (stopping_.load())
+                return;
+            continue;
+        }
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return; // client closed (or error)
+        buf.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (!handleQuery(fd, line))
+                return;
+        }
+    }
+}
+
+bool
+SweepdServer::handleQuery(int fd, const std::string &line)
+{
+    queries_.fetch_add(1, std::memory_order_relaxed);
+
+    JsonFields q;
+    if (!parseFlatJson(line, q)) {
+        writeError(fd, "malformed query (one flat JSON object per line)");
+        return true;
+    }
+    auto it = q.find("cmd");
+    if (it == q.end() || it->second.kind != JsonValue::Kind::String) {
+        writeError(fd, "missing \"cmd\"");
+        return true;
+    }
+    const std::string &cmd = it->second.text;
+
+    if (cmd == "ping") {
+        JsonObject o;
+        o.field("ok", true).field("pong", true);
+        writeLine(fd, o.str());
+        return true;
+    }
+    if (cmd == "stats") {
+        JsonObject o;
+        o.field("ok", true)
+            .field("connections", connections())
+            .field("queries", queries())
+            .field("cells_served", cellsServed())
+            .field("cache_served", cacheServed())
+            .field("simulated", simulated());
+        writeLine(fd, o.str());
+        return true;
+    }
+    if (cmd == "shutdown") {
+        JsonObject o;
+        o.field("ok", true).field("stopping", true);
+        writeLine(fd, o.str());
+        stopping_.store(true);
+        return false;
+    }
+    if (cmd == "cells") {
+        handleCells(fd, q);
+        return true;
+    }
+    writeError(fd, "unknown cmd \"" + cmd + "\"");
+    return true;
+}
+
+void
+SweepdServer::handleCells(int fd, const JsonFields &q)
+{
+    auto strField = [&](const char *k) {
+        auto i = q.find(k);
+        return i == q.end() || i->second.kind != JsonValue::Kind::String
+                   ? std::string()
+                   : i->second.text;
+    };
+
+    ExperimentConfig ec = cfg_.experiment;
+
+    std::string schemes = strField("schemes");
+    if (!schemes.empty()) {
+        ec.schemes = splitCsv(schemes);
+        if (ec.schemes.empty()) {
+            writeError(fd, "empty \"schemes\" list");
+            return;
+        }
+    }
+    for (const auto &key : ec.schemes)
+        if (!SchemeRegistry::instance().find(key)) {
+            writeError(fd, "unknown scheme \"" + key + "\" (known: " +
+                               SchemeRegistry::instance().keyList() + ")");
+            return;
+        }
+
+    std::string benchmarks = strField("benchmarks");
+    if (!benchmarks.empty()) {
+        ec.workloads.clear();
+        for (const auto &name : splitCsv(benchmarks)) {
+            const WorkloadProfile *wp = findWorkload(name);
+            if (!wp) {
+                writeError(fd, "unknown benchmark \"" + name + "\"");
+                return;
+            }
+            ec.workloads.push_back(*wp);
+        }
+    }
+    if (ec.workloads.empty()) {
+        writeError(fd, "no benchmarks selected");
+        return;
+    }
+
+    if (auto i = q.find("seed"); i != q.end())
+        ec.seed = i->second.asU64();
+
+    SweepOptions so;
+    so.cacheDir = cfg_.cacheDir;
+    bool clientGone = false;
+    so.onCell = [&](const CellDigest &d, const CellResult &c) {
+        cellsServed_.fetch_add(1, std::memory_order_relaxed);
+        if (c.fromCache)
+            cacheServed_.fetch_add(1, std::memory_order_relaxed);
+        else
+            simulated_.fetch_add(1, std::memory_order_relaxed);
+        if (clientGone)
+            // Keep the sweep running — its results still land in the
+            // cache for the next query — but stop writing.
+            return;
+        CellRecord rec;
+        rec.digest = d;
+        rec.cell = c;
+        if (!writeLine(fd, cellRecordLine(rec)))
+            clientGone = true;
+    };
+
+    SweepOutcome out = runSweep(ec, so);
+
+    if (clientGone)
+        return;
+    JsonObject o;
+    o.field("done", true)
+        .field("ok", true)
+        .field("cells", static_cast<std::uint64_t>(out.shardCells))
+        .field("cached", static_cast<std::uint64_t>(out.cacheHits))
+        .field("simulated", static_cast<std::uint64_t>(out.simulated))
+        .field("failed", static_cast<std::uint64_t>(out.failed));
+    writeLine(fd, o.str());
+}
+
+} // namespace eqx

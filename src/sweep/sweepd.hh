@@ -1,0 +1,112 @@
+/**
+ * @file
+ * sweepd: a long-lived sweep query service over a Unix-domain socket
+ * (DESIGN.md §13). Clients send one flat-JSON query per line; the
+ * server answers cells straight from the content-addressed cache and
+ * schedules only the deltas — cells no query has computed before —
+ * on the JobPool. Responses stream one record line per finished cell
+ * (cache-served cells arrive first, simulated ones as they finish)
+ * followed by a {"done":...} trailer, over a blocking socket, so a
+ * slow client exerts backpressure on the sweep instead of ballooning
+ * a buffer.
+ *
+ * Queries:
+ *   {"cmd":"ping"}                          liveness check
+ *   {"cmd":"stats"}                         lifetime counters
+ *   {"cmd":"cells","schemes":"a,b",
+ *    "benchmarks":"x,y"[,"seed":N]}         run/serve a sub-matrix
+ *   {"cmd":"shutdown"}                      graceful drain + exit
+ *
+ * Connections are served sequentially: one accept loop, one query at
+ * a time, each query free to use every pool worker. Shutdown drains —
+ * the in-flight query finishes and streams its trailer before the
+ * listener closes.
+ */
+
+#ifndef EQX_SWEEP_SWEEPD_HH
+#define EQX_SWEEP_SWEEPD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "sim/experiment.hh"
+#include "sweep/record_io.hh"
+#include "sweep/sweep_runner.hh"
+
+namespace eqx {
+
+/** Server configuration. */
+struct SweepdConfig
+{
+    /** Socket path; bound at start(), unlinked at exit. */
+    std::string socketPath;
+    /**
+     * The experiment template: geometry, seed, workers, tweaks.
+     * A "cells" query selects schemes/benchmarks (and may override
+     * the seed) inside this template; everything else is fixed for
+     * the daemon's lifetime so digests stay comparable.
+     */
+    ExperimentConfig experiment;
+    /** Cell cache root backing every answer (required). */
+    std::string cacheDir;
+};
+
+class SweepdServer
+{
+  public:
+    explicit SweepdServer(SweepdConfig cfg);
+    ~SweepdServer();
+
+    SweepdServer(const SweepdServer &) = delete;
+    SweepdServer &operator=(const SweepdServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept loop. Returns false (with a
+     * warning) when the socket cannot be set up.
+     */
+    bool start();
+
+    /** Ask the loop to exit after the in-flight connection drains. */
+    void requestStop();
+
+    /** Block until the accept loop has exited. */
+    void wait();
+
+    /** requestStop() + wait(). Idempotent; the destructor calls it. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+    const std::string &socketPath() const { return cfg_.socketPath; }
+
+    // Lifetime counters (across all connections).
+    std::uint64_t connections() const { return connections_.load(); }
+    std::uint64_t queries() const { return queries_.load(); }
+    std::uint64_t cellsServed() const { return cellsServed_.load(); }
+    std::uint64_t cacheServed() const { return cacheServed_.load(); }
+    std::uint64_t simulated() const { return simulated_.load(); }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** Handle one query line; returns false to close the connection. */
+    bool handleQuery(int fd, const std::string &line);
+    void handleCells(int fd, const JsonFields &q);
+
+    SweepdConfig cfg_;
+    int listenFd_ = -1;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> queries_{0};
+    std::atomic<std::uint64_t> cellsServed_{0};
+    std::atomic<std::uint64_t> cacheServed_{0};
+    std::atomic<std::uint64_t> simulated_{0};
+};
+
+} // namespace eqx
+
+#endif // EQX_SWEEP_SWEEPD_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Record IO tests: the flat-JSON wire/record parser, and the exact
+ * CellResult round trip the cache's byte-identity guarantee rests on
+ * (parse(render(cell)) re-renders to the original bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sweep/digest.hh"
+#include "sweep/record_io.hh"
+#include "workloads/profiles.hh"
+
+using namespace eqx;
+
+namespace {
+
+/** A realistic simulated cell: metrics snapshot on, fault model
+ *  armed, so the record carries every optional field group. */
+CellResult
+simulatedCell()
+{
+    ExperimentConfig ec;
+    ec.schemes = {"SingleBase"};
+    ec.workloads = workloadSubset(1);
+    ec.instScale = 0.02;
+    ec.collectMetrics = true;
+    ec.fault.ratePerKTick = 4.0;
+    ec.fault.seed = 3;
+    ExperimentRunner runner(ec);
+
+    CellResult cell;
+    cell.scheme = "SingleBase";
+    cell.benchmark = ec.workloads[0].name;
+    cell.result = runner.runOne(cell.scheme, ec.workloads[0]);
+    cell.attempts = 2;
+    cell.wallMs = 12.5;
+    cell.index = 4;
+    return cell;
+}
+
+} // namespace
+
+TEST(ParseFlatJson, ValueKinds)
+{
+    JsonFields f;
+    ASSERT_TRUE(parseFlatJson(
+        R"({"s":"hi","n":-1.5e3,"u":18446744073709551615,"t":true,)"
+        R"("f":false,"z":null})",
+        f));
+    ASSERT_EQ(f.size(), 6u);
+    EXPECT_EQ(f["s"].kind, JsonValue::Kind::String);
+    EXPECT_EQ(f["s"].text, "hi");
+    EXPECT_EQ(f["n"].asDouble(), -1500.0);
+    EXPECT_EQ(f["u"].asU64(), 18446744073709551615ULL);
+    EXPECT_TRUE(f["t"].asBool());
+    EXPECT_FALSE(f["f"].asBool());
+    EXPECT_EQ(f["z"].kind, JsonValue::Kind::Null);
+    EXPECT_TRUE(std::isnan(f["z"].asDouble()));
+}
+
+TEST(ParseFlatJson, StringEscapes)
+{
+    JsonFields f;
+    ASSERT_TRUE(parseFlatJson(
+        R"({"e":"a\"b\\c\/d\n\t\r\b\f","u":"Aé€"})", f));
+    EXPECT_EQ(f["e"].text, "a\"b\\c/d\n\t\r\b\f");
+    EXPECT_EQ(f["u"].text, "A\xc3\xa9\xe2\x82\xac"); // A é €
+}
+
+TEST(ParseFlatJson, Rejections)
+{
+    JsonFields f;
+    EXPECT_FALSE(parseFlatJson("", f));
+    EXPECT_FALSE(parseFlatJson("not json", f));
+    EXPECT_FALSE(parseFlatJson(R"({"a":1)", f));        // unterminated
+    EXPECT_FALSE(parseFlatJson(R"({"a":1} x)", f));     // trailing junk
+    EXPECT_FALSE(parseFlatJson(R"({"a":{"b":1}})", f)); // nested object
+    EXPECT_FALSE(parseFlatJson(R"({"a":[1,2]})", f));   // array
+    EXPECT_FALSE(parseFlatJson(R"({"a":01})", f));      // bad number
+    EXPECT_FALSE(parseFlatJson(R"({"a":tru})", f));     // bad literal
+    EXPECT_FALSE(parseFlatJson(R"({"a":"\ud800"})", f)); // lone surrogate
+    EXPECT_FALSE(parseFlatJson(R"({a:1})", f));          // unquoted key
+}
+
+TEST(ParseFlatJson, EmptyObjectAndDuplicateKeys)
+{
+    JsonFields f;
+    EXPECT_TRUE(parseFlatJson("{}", f));
+    EXPECT_TRUE(f.empty());
+    ASSERT_TRUE(parseFlatJson(R"({"k":1,"k":2})", f));
+    EXPECT_EQ(f["k"].asInt(), 2); // last occurrence wins
+}
+
+TEST(RecordIO, ExactRoundTrip)
+{
+    CellRecord rec;
+    rec.cell = simulatedCell();
+    rec.digest = digestBlob("round-trip-probe\n");
+
+    std::string line = cellRecordLine(rec);
+
+    CellRecord back;
+    ASSERT_TRUE(parseCellRecord(line, back));
+    EXPECT_EQ(back.digest, rec.digest);
+    EXPECT_EQ(back.schema, kSweepSchemaVersion);
+    EXPECT_EQ(back.cell.index, rec.cell.index);
+    EXPECT_FALSE(back.cell.failed);
+
+    // The guarantee itself: re-rendering the parsed record reproduces
+    // the original bytes, and the embedded public JSONL record is
+    // byte-identical to what a live run would stream.
+    EXPECT_EQ(cellRecordLine(back), line);
+    EXPECT_EQ(cellJsonRecord(back.cell), cellJsonRecord(rec.cell));
+
+    // Metrics survived (collectMetrics was on).
+    EXPECT_TRUE(rec.cell.result.metrics.all().size() > 0);
+    EXPECT_EQ(back.cell.result.metrics.all().size(),
+              rec.cell.result.metrics.all().size());
+}
+
+TEST(RecordIO, RejectsBadHeaders)
+{
+    CellRecord rec;
+    rec.cell = simulatedCell();
+    rec.digest = digestBlob("probe\n");
+    std::string line = cellRecordLine(rec);
+
+    CellRecord out;
+    EXPECT_FALSE(parseCellRecord("garbage", out));
+    EXPECT_FALSE(parseCellRecord("{}", out));
+
+    // Wrong schema version: the record is from another era.
+    EXPECT_FALSE(parseCellRecord(line, out, kSweepSchemaVersion + 1));
+
+    // Mangle the digest hex.
+    std::string bad = line;
+    std::size_t pos = bad.find("\"_digest\":\"");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos + 11, 4, "zzzz");
+    EXPECT_FALSE(parseCellRecord(bad, out));
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * sweepd protocol tests: an in-process server on a temp socket, a
+ * minimal line client, and the full query surface — ping, a cells
+ * query served cold (simulated) then warm (cached), stats, and a
+ * graceful shutdown that unlinks the socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+#include "sweep/record_io.hh"
+#include "sweep/sweepd.hh"
+#include "workloads/profiles.hh"
+
+using namespace eqx;
+
+namespace {
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/eqx-sweepd-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "/tmp";
+}
+
+/** Send one query line; return every response line until EOF. */
+std::vector<std::string>
+query(const std::string &socket_path, const std::string &line)
+{
+    std::vector<std::string> lines;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    EXPECT_LT(socket_path.size(), sizeof(addr.sun_path));
+    std::strcpy(addr.sun_path, socket_path.c_str());
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string msg = line + '\n';
+    EXPECT_EQ(::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(msg.size()));
+    ::shutdown(fd, SHUT_WR);
+
+    std::string buf;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        buf.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+
+    std::size_t pos = 0, nl;
+    while ((nl = buf.find('\n', pos)) != std::string::npos) {
+        lines.push_back(buf.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+JsonFields
+parsed(const std::string &line)
+{
+    JsonFields f;
+    EXPECT_TRUE(parseFlatJson(line, f)) << line;
+    return f;
+}
+
+} // namespace
+
+TEST(Sweepd, FullProtocolRound)
+{
+    std::string dir = makeTempDir();
+
+    SweepdConfig cfg;
+    cfg.socketPath = dir + "/d.sock";
+    cfg.cacheDir = dir + "/cache";
+    cfg.experiment.instScale = 0.02;
+    cfg.experiment.workers = 1;
+
+    SweepdServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ASSERT_TRUE(server.running());
+
+    { // ping
+        auto lines = query(server.socketPath(), R"({"cmd":"ping"})");
+        ASSERT_EQ(lines.size(), 1u);
+        EXPECT_TRUE(parsed(lines[0])["pong"].asBool());
+    }
+
+    std::string wp = workloadSubset(1)[0].name;
+    std::string cells = std::string(R"({"cmd":"cells",)") +
+                        R"("schemes":"SingleBase","benchmarks":")" + wp +
+                        "\"}";
+    std::string digest0;
+    { // cold: the one cell is simulated, streamed, then cached
+        auto lines = query(server.socketPath(), cells);
+        ASSERT_EQ(lines.size(), 2u); // record + trailer
+        CellRecord rec;
+        ASSERT_TRUE(parseCellRecord(lines[0], rec));
+        EXPECT_EQ(rec.cell.scheme, "SingleBase");
+        EXPECT_EQ(rec.cell.benchmark, wp);
+        digest0 = rec.digest.hex();
+
+        JsonFields t = parsed(lines[1]);
+        EXPECT_TRUE(t["done"].asBool());
+        EXPECT_TRUE(t["ok"].asBool());
+        EXPECT_EQ(t["cells"].asU64(), 1u);
+        EXPECT_EQ(t["simulated"].asU64(), 1u);
+        EXPECT_EQ(t["cached"].asU64(), 0u);
+    }
+    { // warm: the identical query is answered from the cache
+        auto lines = query(server.socketPath(), cells);
+        ASSERT_EQ(lines.size(), 2u);
+        CellRecord rec;
+        ASSERT_TRUE(parseCellRecord(lines[0], rec));
+        EXPECT_EQ(rec.digest.hex(), digest0);
+
+        JsonFields t = parsed(lines[1]);
+        EXPECT_EQ(t["cached"].asU64(), 1u);
+        EXPECT_EQ(t["simulated"].asU64(), 0u);
+    }
+    { // a bad query is rejected, the daemon stays up
+        auto lines = query(server.socketPath(),
+                           R"({"cmd":"cells","schemes":"NoSuch"})");
+        ASSERT_GE(lines.size(), 1u);
+        EXPECT_FALSE(parsed(lines.back())["ok"].asBool());
+        EXPECT_TRUE(server.running());
+    }
+    { // stats reflect the lifetime counters
+        auto lines = query(server.socketPath(), R"({"cmd":"stats"})");
+        ASSERT_EQ(lines.size(), 1u);
+        JsonFields s = parsed(lines[0]);
+        EXPECT_TRUE(s["ok"].asBool());
+        EXPECT_EQ(server.cellsServed(), 2u);
+        EXPECT_EQ(server.cacheServed(), 1u);
+        EXPECT_EQ(server.simulated(), 1u);
+    }
+    { // graceful drain: acked, then the listener exits and unlinks
+        auto lines = query(server.socketPath(), R"({"cmd":"shutdown"})");
+        ASSERT_GE(lines.size(), 1u);
+        EXPECT_TRUE(parsed(lines[0])["ok"].asBool());
+        server.wait();
+        EXPECT_FALSE(server.running());
+        struct stat st;
+        EXPECT_NE(::stat(server.socketPath().c_str(), &st), 0);
+    }
+}
+
+TEST(Sweepd, StartFailsOnUnusableSocketPath)
+{
+    SweepdConfig cfg;
+    cfg.socketPath = "/nonexistent-dir/no/way/d.sock";
+    cfg.cacheDir = makeTempDir() + "/cache";
+    SweepdServer server(std::move(cfg));
+    EXPECT_FALSE(server.start());
+    EXPECT_FALSE(server.running());
+}
