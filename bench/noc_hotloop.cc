@@ -1,7 +1,7 @@
 /**
  * @file
- * NoC hot-loop runner: times the network-cycle kernels (idle meshes
- * and a loaded 8x8 mesh) under the activity-driven tick scheduler and
+ * NoC hot-loop runner: times the network-cycle kernels (idle and
+ * loaded 8x8/16x16 meshes) under the activity-driven tick scheduler and
  * under the exhaustive fallback loop, and writes the before/after
  * comparison to BENCH_noc_hotloop.json. The CI perf-smoke job uploads
  * that file so scheduler regressions are visible per commit.
@@ -70,20 +70,21 @@ idleKernel(int side, bool exhaustive, double min_time)
 }
 
 double
-loadedKernel(bool exhaustive, double min_time)
+loadedKernel(int side, bool exhaustive, double min_time)
 {
     NetworkSpec spec;
-    spec.params.width = spec.params.height = 8;
+    spec.params.width = spec.params.height = side;
     spec.params.exhaustiveTick = exhaustive;
     Network net(spec);
     Rng rng(1);
     Cycle clock = 0;
+    const NodeId nodes = static_cast<NodeId>(side * side);
     return timeKernel(
         [&] {
-            for (NodeId n = 0; n < 64; ++n) {
+            for (NodeId n = 0; n < nodes; ++n) {
                 if (!rng.chance(0.05))
                     continue;
-                NodeId d = static_cast<NodeId>(rng.nextBounded(64));
+                NodeId d = static_cast<NodeId>(rng.nextBounded(nodes));
                 if (d != n)
                     net.inject(
                         n, makePacket(PacketType::ReadReply, n, d, 640));
@@ -117,12 +118,13 @@ main(int argc, char **argv)
         r.itemsPerSec = side * side * 1e9 / r.afterNs;
         results.push_back(r);
     }
-    {
+    for (int side : {8, 16}) {
         KernelResult r;
-        r.name = "network_cycle_loaded_8x8";
-        r.beforeNs = loadedKernel(/*exhaustive=*/true, min_time);
-        r.afterNs = loadedKernel(/*exhaustive=*/false, min_time);
-        r.itemsPerSec = 64 * 1e9 / r.afterNs;
+        r.name = "network_cycle_loaded_" + std::to_string(side) + "x" +
+                 std::to_string(side);
+        r.beforeNs = loadedKernel(side, /*exhaustive=*/true, min_time);
+        r.afterNs = loadedKernel(side, /*exhaustive=*/false, min_time);
+        r.itemsPerSec = side * side * 1e9 / r.afterNs;
         results.push_back(r);
     }
 

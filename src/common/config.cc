@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <charconv>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -56,9 +57,18 @@ Config::getDouble(const std::string &key, double fallback) const
     auto it = kv_.find(key);
     if (it == kv_.end())
         return fallback;
-    char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
+    // from_chars: config values parse identically no matter the
+    // process LC_NUMERIC (strtod would reject "1.5" under a
+    // comma-decimal locale). A leading '+' stays accepted for
+    // compatibility with the old strtod behavior.
+    const std::string &s = it->second;
+    const char *first = s.c_str();
+    const char *last = first + s.size();
+    if (first != last && *first == '+')
+        ++first;
+    double v = 0.0;
+    auto r = std::from_chars(first, last, v);
+    if (r.ptr == first || r.ptr != last)
         eqx_fatal("config key '", key, "' is not a number: ", it->second);
     return v;
 }

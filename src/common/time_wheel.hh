@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Global time wheel (DESIGN.md §14): the system-level generalization
+ * of the NoC's pending-wire event wheel. Each core cycle the owner
+ * (System) opens an epoch at the current cycle, every subsystem posts
+ * the earliest future cycle at which it has scheduled work — HBM bank
+ * timings, L2 hit-pipeline completions, NoC channel arrivals — and
+ * the owner then reads the global minimum and fast-forwards over the
+ * provably dead cycles in between.
+ *
+ * Representation: a 64-cycle near horizon kept as one occupancy
+ * bitmap relative to the epoch (bit k = "work at now + 1 + k"), plus
+ * a single far-minimum for posts beyond the horizon. nextDue() is a
+ * count-trailing-zeros on the bitmap, so both post and query are
+ * O(1); DRAM latencies and channel spans all fit the near window in
+ * practice, and anything farther only ever needs its minimum.
+ */
+
+#ifndef EQX_COMMON_TIME_WHEEL_HH
+#define EQX_COMMON_TIME_WHEEL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace eqx {
+
+class TimeWheel
+{
+  public:
+    /** Near-horizon width in cycles (one bitmap word). */
+    static constexpr Cycle kHorizon = 64;
+
+    /** Start a consultation epoch at cycle @p now; drops all posts. */
+    void
+    beginEpoch(Cycle now)
+    {
+        now_ = now;
+        near_ = 0;
+        far_ = kNeverCycle;
+    }
+
+    /**
+     * Post a wake-up at cycle @p due (> the epoch cycle). Posting
+     * kNeverCycle is a no-op so components can return their
+     * next-due-cycle queries straight through.
+     */
+    void
+    post(Cycle due)
+    {
+        if (due == kNeverCycle)
+            return;
+        eqx_assert(due > now_, "TimeWheel: wake-up at ", due,
+                   " not after epoch cycle ", now_);
+        Cycle ahead = due - now_;
+        if (ahead <= kHorizon)
+            near_ |= std::uint64_t{1} << (ahead - 1);
+        else if (due < far_)
+            far_ = due;
+    }
+
+    /** Earliest posted wake-up this epoch; kNeverCycle if none. */
+    Cycle
+    nextDue() const
+    {
+        if (near_ != 0)
+            return now_ + 1 + static_cast<Cycle>(std::countr_zero(near_));
+        return far_;
+    }
+
+    /** True when nothing was posted this epoch. */
+    bool empty() const { return near_ == 0 && far_ == kNeverCycle; }
+
+    /** The cycle the current epoch was opened at. */
+    Cycle epoch() const { return now_; }
+
+  private:
+    Cycle now_ = 0;
+    std::uint64_t near_ = 0;
+    Cycle far_ = kNeverCycle;
+};
+
+} // namespace eqx
+
+#endif // EQX_COMMON_TIME_WHEEL_HH

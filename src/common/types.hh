@@ -16,6 +16,13 @@ namespace eqx {
 /** Simulation time in core clock cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * "No scheduled work, ever" sentinel for next-due-cycle queries
+ * (TimeWheel, DESIGN.md §14): a component returning this is woken
+ * only by another component's activity, never by the passage of time.
+ */
+constexpr Cycle kNeverCycle = ~static_cast<Cycle>(0);
+
 /** Flat node (tile) identifier inside one mesh. */
 using NodeId = std::int32_t;
 

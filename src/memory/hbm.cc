@@ -122,6 +122,30 @@ HbmStack::issueChannel(Channel &ch, Cycle now)
     inflight_.push(Inflight{finish, req});
 }
 
+Cycle
+HbmStack::nextDueCycle(Cycle now) const
+{
+    Cycle due = kNeverCycle;
+    if (!inflight_.empty())
+        due = std::max(inflight_.top().finishAt, now + 1);
+    for (const auto &ch : channels_) {
+        if (ch.queue.empty())
+            continue;
+        // FR-FCFS can issue once the bus is free and *some* queued
+        // request's bank is ready; which one it picks doesn't change
+        // the earliest cycle anything can happen.
+        Cycle bank_ready = kNeverCycle;
+        for (const auto &r : ch.queue) {
+            const Bank &b =
+                ch.banks[static_cast<std::size_t>(bankOf(r.addr))];
+            bank_ready = std::min(bank_ready, b.readyAt);
+        }
+        Cycle issue = std::max({now + 1, ch.busFreeAt, bank_ready});
+        due = std::min(due, issue);
+    }
+    return due;
+}
+
 void
 HbmStack::tick(Cycle now)
 {

@@ -7,6 +7,8 @@
 #ifndef EQX_NOC_ARBITER_HH
 #define EQX_NOC_ARBITER_HH
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 namespace eqx {
@@ -62,7 +64,11 @@ class RoundRobinArbiter
         int best = -1;
         int best_dist = numInputs_ + 1;
         for (int idx : requesters) {
-            int dist = (idx - last_ - 1 + numInputs_) % numInputs_;
+            // idx and last_ are both in [0, n), so the rotation
+            // distance needs one conditional wrap, not a division.
+            int dist = idx - last_ - 1;
+            if (dist < 0)
+                dist += numInputs_;
             if (dist < best_dist) {
                 best_dist = dist;
                 best = idx;
@@ -73,12 +79,50 @@ class RoundRobinArbiter
         return best;
     }
 
+    /**
+     * Bitmask variant for arbiters with at most 64 requesters: bit i of
+     * @p requesters asserts input i. Picks the lowest asserted index
+     * strictly after the previous winner, wrapping — exactly the
+     * minimum-rotation-distance choice of grantList, in two bit scans.
+     * @return the granted index, or -1 if the mask is empty.
+     */
+    int
+    grantMask(std::uint64_t requesters)
+    {
+        if (numInputs_ == 0 || requesters == 0)
+            return -1;
+        std::uint64_t after =
+            last_ + 1 >= 64 ? 0 : requesters >> (last_ + 1);
+        int winner = after ? last_ + 1 + std::countr_zero(after)
+                           : std::countr_zero(requesters);
+        last_ = winner;
+        return winner;
+    }
+
     int numInputs() const { return numInputs_; }
 
   private:
     int numInputs_ = 0;
     int last_ = 0;
 };
+
+/**
+ * Stateless round-robin grant over a requester bitmask with the
+ * rotation cursor held externally (the router keeps one byte per
+ * arbiter in its struct-of-arrays state instead of an arbiter object
+ * per port). Same choice and cursor evolution as grantMask(): lowest
+ * asserted index strictly after @p last, wrapping. @p requesters must
+ * be non-zero.
+ */
+inline int
+rrGrant(std::uint64_t requesters, std::uint8_t &last)
+{
+    std::uint64_t after = last + 1 >= 64 ? 0 : requesters >> (last + 1);
+    int winner = after ? last + 1 + std::countr_zero(after)
+                       : std::countr_zero(requesters);
+    last = static_cast<std::uint8_t>(winner);
+    return winner;
+}
 
 } // namespace eqx
 

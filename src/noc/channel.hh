@@ -10,11 +10,13 @@
 #define EQX_NOC_CHANNEL_HH
 
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "noc/packet.hh"
 
 namespace eqx {
 
@@ -29,6 +31,36 @@ class ChannelScheduler
     virtual ~ChannelScheduler() = default;
     /** The channel tagged @p tag has an item arriving at tick @p due. */
     virtual void channelDue(std::uint32_t tag, Cycle due) = 0;
+};
+
+/**
+ * One slot of a pending-arrival time wheel (slot index = due tick mod
+ * wheel size). `wires` holds tag events for channels in store mode
+ * (the item stays buffered in the channel); `flits`/`credits` carry
+ * the payloads themselves for channels in pass-through mode
+ * (DESIGN.md §14) — delivery then never touches the channel object.
+ */
+struct FlitWheelEvent
+{
+    std::uint32_t wire;
+    Flit f;
+};
+struct CreditWheelEvent
+{
+    std::uint32_t wire;
+    Credit c;
+};
+struct WheelSlot
+{
+    std::vector<std::uint32_t> wires;
+    std::vector<FlitWheelEvent> flits;
+    std::vector<CreditWheelEvent> credits;
+
+    bool
+    empty() const
+    {
+        return wires.empty() && flits.empty() && credits.empty();
+    }
 };
 
 /**
@@ -48,7 +80,8 @@ class Channel
 
     /**
      * Attach the owner's delivery scheduler; every send() then posts
-     * one (tag, arrival-tick) event. Unscheduled channels (unit tests,
+     * one (tag, arrival-tick) event and the item stays buffered here
+     * until receive(). Unscheduled channels (unit tests,
      * exhaustive-tick networks) behave exactly as before.
      */
     void
@@ -56,6 +89,24 @@ class Channel
     {
         sched_ = sched;
         tag_ = tag;
+        wheel_ = nullptr;
+    }
+
+    /**
+     * Pass-through mode (Flit/Credit channels only): send() appends
+     * the payload itself to wheel slot (now + latency) & @p slot_mask
+     * — one vector append instead of a ring write, a tag event, and a
+     * later pointer-chase back into this object. The wheel size must
+     * be a power of two exceeding the maximum channel latency.
+     * Latency semantics are identical: the item is due at now+latency.
+     */
+    void
+    setWheel(WheelSlot *slots, std::uint32_t slot_mask, std::uint32_t tag)
+    {
+        wheel_ = slots;
+        wheelMask_ = slot_mask;
+        tag_ = tag;
+        sched_ = nullptr;
     }
 
     /** Enqueue an item at tick @p now; it arrives at now + latency. */
@@ -69,6 +120,19 @@ class Channel
                    "channel accepts at most one send per tick (tick ",
                    now, ")");
         lastSendTick_ = now;
+        if constexpr (std::is_same_v<T, Flit>) {
+            if (wheel_) {
+                wheel_[(now + static_cast<Cycle>(latency_)) & wheelMask_]
+                    .flits.push_back({tag_, std::move(item)});
+                return;
+            }
+        } else if constexpr (std::is_same_v<T, Credit>) {
+            if (wheel_) {
+                wheel_[(now + static_cast<Cycle>(latency_)) & wheelMask_]
+                    .credits.push_back({tag_, item});
+                return;
+            }
+        }
         if (count_ == buf_.size())
             grow();
         std::size_t slot = head_ + count_;
@@ -97,6 +161,8 @@ class Channel
     bool empty() const { return count_ == 0; }
     std::size_t inflightCount() const { return count_; }
     int latency() const { return latency_; }
+    /** Wire tag assigned by the owner (setWheel / setScheduler). */
+    std::uint32_t tag() const { return tag_; }
 
   private:
     static constexpr Cycle kNeverSent = ~static_cast<Cycle>(0);
@@ -125,6 +191,8 @@ class Channel
     int latency_;
     Cycle lastSendTick_ = kNeverSent;
     ChannelScheduler *sched_ = nullptr;
+    WheelSlot *wheel_ = nullptr;
+    std::uint32_t wheelMask_ = 0;
     std::uint32_t tag_ = 0;
     /** FIFO ring of (arrival tick, item), `count_` live from `head_`. */
     std::vector<std::pair<Cycle, T>> buf_;

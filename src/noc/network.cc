@@ -20,19 +20,18 @@ Network::Network(const NetworkSpec &spec)
     int n = topo_.numNodes();
     routers_.reserve(static_cast<std::size_t>(n));
     for (NodeId i = 0; i < n; ++i)
-        routers_.push_back(
-            std::make_unique<Router>(i, &topo_, &params_, &activity_));
+        routers_.emplace_back(i, &topo_, &params_, &activity_);
 
     int max_chan_lat = 1;
     auto newFlitChan = [&](int latency) {
         max_chan_lat = std::max(max_chan_lat, latency);
-        flitChans_.push_back(std::make_unique<Channel<Flit>>(latency));
-        return flitChans_.back().get();
+        flitChans_.emplace_back(latency);
+        return &flitChans_.back();
     };
     auto newCreditChan = [&](int latency) {
         max_chan_lat = std::max(max_chan_lat, latency);
-        creditChans_.push_back(std::make_unique<Channel<Credit>>(latency));
-        return creditChans_.back().get();
+        creditChans_.emplace_back(latency);
+        return &creditChans_.back();
     };
 
     // Mesh links: for every directed neighbour pair A -> B, a flit
@@ -145,26 +144,46 @@ Network::Network(const NetworkSpec &spec)
     std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
     activeRouters_.assign(words, 0);
     activeNis_.assign(words, 0);
-    pendingWheel_.assign(static_cast<std::size_t>(max_chan_lat) + 1,
-                         {});
+    // Power-of-two wheel so slot lookup is a mask, and so channels can
+    // append payloads directly in pass-through mode (setWheel).
+    std::size_t wheel_slots = std::bit_ceil(
+        static_cast<std::size_t>(max_chan_lat) + 1);
+    pendingWheel_.assign(wheel_slots, {});
+    wheelMask_ = static_cast<std::uint32_t>(wheel_slots - 1);
 
-    if (!params_.exhaustiveTick) {
-        // Tag every channel with its wire id and attach the pending
-        // wheel. Wire ids flatten the four wire vectors in order;
-        // exhaustive networks skip this and keep scanning.
-        std::uint32_t tag = 0;
-        for (auto &w : routerFlitWires_)
-            w.chan->setScheduler(this, tag++);
-        niFlitBase_ = tag;
-        for (auto &w : niFlitWires_)
-            w.chan->setScheduler(this, tag++);
-        routerCreditBase_ = tag;
-        for (auto &w : routerCreditWires_)
-            w.chan->setScheduler(this, tag++);
-        niCreditBase_ = tag;
-        for (auto &w : niCreditWires_)
-            w.chan->setScheduler(this, tag++);
-    }
+    if (!params_.exhaustiveTick)
+        attachChannels(/*passthrough=*/true);
+}
+
+void
+Network::attachChannels(bool passthrough)
+{
+    // Tag every channel with its wire id and attach the pending
+    // wheel. Wire ids flatten the four wire vectors in order;
+    // exhaustive networks skip this and keep scanning.
+    std::uint32_t tag = 0;
+    auto attach = [&](auto *chan) {
+        if (passthrough)
+            chan->setWheel(pendingWheel_.data(), wheelMask_, tag++);
+        else
+            chan->setScheduler(this, tag++);
+    };
+    for (auto &w : routerFlitWires_)
+        attach(w.chan);
+    niFlitBase_ = tag;
+    for (auto &w : niFlitWires_)
+        attach(w.chan);
+    routerCreditBase_ = tag;
+    for (auto &w : routerCreditWires_)
+        attach(w.chan);
+    niCreditBase_ = tag;
+    for (auto &w : niCreditWires_)
+        attach(w.chan);
+    // Pass-through networks also let routers push sends straight into
+    // the wheel slots, skipping the channel objects on the hot path.
+    for (auto &r : routers_)
+        r.setDirectWheel(passthrough ? pendingWheel_.data() : nullptr,
+                         wheelMask_);
 }
 
 void
@@ -187,6 +206,10 @@ Network::armFaults(const FaultConfig &cfg, const std::string &name,
     plane_->finalize(seed);
     for (auto &ni : nis_)
         ni->attachFaultPlane(plane_.get());
+    // Fault semantics (wire stalls, checksum drops) act on flits held
+    // *inside* channels, so an armed network leaves pass-through mode.
+    if (!params_.exhaustiveTick)
+        attachChannels(/*passthrough=*/false);
 }
 
 void
@@ -224,6 +247,65 @@ Network::coreTick(Cycle core_cycle)
                                       : params_.ticksOddCycle;
     for (int i = 0; i < ticks; ++i)
         internalTick();
+}
+
+Cycle
+Network::nextDueCycle(Cycle core_now) const
+{
+    eqx_assert(core_now == coreCycle_,
+               "nextDueCycle: network at core cycle ", coreCycle_,
+               " queried at ", core_now);
+    // Exhaustive and fault-armed networks tick unconditionally: the
+    // exhaustive loop is the bit-identity oracle and the fault plane
+    // runs timers (stall windows, retransmission) every internal tick.
+    if (params_.exhaustiveTick || plane_)
+        return core_now + 1;
+    int te = params_.ticksEvenCycle, to = params_.ticksOddCycle;
+    if (te + to == 0)
+        return kNeverCycle; // clockless network never ticks
+    for (std::uint64_t w : activeRouters_)
+        if (w != 0)
+            return core_now + 1;
+    for (std::uint64_t w : activeNis_)
+        if (w != 0)
+            return core_now + 1;
+    // Idle sets: the only future work is in-flight channel arrivals
+    // sitting in the pass-through wheel. Every buffered event is due
+    // within one wheel revolution of the current tick.
+    Cycle due_tick = kNeverCycle;
+    for (std::size_t s = 0; s < pendingWheel_.size(); ++s) {
+        if (pendingWheel_[s].empty())
+            continue;
+        Cycle d = tick_ +
+                  ((static_cast<Cycle>(s) - tick_ - 1) & wheelMask_) + 1;
+        due_tick = std::min(due_tick, d);
+    }
+    if (due_tick == kNeverCycle)
+        return kNeverCycle;
+    // Internal tick -> core cycle: walk the even/odd tick schedule
+    // until the cumulative tick count reaches the due tick. Bounded by
+    // one wheel revolution of ticks.
+    Cycle c = core_now, t = tick_;
+    while (t < due_tick)
+        t += (++c % 2 == 0) ? static_cast<Cycle>(te)
+                            : static_cast<Cycle>(to);
+    return c;
+}
+
+void
+Network::skipTo(Cycle core_target)
+{
+    eqx_assert(core_target >= coreCycle_, "skipTo going backwards");
+    eqx_assert(!params_.exhaustiveTick && !plane_,
+               "skipTo on an unconditionally-ticking network");
+    eqx_assert(nextDueCycle(coreCycle_) > core_target,
+               "skipTo over live work");
+    // Even/odd core cycles in (coreCycle_, core_target].
+    Cycle evens = core_target / 2 - coreCycle_ / 2;
+    Cycle odds = (core_target - coreCycle_) - evens;
+    tick_ += evens * static_cast<Cycle>(params_.ticksEvenCycle) +
+             odds * static_cast<Cycle>(params_.ticksOddCycle);
+    coreCycle_ = core_target;
 }
 
 namespace {
@@ -265,31 +347,24 @@ Network::internalTick()
     if (plane_)
         plane_->tick(tick_);
     deliver();
-    // The three stage passes reproduce the exhaustive order (all SA,
-    // then all VA, then all RC, ascending router id). The router
-    // active set cannot grow during the passes — flits only arrive in
-    // deliver() — so one snapshot-free walk per stage is exact.
+    // One walk runs all three stages per router (SA, VA, RC — so a
+    // stage's result is consumed one tick later). The exhaustive loop
+    // makes three whole-network passes instead, but stages of distinct
+    // routers cannot interact within a tick — every cross-router
+    // effect rides a channel with latency >= 1 and lands in a later
+    // deliver() — so the merged walk is outcome-identical while
+    // touching each router's state once. The router active set cannot
+    // grow during the walk (flits only arrive in deliver()), and a
+    // router that drained deregisters inline: no buffered flits means
+    // SA/VA/RC are provably no-ops until the next acceptFlit.
     forEachSetBitLive(activeRouters_, [&](std::size_t i) {
-        routers_[i]->switchAllocStage(tick_);
+        auto &r = routers_[i];
+        r.switchAllocStage(tick_);
+        r.vcAllocStage(tick_);
+        r.routeComputeStage(tick_);
+        if (!r.hasBufferedFlits())
+            activeRouters_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
     });
-    forEachSetBitLive(activeRouters_, [&](std::size_t i) {
-        routers_[i]->vcAllocStage(tick_);
-    });
-    forEachSetBitLive(activeRouters_, [&](std::size_t i) {
-        routers_[i]->routeComputeStage(tick_);
-    });
-    // Deregister routers that drained this tick: no buffered flits
-    // means SA/VA/RC are provably no-ops until the next acceptFlit.
-    for (std::size_t w = 0; w < activeRouters_.size(); ++w) {
-        std::uint64_t m = activeRouters_[w];
-        while (m) {
-            int b = std::countr_zero(m);
-            m &= m - 1;
-            std::size_t i = (w << 6) + static_cast<std::size_t>(b);
-            if (!routers_[i]->hasBufferedFlits())
-                activeRouters_[w] &= ~(std::uint64_t{1} << b);
-        }
-    }
     // NI pass with inline deregistration: an idle NI (nothing queued,
     // mid-serialization, delivered or awaiting reassembly) is a no-op
     // until inject()/acceptEjectedFlit() re-activates it.
@@ -318,11 +393,11 @@ Network::internalTickExhaustive()
         plane_->tick(tick_);
     deliverExhaustive();
     for (auto &r : routers_)
-        r->switchAllocStage(tick_);
+        r.switchAllocStage(tick_);
     for (auto &r : routers_)
-        r->vcAllocStage(tick_);
+        r.vcAllocStage(tick_);
     for (auto &r : routers_)
-        r->routeComputeStage(tick_);
+        r.routeComputeStage(tick_);
     for (auto &ni : nis_)
         ni->tick(tick_, coreCycle_);
 }
@@ -332,7 +407,7 @@ Network::channelDue(std::uint32_t tag, Cycle due)
 {
     // One send per (channel, tick) — enforced by Channel::send — means
     // one event per (channel, tick): slots never hold duplicates.
-    pendingWheel_[due % pendingWheel_.size()].push_back(tag);
+    pendingWheel_[due & wheelMask_].wires.push_back(tag);
 }
 
 void
@@ -358,7 +433,7 @@ Network::deliverWire(std::uint32_t wire)
                     plane_->onChecksumDrop(fw, f, tick_);
                     continue;
                 }
-                routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+                routers_[static_cast<std::size_t>(w.router)].acceptFlit(
                     w.port, std::move(f), tick_);
             }
             markRouterActive(w.router);
@@ -366,7 +441,7 @@ Network::deliverWire(std::uint32_t wire)
         }
         Flit f;
         while (w.chan->receive(tick_, f))
-            routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+            routers_[static_cast<std::size_t>(w.router)].acceptFlit(
                 w.port, std::move(f), tick_);
         markRouterActive(w.router);
     } else if (wire < routerCreditBase_) {
@@ -380,7 +455,7 @@ Network::deliverWire(std::uint32_t wire)
         auto &w = routerCreditWires_[wire - routerCreditBase_];
         Credit c;
         while (w.chan->receive(tick_, c))
-            routers_[static_cast<std::size_t>(w.router)]->creditArrived(
+            routers_[static_cast<std::size_t>(w.router)].creditArrived(
                 w.port, c.vc);
         // Credits alone create no router work: no activation.
     } else {
@@ -396,10 +471,60 @@ Network::deliverWire(std::uint32_t wire)
 void
 Network::deliver()
 {
-    auto &slot = pendingWheel_[tick_ % pendingWheel_.size()];
-    for (std::uint32_t wire : slot)
+    auto &slot = pendingWheel_[tick_ & wheelMask_];
+    for (std::uint32_t wire : slot.wires)
         deliverWire(wire);
-    slot.clear();
+    slot.wires.clear();
+    // Pass-through payloads: dispatch directly, no channel access.
+    // Flits first, then credits — credits only increment counters, and
+    // every delivery lands before the stage passes, so the relative
+    // order is unobservable. Arrival order scatters targets across the
+    // arena, so each iteration prefetches the next event's router to
+    // overlap the dependent-load latency.
+    for (std::size_t k = 0; k < slot.flits.size(); ++k) {
+        if (k + 1 < slot.flits.size()) {
+            const auto &nx = slot.flits[k + 1];
+            if (nx.wire < niFlitBase_)
+                __builtin_prefetch(
+                    &routers_[static_cast<std::size_t>(
+                        routerFlitWires_[nx.wire].router)]);
+        }
+        auto &ev = slot.flits[k];
+        if (ev.wire < niFlitBase_) {
+            const auto &w = routerFlitWires_[ev.wire];
+            routers_[static_cast<std::size_t>(w.router)].acceptFlit(
+                w.port, std::move(ev.f), tick_);
+            markRouterActive(w.router);
+        } else {
+            const auto &w = niFlitWires_[ev.wire - niFlitBase_];
+            nis_[static_cast<std::size_t>(w.ni)]->acceptEjectedFlit(
+                w.ejPort, std::move(ev.f));
+            markNiActive(w.ni);
+        }
+    }
+    slot.flits.clear();
+    for (std::size_t k = 0; k < slot.credits.size(); ++k) {
+        if (k + 1 < slot.credits.size()) {
+            const auto &nx = slot.credits[k + 1];
+            if (nx.wire < niCreditBase_)
+                __builtin_prefetch(
+                    &routers_[static_cast<std::size_t>(
+                        routerCreditWires_[nx.wire - routerCreditBase_]
+                            .router)]);
+        }
+        const auto &ev = slot.credits[k];
+        if (ev.wire < niCreditBase_) {
+            const auto &w =
+                routerCreditWires_[ev.wire - routerCreditBase_];
+            routers_[static_cast<std::size_t>(w.router)].creditArrived(
+                w.port, ev.c.vc);
+        } else {
+            const auto &w = niCreditWires_[ev.wire - niCreditBase_];
+            nis_[static_cast<std::size_t>(w.ni)]->creditArrived(w.buf,
+                                                                ev.c.vc);
+        }
+    }
+    slot.credits.clear();
 }
 
 void
@@ -418,13 +543,13 @@ Network::deliverExhaustive()
                     plane_->onChecksumDrop(fw, f, tick_);
                     continue;
                 }
-                routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+                routers_[static_cast<std::size_t>(w.router)].acceptFlit(
                     w.port, std::move(f), tick_);
             }
             continue;
         }
         while (w.chan->receive(tick_, f))
-            routers_[static_cast<std::size_t>(w.router)]->acceptFlit(
+            routers_[static_cast<std::size_t>(w.router)].acceptFlit(
                 w.port, std::move(f), tick_);
     }
     for (auto &w : niFlitWires_)
@@ -434,7 +559,7 @@ Network::deliverExhaustive()
     Credit c;
     for (auto &w : routerCreditWires_)
         while (w.chan->receive(tick_, c))
-            routers_[static_cast<std::size_t>(w.router)]->creditArrived(
+            routers_[static_cast<std::size_t>(w.router)].creditArrived(
                 w.port, c.vc);
     for (auto &w : niCreditWires_)
         while (w.chan->receive(tick_, c))
@@ -470,7 +595,7 @@ Network::routerResidenceMeans() const
     std::vector<double> means;
     means.reserve(routers_.size());
     for (const auto &r : routers_)
-        means.push_back(r->residenceStat().mean());
+        means.push_back(r.residenceStat().mean());
     return means;
 }
 
@@ -489,7 +614,7 @@ Network::resetStats()
     activity_.reset();
     latency_.reset();
     for (auto &r : routers_)
-        r->resetStats(tick_);
+        r.resetStats(tick_);
     for (auto &ni : nis_)
         ni->resetStats();
     if (plane_)
@@ -593,15 +718,14 @@ Network::exportStats(StatGroup &sg, const std::string &prefix) const
     }
 
     // Per-router counters, ports keyed by direction / kind.
-    for (const auto &rp : routers_) {
-        const Router &r = *rp;
+    for (const Router &r : routers_) {
         key.resize(root);
         key += "router.";
         key += std::to_string(r.id());
         key += '.';
         const std::size_t rk = key.size();
         setAt(rk, "flits", static_cast<double>(r.flitsForwarded()));
-        setAt(rk, "va_req", static_cast<double>(r.vaRequests()));
+        setAt(rk, "va_req", static_cast<double>(r.vaRequests(tick_)));
         setAt(rk, "va_grant", static_cast<double>(r.vaGrants()));
         setAt(rk, "sa_req", static_cast<double>(r.saRequests()));
         setAt(rk, "sa_grant", static_cast<double>(r.saGrants()));
@@ -662,13 +786,16 @@ bool
 Network::drained() const
 {
     for (const auto &r : routers_)
-        if (r->hasBufferedFlits())
+        if (r.hasBufferedFlits())
             return false;
     for (const auto &ni : nis_)
         if (!ni->idle())
             return false;
     for (const auto &c : flitChans_)
-        if (!c->empty())
+        if (!c.empty())
+            return false;
+    for (const auto &slot : pendingWheel_)
+        if (!slot.flits.empty()) // pass-through in-flight flits
             return false;
     // A pending recovery event (ack, reconciliation credit, mask) is
     // as real as a buffered flit.
@@ -685,7 +812,7 @@ Network::activeSetsConsistent() const
     for (std::size_t i = 0; i < routers_.size(); ++i) {
         bool active = (activeRouters_[i >> 6] >>
                        (i & 63)) & 1;
-        if (routers_[i]->hasBufferedFlits() && !active)
+        if (routers_[i].hasBufferedFlits() && !active)
             return false;
     }
     for (std::size_t i = 0; i < nis_.size(); ++i) {

@@ -8,6 +8,7 @@
 #ifndef EQX_NOC_NETWORK_HH
 #define EQX_NOC_NETWORK_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,6 +76,25 @@ class Network : private ChannelScheduler, private FaultPlaneHost
     /** Advance by one core clock cycle (runs 1+ internal ticks). */
     void coreTick(Cycle core_cycle);
 
+    /**
+     * Earliest core cycle after @p core_now at which this network
+     * does real work — the global time wheel query (DESIGN.md §14).
+     * core_now + 1 while any router or NI is on an active set (or in
+     * the exhaustive / fault-armed modes, which tick unconditionally);
+     * otherwise the core cycle of the earliest in-flight channel
+     * arrival in the pending wheel; kNeverCycle when fully drained.
+     */
+    Cycle nextDueCycle(Cycle core_now) const;
+
+    /**
+     * Fast-forward over core cycles (coreCycle_, @p core_target] that
+     * nextDueCycle() proved dead: advances the internal tick counter
+     * arithmetically by the even/odd tick schedule without running
+     * the tick loop. Only valid while the network is idle with no
+     * arrival due on or before the target.
+     */
+    void skipTo(Cycle core_target);
+
     /** Endpoint API. */
     bool inject(NodeId node, const PacketPtr &pkt);
     bool canInject(NodeId node) const;
@@ -111,7 +131,7 @@ class Network : private ChannelScheduler, private FaultPlaneHost
     int numRouters() const { return static_cast<int>(routers_.size()); }
     const Router &router(NodeId n) const
     {
-        return *routers_[static_cast<std::size_t>(n)];
+        return routers_[static_cast<std::size_t>(n)];
     }
     const NetworkInterface &ni(NodeId n) const
     {
@@ -153,6 +173,10 @@ class Network : private ChannelScheduler, private FaultPlaneHost
 
     /** ChannelScheduler: record a pending arrival for a wire. */
     void channelDue(std::uint32_t tag, Cycle due) override;
+    /** (Re-)attach every channel to the wheel. Pass-through is used
+     *  except when faults are armed: the fault plane needs flits to
+     *  accumulate *inside* stalled channels. */
+    void attachChannels(bool passthrough);
 
     // FaultPlaneHost: out-of-band recovery events land on the NIs. No
     // activation is needed — an NI with protocol state in flight is
@@ -175,7 +199,7 @@ class Network : private ChannelScheduler, private FaultPlaneHost
 
     Router &routerRef(NodeId n)
     {
-        return *routers_[static_cast<std::size_t>(n)];
+        return routers_[static_cast<std::size_t>(n)];
     }
 
     NocParams params_;
@@ -183,11 +207,18 @@ class Network : private ChannelScheduler, private FaultPlaneHost
     NetworkActivity activity_;
     LatencyStats latency_;
 
-    std::vector<std::unique_ptr<Router>> routers_;
+    /** Contiguous router arena: reserved once at construction (never
+     *  resized, so element addresses are stable) and referenced by
+     *  index from the wire tables — the delivery and stage loops walk
+     *  one flat allocation instead of chasing per-router pointers. */
+    std::vector<Router> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
 
-    std::vector<std::unique_ptr<Channel<Flit>>> flitChans_;
-    std::vector<std::unique_ptr<Channel<Credit>>> creditChans_;
+    /** Channel arenas: deques give stable element addresses (ports
+     *  hold raw pointers) while packing several channels per block,
+     *  so the per-send channel-object touch usually stays in cache. */
+    std::deque<Channel<Flit>> flitChans_;
+    std::deque<Channel<Credit>> creditChans_;
 
     struct RouterFlitWire { Channel<Flit> *chan; int router; int port; };
     struct NiFlitWire { Channel<Flit> *chan; int ni; int ejPort; };
@@ -230,13 +261,27 @@ class Network : private ChannelScheduler, private FaultPlaneHost
     std::vector<std::uint64_t> activeNis_;
 
     /**
-     * Pending-wire event wheel: slot (tick % size) holds the wire ids
-     * with an arrival due that tick. Channels post one event per send
-     * (they carry at most one item per tick), so idle wires are never
-     * visited. Wire ids index the four wire vectors: the flat order is
-     * [routerFlit | niFlit | routerCredit | niCredit].
+     * Pending-wire event wheel: slot (tick % size) holds what arrives
+     * that tick. Channels post one event per send (they carry at most
+     * one item per tick), so idle wires are never visited. Wire ids
+     * index the four wire vectors: the flat order is [routerFlit |
+     * niFlit | routerCredit | niCredit].
+     *
+     * Un-faulted adaptive networks run channels in pass-through mode:
+     * the slot carries the payloads themselves (`flits` / `credits`)
+     * and delivery dispatches straight to acceptFlit()/creditArrived()
+     * without touching a channel object — sends append directly to
+     * the slot (Channel::setWheel), no virtual dispatch. Fault-armed
+     * networks fall back to tag events (`wires`) drained through the
+     * channels, which the plane's stall/drop semantics need. Within
+     * one channel FIFO order is preserved either way, and all
+     * deliveries complete before the stage passes run, so the two
+     * representations are observationally identical (DESIGN.md §14).
+     * Size is a power of two (> max channel latency); slot index is
+     * `due & wheelMask_`.
      */
-    std::vector<std::vector<std::uint32_t>> pendingWheel_;
+    std::vector<WheelSlot> pendingWheel_;
+    std::uint32_t wheelMask_ = 0;
     std::uint32_t niFlitBase_ = 0;
     std::uint32_t routerCreditBase_ = 0;
     std::uint32_t niCreditBase_ = 0;

@@ -187,14 +187,19 @@ class PacketPtr
 struct Flit
 {
     PacketPtr pkt;
-    int index = 0;            ///< position within the packet
-    bool isHead = false;
-    bool isTail = false;
-    int vc = 0;               ///< VC on the current link / input buffer
 
     /** Scratch: cycle this flit entered the current router's buffer
      *  (internal network ticks), for per-router residence stats. */
     Cycle arrived = 0;
+
+    /** Position within the packet. Narrow on purpose: a flit is moved
+     *  four times per hop (buffer -> SA -> wheel -> acceptFlit), so
+     *  the struct is packed to 24 bytes. 128-bit flits cap packets at
+     *  well under 64k flits. */
+    std::uint16_t index = 0;
+    std::int8_t vc = 0;       ///< VC on the current link / input buffer
+    bool isHead = false;
+    bool isTail = false;
 
     /** Per-flit checksum, stamped by the NI serializer only on
      *  fault-armed networks and verified where a wire delivers into a

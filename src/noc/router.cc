@@ -13,15 +13,18 @@ Router::Router(NodeId id, const Topology *topo, const NocParams *params,
     : id_(id), topo_(topo), params_(params), activity_(activity)
 {
     eqx_assert(topo_ && params_ && activity_, "router needs its context");
+    coord_ = topo_->coord(id_);
 }
 
 int
 Router::addInputPort(PortKind kind, Dir dir, Channel<Credit> *credit_up)
 {
     eqx_assert(kind != PortKind::LocalEj, "LocalEj is an output kind");
+    eqx_assert(inputs_.size() < kMaxInPorts,
+               "per-input-port state supports at most 32 input ports");
     eqx_assert((inputs_.size() + 1) *
                        static_cast<std::size_t>(params_->vcsPerPort) <=
-                   64,
+                   kMaxInVcs,
                "pending-VC bitmasks support at most 64 input VCs");
     InputPort p;
     p.kind = kind;
@@ -29,9 +32,13 @@ Router::addInputPort(PortKind kind, Dir dir, Channel<Credit> *credit_up)
     p.vcs.assign(static_cast<std::size_t>(params_->vcsPerPort),
                  VcBuffer(params_->vcDepthFlits));
     p.creditUp = credit_up;
-    p.saArb.resize(params_->vcsPerPort);
     inputs_.push_back(std::move(p));
-    return static_cast<int>(inputs_.size()) - 1;
+    int idx = static_cast<int>(inputs_.size()) - 1;
+    creditUp_[idx] = credit_up;
+    flitStore_.resize(inputs_.size() *
+                      static_cast<std::size_t>(params_->vcsPerPort) *
+                      static_cast<std::size_t>(params_->vcDepthFlits));
+    return idx;
 }
 
 int
@@ -40,6 +47,12 @@ Router::addOutputPort(PortKind kind, Dir dir, Channel<Flit> *out,
 {
     eqx_assert(kind == PortKind::Geo || kind == PortKind::LocalEj,
                "outputs connect to neighbours or the NI ejection side");
+    eqx_assert(outputs_.size() < kMaxOutPorts,
+               "SA port bitmask supports at most 32 output ports");
+    eqx_assert((outputs_.size() + 1) *
+                       static_cast<std::size_t>(params_->vcsPerPort) <=
+                   kMaxOutVcs,
+               "flat output-VC state supports at most 64 output VCs");
     OutputPort p;
     p.kind = kind;
     p.dir = dir;
@@ -48,15 +61,51 @@ Router::addOutputPort(PortKind kind, Dir dir, Channel<Flit> *out,
     p.vcs.assign(static_cast<std::size_t>(params_->vcsPerPort), OutputVc{});
     for (auto &vc : p.vcs)
         vc.credits = downstream_depth;
-    p.vaArbs.assign(static_cast<std::size_t>(params_->vcsPerPort),
-                    RoundRobinArbiter(0));
-    eqx_assert(outputs_.size() < 32,
-               "SA port bitmask supports at most 32 output ports");
     outputs_.push_back(std::move(p));
     int idx = static_cast<int>(outputs_.size()) - 1;
-    if (kind == PortKind::LocalEj)
+    if (downstream_depth != params_->vcDepthFlits)
+        uniformCredit_ = false;
+    eqx_assert(downstream_depth <= 127,
+               "byte-wide credit counters cap downstream depth at 127");
+    for (int vi = 0; vi < params_->vcsPerPort; ++vi) {
+        int of = idx * params_->vcsPerPort + vi;
+        outCredits_[of] = static_cast<std::int8_t>(downstream_depth);
+        freeOutVcs_ |= std::uint64_t{1} << of;
+    }
+    outChan_[idx] = out;
+    if (interposer)
+        outInterposer_ |= std::uint32_t{1} << idx;
+    if (kind == PortKind::Geo) {
+        outIsGeo_ |= std::uint32_t{1} << idx;
+        dirPort_[static_cast<int>(dir)] = static_cast<std::int8_t>(idx);
+    } else {
         ejPorts_.push_back(idx);
+        eqx_assert(ejCandCount_ < kMaxRouteCand,
+                   "too many ejection ports for the fixed candidate set");
+        ejCand_[ejCandCount_++] = static_cast<std::int8_t>(idx);
+    }
     return idx;
+}
+
+void
+Router::setDirectWheel(WheelSlot *slots, std::uint32_t slot_mask)
+{
+    wheelSlots_ = slots;
+    directWheelMask_ = slot_mask;
+    if (!slots)
+        return;
+    for (int po = 0; po < numOutputPorts(); ++po) {
+        eqx_assert(outChan_[po]->latency() <= 127,
+                   "direct-wheel latency cache is byte-wide");
+        outLat_[po] = static_cast<std::int8_t>(outChan_[po]->latency());
+        outTag_[po] = outChan_[po]->tag();
+    }
+    for (int pi = 0; pi < numInputPorts(); ++pi) {
+        if (!creditUp_[pi])
+            continue;
+        crLat_[pi] = static_cast<std::int8_t>(creditUp_[pi]->latency());
+        crTag_[pi] = creditUp_[pi]->tag();
+    }
 }
 
 void
@@ -64,53 +113,55 @@ Router::acceptFlit(int in_port, Flit f, Cycle now)
 {
     eqx_assert(in_port >= 0 && in_port < numInputPorts(),
                "bad input port ", in_port, " at router ", id_);
-    auto &ip = inputs_[static_cast<std::size_t>(in_port)];
-    eqx_assert(f.vc >= 0 && f.vc < static_cast<int>(ip.vcs.size()),
-               "bad VC on arriving flit");
+    int v = params_->vcsPerPort;
+    int depth = params_->vcDepthFlits;
+    eqx_assert(f.vc >= 0 && f.vc < v, "bad VC on arriving flit");
     f.arrived = now;
-    int cls = isRequest(f.pkt->type) ? 0 : 1;
-    lastSeenClass_[cls] = now;
-    seenClass_[cls] = true;
-    auto &vcb = ip.vcs[static_cast<std::size_t>(f.vc)];
-    std::uint64_t bit = std::uint64_t{1}
-                        << (in_port * params_->vcsPerPort + f.vc);
-    if (vcb.state == VcState::Idle)
+    int flat = in_port * v + f.vc;
+    // Class bookkeeping feeds classVcRange()/monopolyAllowed() only;
+    // plain networks skip the packet dereference entirely.
+    if (params_->classVcs || params_->vcMono) {
+        int cls = isRequest(f.pkt->type) ? 0 : 1;
+        lastSeenClass_[cls] = now;
+        seenClass_[cls] = true;
+        if (vc_[flat].count == 0)
+            vc_[flat].cls = static_cast<std::uint8_t>(cls);
+    }
+    std::uint64_t bit = std::uint64_t{1} << flat;
+    if (vc_[flat].state == VcState::Idle) {
         rcPending_ |= bit; // fresh head flit awaiting route compute
-    else if (vcb.state == VcState::Active)
+        if (vc_[flat].count == 0) {
+            // Cache the head-flit facts RC reads every visit, so the
+            // stage walks never touch the Packet.
+            Coord dest = topo_->coord(f.pkt->dst);
+            vc_[flat].destX = static_cast<std::int8_t>(dest.x);
+            vc_[flat].destY = static_cast<std::int8_t>(dest.y);
+            vc_[flat].headOk = f.isHead;
+        }
+    } else if (vc_[flat].state == VcState::Active) {
         saPending_ |= bit; // body flit joins the switch competition
-    vcb.push(std::move(f));
+    }
+    eqx_assert(vc_[flat].count < depth,
+               "VC buffer overflow at router ", id_);
+    int slot = vc_[flat].head + vc_[flat].count;
+    if (slot >= depth)
+        slot -= depth;
+    flitStore_[static_cast<std::size_t>(flat * depth + slot)] =
+        std::move(f);
+    ++vc_[flat].count;
     ++bufferedFlits_;
-    ++ip.flitsAccepted;
+    ++inFlitsAccepted_[in_port];
     ++activity_->bufferWrites;
 }
 
 void
-Router::creditArrived(int out_port, int vc)
-{
-    auto &op = outputs_[static_cast<std::size_t>(out_port)];
-    auto &ovc = op.vcs[static_cast<std::size_t>(vc)];
-    ++ovc.credits;
-}
-
-int
-Router::geoOutPort(Dir d) const
-{
-    for (int i = 0; i < numOutputPorts(); ++i) {
-        if (outputs_[static_cast<std::size_t>(i)].kind == PortKind::Geo &&
-            outputs_[static_cast<std::size_t>(i)].dir == d)
-            return i;
-    }
-    return -1;
-}
-
-void
-Router::classVcRange(PacketType t, int &lo, int &hi) const
+Router::classVcRange(int cls, int &lo, int &hi) const
 {
     int v = params_->vcsPerPort;
     int half = v / 2;
     if (half == 0)
         half = 1;
-    if (isRequest(t)) {
+    if (cls == 0) {
         lo = 0;
         hi = std::min(half, v) - 1;
     } else {
@@ -120,7 +171,7 @@ Router::classVcRange(PacketType t, int &lo, int &hi) const
 }
 
 bool
-Router::monopolyAllowed(PacketType t, Cycle now) const
+Router::monopolyAllowed(int cls, Cycle now) const
 {
     if (!params_->vcMono)
         return false;
@@ -128,7 +179,7 @@ Router::monopolyAllowed(PacketType t, Cycle now) const
     // sunk at PE NIs, so borrowed request VCs still drain. Letting
     // requests borrow reply VCs would close the classic request/reply
     // protocol-deadlock cycle.
-    if (isRequest(t))
+    if (cls == 0)
         return false;
     if (!seenClass_[0])
         return true;
@@ -137,30 +188,40 @@ Router::monopolyAllowed(PacketType t, Cycle now) const
 }
 
 void
-Router::routeVc(VcBuffer &vcb, Coord here)
+Router::routeVcFlat(int flat)
 {
-    const Flit &f = vcb.front();
-    Coord dest = topo_->coord(f.pkt->dst);
-    vcb.routeCandidates.clear();
-    if (dest == here) {
-        vcb.routeCandidates = ejPorts_;
-        eqx_assert(!vcb.routeCandidates.empty(),
+    Coord dest{vc_[flat].destX, vc_[flat].destY};
+    int nc = 0;
+    bool ejecting = dest == coord_;
+    if (ejecting) {
+        eqx_assert(ejCandCount_ > 0,
                    "router ", id_, " has no ejection port");
-    } else if (params_->routing == RoutingMode::XY ||
-               params_->classVcs) {
-        int p = geoOutPort(xyDirection(here, dest));
+        for (int i = 0; i < ejCandCount_; ++i)
+            vc_[flat].cand[nc++] = ejCand_[i];
+    } else if (params_->routing == RoutingMode::XY || params_->classVcs) {
+        std::int8_t p = dirPort_[static_cast<int>(
+            xyDirection(coord_, dest))];
         eqx_assert(p >= 0, "XY direction port missing");
-        vcb.routeCandidates.push_back(p);
+        vc_[flat].cand[nc++] = p;
     } else {
         // Minimal adaptive: x-dimension candidate first so that
-        // routeCandidates[0] is always the XY (escape) port.
-        for (Dir d : minimalDirections(here, dest)) {
-            int p = geoOutPort(d);
-            eqx_assert(p >= 0, "minimal direction port missing");
-            vcb.routeCandidates.push_back(p);
-        }
+        // candidate 0 is always the XY (escape) port.
+        if (dest.x != coord_.x)
+            vc_[flat].cand[nc++] =
+                dirPort_[dest.x > coord_.x
+                             ? static_cast<int>(Dir::East)
+                             : static_cast<int>(Dir::West)];
+        if (dest.y != coord_.y)
+            vc_[flat].cand[nc++] =
+                dirPort_[dest.y > coord_.y
+                             ? static_cast<int>(Dir::South)
+                             : static_cast<int>(Dir::North)];
+        eqx_assert(nc > 0 && vc_[flat].cand[0] >= 0,
+                   "minimal direction port missing");
     }
-    vcb.state = VcState::RouteComputed;
+    vc_[flat].candCount = static_cast<std::uint8_t>(nc);
+    vc_[flat].ejecting = ejecting;
+    vc_[flat].state = VcState::RouteComputed;
 }
 
 void
@@ -168,27 +229,22 @@ Router::routeComputeStage(Cycle)
 {
     if (!params_->exhaustiveTick && rcPending_ == 0)
         return;
-    Coord here = coord();
-    int v = params_->vcsPerPort;
 
     if (params_->exhaustiveTick) {
         // The pre-change scan: every (port, VC) pair, every tick. Kept
         // runnable as the measured "before" of the activity scheduler;
         // the pending masks are still maintained so both paths share
         // one set of invariants.
-        for (int pi = 0; pi < numInputPorts(); ++pi) {
-            auto &ip = inputs_[static_cast<std::size_t>(pi)];
-            for (int vi = 0; vi < v; ++vi) {
-                auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
-                if (vcb.state != VcState::Idle || vcb.empty())
-                    continue;
-                if (!vcb.front().isHead)
-                    continue;
-                routeVc(vcb, here);
-                std::uint64_t bit = std::uint64_t{1} << (pi * v + vi);
-                rcPending_ &= ~bit;
-                vaPending_ |= bit;
-            }
+        int flats = numInputPorts() * params_->vcsPerPort;
+        for (int flat = 0; flat < flats; ++flat) {
+            if (vc_[flat].state != VcState::Idle || vc_[flat].count == 0)
+                continue;
+            if (!vc_[flat].headOk)
+                continue;
+            routeVcFlat(flat);
+            std::uint64_t bit = std::uint64_t{1} << flat;
+            rcPending_ &= ~bit;
+            vaPending_ |= bit;
         }
         return;
     }
@@ -198,50 +254,105 @@ Router::routeComputeStage(Cycle)
         int flat = std::countr_zero(m);
         m &= m - 1;
         std::uint64_t bit = std::uint64_t{1} << flat;
-        auto &vcb = inputs_[static_cast<std::size_t>(flat / v)]
-                        .vcs[static_cast<std::size_t>(flat % v)];
-        if (vcb.state != VcState::Idle || vcb.empty()) {
+        if (vc_[flat].state != VcState::Idle || vc_[flat].count == 0) {
             rcPending_ &= ~bit; // stale: the scan loop would skip it
             continue;
         }
-        if (!vcb.front().isHead)
+        if (!vc_[flat].headOk)
             continue;
-        routeVc(vcb, here);
+        routeVcFlat(flat);
         rcPending_ &= ~bit;
         vaPending_ |= bit;
     }
 }
 
 bool
-Router::chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
-                        int &req_port, int &req_vc)
+Router::chooseVcRequest(int flat, Cycle now, int &req_port, int &req_vc)
 {
-    const auto &vcb = ip.vcs[static_cast<std::size_t>(in_vc)];
-    const Flit &f = vcb.front();
-    PacketType t = f.pkt->type;
     int v = params_->vcsPerPort;
-
-    auto available = [&](int port, int vc) {
-        const auto &op = outputs_[static_cast<std::size_t>(port)];
-        const auto &ovc = op.vcs[static_cast<std::size_t>(vc)];
-        // Atomic VC buffers: require the downstream VC idle and empty.
-        return !ovc.busy && ovc.credits >= params_->vcDepthFlits;
-    };
+    int depth = params_->vcDepthFlits;
 
     // Determine the permitted VC window on non-ejection ports.
     int lo = 0, hi = v - 1;
     bool adaptive = params_->routing == RoutingMode::MinimalAdaptive &&
                     !params_->classVcs;
-    if (params_->classVcs && !monopolyAllowed(t, now))
-        classVcRange(t, lo, hi);
+    if (params_->classVcs && !monopolyAllowed(vc_[flat].cls, now))
+        classVcRange(vc_[flat].cls, lo, hi);
+
+    const std::int8_t *cand = vc_[flat].cand;
+    int nc = vc_[flat].candCount;
+
+    if (uniformCredit_) {
+        // Every free VC holds exactly `depth` credits (atomic VC
+        // rule), so the max-credit tie-break degenerates to "first
+        // free VC in scan order": one mask-and-scan per candidate
+        // port replaces the credit-compare loop. freeOutVcs_ is
+        // maintained at every busy/credit transition.
+        auto firstFree = [&](int port, int lo_vc, int hi_vc) -> int {
+            std::uint64_t m = (freeOutVcs_ >> (port * v)) &
+                              ((std::uint64_t{2} << hi_vc) -
+                               (std::uint64_t{1} << lo_vc));
+            return m ? std::countr_zero(m) : -1;
+        };
+        if (vc_[flat].ejecting) {
+            for (int i = 0; i < nc; ++i) {
+                int vc = firstFree(cand[i], 0, v - 1);
+                if (vc >= 0) {
+                    req_port = cand[i];
+                    req_vc = vc;
+                    return true;
+                }
+            }
+            return false;
+        }
+        if (adaptive) {
+            if (flat % v == escapeVc() && v > 1) {
+                // Escape discipline: stay on the escape VC along XY.
+                int vc = firstFree(cand[0], escapeVc(), escapeVc());
+                if (vc < 0)
+                    return false;
+                req_port = cand[0];
+                req_vc = vc;
+                return true;
+            }
+            int adaptive_vcs = std::max(1, v - 1);
+            for (int i = 0; i < nc; ++i) {
+                int vc = firstFree(cand[i], 0, adaptive_vcs - 1);
+                if (vc >= 0) {
+                    req_port = cand[i];
+                    req_vc = vc;
+                    return true;
+                }
+            }
+            if (v > 1) {
+                // Blocked on all adaptive VCs: fall into escape.
+                int vc = firstFree(cand[0], escapeVc(), escapeVc());
+                if (vc >= 0) {
+                    req_port = cand[0];
+                    req_vc = vc;
+                    return true;
+                }
+            }
+            return false;
+        }
+        for (int i = 0; i < nc; ++i) {
+            int vc = firstFree(cand[i], lo, hi);
+            if (vc >= 0) {
+                req_port = cand[i];
+                req_vc = vc;
+                return true;
+            }
+        }
+        return false;
+    }
 
     int best_port = -1, best_vc = -1, best_credits = -1;
     auto consider = [&](int port, int vc) {
-        if (!available(port, vc))
+        // Atomic VC buffers: require the downstream VC idle and empty.
+        int of = port * v + vc;
+        std::int32_t c = outCredits_[of];
+        if (outBusy_[of] || c < depth)
             return;
-        int c = outputs_[static_cast<std::size_t>(port)]
-                    .vcs[static_cast<std::size_t>(vc)]
-                    .credits;
         if (c > best_credits) {
             best_credits = c;
             best_port = port;
@@ -249,31 +360,28 @@ Router::chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
         }
     };
 
-    bool ejecting =
-        outputs_[static_cast<std::size_t>(vcb.routeCandidates.front())]
-            .kind == PortKind::LocalEj;
-
-    if (ejecting) {
-        for (int port : vcb.routeCandidates)
+    if (vc_[flat].ejecting) {
+        for (int i = 0; i < nc; ++i)
             for (int vc = 0; vc < v; ++vc)
-                consider(port, vc);
+                consider(cand[i], vc);
     } else if (adaptive) {
-        if (in_vc == escapeVc() && v > 1) {
+        if (flat % v == escapeVc() && v > 1) {
             // Escape discipline: stay on the escape VC along XY.
-            consider(vcb.routeCandidates.front(), escapeVc());
+            consider(cand[0], escapeVc());
         } else {
-            for (int port : vcb.routeCandidates)
-                for (int vc = 0; vc < std::max(1, v - 1); ++vc)
-                    consider(port, vc);
+            int adaptive_vcs = std::max(1, v - 1);
+            for (int i = 0; i < nc; ++i)
+                for (int vc = 0; vc < adaptive_vcs; ++vc)
+                    consider(cand[i], vc);
             if (best_port < 0 && v > 1) {
                 // Blocked on all adaptive VCs: fall into escape.
-                consider(vcb.routeCandidates.front(), escapeVc());
+                consider(cand[0], escapeVc());
             }
         }
     } else {
-        for (int port : vcb.routeCandidates)
+        for (int i = 0; i < nc; ++i)
             for (int vc = lo; vc <= hi; ++vc)
-                consider(port, vc);
+                consider(cand[i], vc);
     }
 
     if (best_port < 0)
@@ -289,68 +397,85 @@ Router::vcAllocStage(Cycle now)
     if (!params_->exhaustiveTick && vaPending_ == 0)
         return;
     int v = params_->vcsPerPort;
-    int flat = numInputPorts() * v;
+    int flats = numInputPorts() * v;
 
     // Input-first: each waiting input VC nominates one (port, vc).
-    vaWants_.clear();
+    // Nominations land in flat parallel arrays; groups with the same
+    // requested output VC resolve in first-nomination order, exactly
+    // as the pre-SoA want-list did.
+    int want_flat[kMaxInVcs];
+    std::int16_t want_of[kMaxInVcs];
+    std::int8_t want_port[kMaxInVcs];
+    int n_wants = 0;
     if (params_->exhaustiveTick) {
         // Pre-change scan over every (port, VC) pair; a bit in
         // vaPending_ is exactly "state == RouteComputed", so both
         // paths nominate the same candidates in the same order.
-        for (int pi = 0; pi < numInputPorts(); ++pi) {
-            auto &ip = inputs_[static_cast<std::size_t>(pi)];
-            for (int vi = 0; vi < v; ++vi) {
-                if (ip.vcs[static_cast<std::size_t>(vi)].state !=
-                    VcState::RouteComputed)
-                    continue;
-                int rp = -1, rv = -1;
-                ++vaRequests_;
-                if (chooseVcRequest(ip, vi, now, rp, rv))
-                    vaWants_.push_back(VaWant{pi * v + vi, rp, rv});
+        for (int flat = 0; flat < flats; ++flat) {
+            if (vc_[flat].state != VcState::RouteComputed)
+                continue;
+            int rp = -1, rv = -1;
+            ++vaRequests_;
+            if (chooseVcRequest(flat, now, rp, rv)) {
+                want_flat[n_wants] = flat;
+                want_of[n_wants] =
+                    static_cast<std::int16_t>(rp * v + rv);
+                want_port[n_wants] = static_cast<std::int8_t>(rp);
+                ++n_wants;
             }
         }
     } else {
+        // Nominations whose failure can only be cured by a free-VC
+        // transition park on vaBlocked_ instead of re-polling every
+        // tick; a woken bit first credits the request ticks it would
+        // have issued while parked (exhaustive-loop accounting).
+        bool park = uniformCredit_ && !params_->classVcs;
         std::uint64_t m = vaPending_;
         while (m != 0) {
-            int f = std::countr_zero(m);
+            int flat = std::countr_zero(m);
+            std::uint64_t bit = m & (~m + 1);
             m &= m - 1;
-            auto &ip = inputs_[static_cast<std::size_t>(f / v)];
             int rp = -1, rv = -1;
             ++vaRequests_;
-            if (chooseVcRequest(ip, f % v, now, rp, rv))
-                vaWants_.push_back(VaWant{f, rp, rv});
+            if (vaWoken_ & bit) {
+                vaRequests_ += now - vaBlockTick_[flat] - 1;
+                vaWoken_ &= ~bit;
+            }
+            if (chooseVcRequest(flat, now, rp, rv)) {
+                want_flat[n_wants] = flat;
+                want_of[n_wants] =
+                    static_cast<std::int16_t>(rp * v + rv);
+                want_port[n_wants] = static_cast<std::int8_t>(rp);
+                ++n_wants;
+            } else if (park) {
+                vaPending_ &= ~bit;
+                vaBlocked_ |= bit;
+                vaBlockTick_[flat] = now;
+                for (int c = 0; c < vc_[flat].candCount; ++c)
+                    vaWaiters_[vc_[flat].cand[c]] |= bit;
+            }
         }
     }
-    if (vaWants_.empty())
+    if (n_wants == 0)
         return;
 
     // Output side: arbitrate per requested output VC.
-    for (std::size_t i = 0; i < vaWants_.size(); ++i) {
-        if (vaWants_[i].inFlat < 0)
+    for (int i = 0; i < n_wants; ++i) {
+        if (want_of[i] < 0)
             continue; // already resolved as part of an earlier group
-        int po = vaWants_[i].port;
-        int vo = vaWants_[i].vc;
-        scratchReqs_.clear();
-        for (std::size_t j = i; j < vaWants_.size(); ++j) {
-            if (vaWants_[j].inFlat >= 0 && vaWants_[j].port == po &&
-                vaWants_[j].vc == vo) {
-                scratchReqs_.push_back(vaWants_[j].inFlat);
-                vaWants_[j].inFlat = -1;
+        std::int16_t of = want_of[i];
+        std::uint64_t reqs = std::uint64_t{1} << want_flat[i];
+        for (int j = i + 1; j < n_wants; ++j)
+            if (want_of[j] == of) {
+                reqs |= std::uint64_t{1} << want_flat[j];
+                want_of[j] = -1;
             }
-        }
-        auto &op = outputs_[static_cast<std::size_t>(po)];
-        auto &arb = op.vaArbs[static_cast<std::size_t>(vo)];
-        if (arb.numInputs() != flat)
-            arb.resize(flat);
-        int winner = arb.grantList(scratchReqs_);
-        if (winner < 0)
-            continue;
-        auto &ip = inputs_[static_cast<std::size_t>(winner / v)];
-        auto &vcb = ip.vcs[static_cast<std::size_t>(winner % v)];
-        vcb.state = VcState::Active;
-        vcb.outPort = po;
-        vcb.outVc = vo;
-        op.vcs[static_cast<std::size_t>(vo)].busy = true;
+        int winner = rrGrant(reqs, vaLast_[of]);
+        vc_[winner].state = VcState::Active;
+        vc_[winner].outPort = want_port[i];
+        vc_[winner].outFlat = of;
+        outBusy_[of] = 1;
+        freeOutVcs_ &= ~(std::uint64_t{1} << of);
         vaPending_ &= ~(std::uint64_t{1} << winner);
         saPending_ |= std::uint64_t{1} << winner;
         ++vaGrants_;
@@ -362,6 +487,7 @@ void
 Router::switchAllocStage(Cycle now)
 {
     int v = params_->vcsPerPort;
+    int depth = params_->vcDepthFlits;
     int num_in = numInputPorts();
 
     // SA runs first each tick: sample buffered-flit occupancy here so
@@ -378,49 +504,48 @@ Router::switchAllocStage(Cycle now)
         // running bufferedFlits_ counter, so the statistic is the
         // same — only the measured cost differs.
         std::uint64_t occ = 0;
-        for (const auto &ip : inputs_)
-            for (const auto &vcb : ip.vcs)
-                occ += static_cast<std::uint64_t>(vcb.occupancy());
+        for (int flat = 0; flat < num_in * v; ++flat)
+            occ += vc_[flat].count;
         occSumFlitTicks_ += occ;
     } else {
         occSumFlitTicks_ += static_cast<std::uint64_t>(bufferedFlits_);
     }
 
+    std::int8_t chosen_vc[kMaxInVcs];
+    std::int8_t chosen_port[kMaxInVcs];
+    std::uint32_t chosen_in = 0; ///< input ports with a phase-1 winner
     std::uint32_t req_ports = 0;
     if (params_->exhaustiveTick) {
         // Pre-change phase 1: scan every (port, VC) pair and let
         // phase 2 visit every output port. A bit in saPending_ is
         // exactly "state == Active && !empty", so the candidate lists
         // (and the arbiter outcomes) match the mask walk.
-        saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
         bool any = false;
         for (int pi = 0; pi < num_in; ++pi) {
-            auto &ip = inputs_[static_cast<std::size_t>(pi)];
-            scratchReqs_.clear();
+            std::uint64_t reqs = 0;
             for (int vi = 0; vi < v; ++vi) {
-                const auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
-                if (vcb.state != VcState::Active || vcb.empty())
+                int flat = pi * v + vi;
+                if (vc_[flat].state != VcState::Active ||
+                    vc_[flat].count == 0)
                     continue;
                 ++saRequests_;
-                const auto &ovc =
-                    outputs_[static_cast<std::size_t>(vcb.outPort)]
-                        .vcs[static_cast<std::size_t>(vcb.outVc)];
-                if (ovc.credits <= 0) {
+                if (outCredits_[vc_[flat].outFlat] <= 0) {
                     ++creditStallCycles_;
                     continue;
                 }
-                scratchReqs_.push_back(vi);
+                reqs |= std::uint64_t{1} << vi;
             }
-            if (!scratchReqs_.empty()) {
-                saChosenVc_[static_cast<std::size_t>(pi)] =
-                    ip.saArb.grantList(scratchReqs_);
+            if (reqs != 0) {
+                int vi = rrGrant(reqs, inSaLast_[pi]);
+                chosen_vc[pi] = static_cast<std::int8_t>(vi);
+                chosen_port[pi] = vc_[pi * v + vi].outPort;
+                chosen_in |= std::uint32_t{1} << pi;
                 any = true;
             }
         }
         if (!any)
             return;
-        req_ports =
-            (std::uint32_t{1} << numOutputPorts()) - 1;
+        req_ports = (std::uint32_t{1} << numOutputPorts()) - 1;
     } else {
         // Phase 1: one candidate VC per input port, walking only
         // Active non-empty VCs (saPending_). Requested output ports
@@ -429,34 +554,28 @@ Router::switchAllocStage(Cycle now)
         std::uint64_t m = saPending_;
         if (m == 0)
             return;
-        saChosenVc_.assign(static_cast<std::size_t>(num_in), -1);
         while (m != 0) {
             int pi = std::countr_zero(m) / v;
-            auto &ip = inputs_[static_cast<std::size_t>(pi)];
             std::uint64_t port_bits =
                 m & (((std::uint64_t{1} << v) - 1) << (pi * v));
             m ^= port_bits;
-            scratchReqs_.clear();
+            std::uint64_t reqs = 0;
             while (port_bits != 0) {
-                int vi = std::countr_zero(port_bits) - pi * v;
+                int flat = std::countr_zero(port_bits);
                 port_bits &= port_bits - 1;
-                const auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
                 ++saRequests_;
-                const auto &ovc =
-                    outputs_[static_cast<std::size_t>(vcb.outPort)]
-                        .vcs[static_cast<std::size_t>(vcb.outVc)];
-                if (ovc.credits <= 0) {
+                if (outCredits_[vc_[flat].outFlat] <= 0) {
                     ++creditStallCycles_;
                     continue;
                 }
-                scratchReqs_.push_back(vi);
+                reqs |= std::uint64_t{1} << (flat - pi * v);
             }
-            if (!scratchReqs_.empty()) {
-                int vi = ip.saArb.grantList(scratchReqs_);
-                saChosenVc_[static_cast<std::size_t>(pi)] = vi;
-                req_ports |=
-                    std::uint32_t{1}
-                    << ip.vcs[static_cast<std::size_t>(vi)].outPort;
+            if (reqs != 0) {
+                int vi = rrGrant(reqs, inSaLast_[pi]);
+                chosen_vc[pi] = static_cast<std::int8_t>(vi);
+                chosen_port[pi] = vc_[pi * v + vi].outPort;
+                chosen_in |= std::uint32_t{1} << pi;
+                req_ports |= std::uint32_t{1} << chosen_port[pi];
             }
         }
         if (req_ports == 0)
@@ -467,65 +586,87 @@ Router::switchAllocStage(Cycle now)
     while (req_ports != 0) {
         int po = std::countr_zero(req_ports);
         req_ports &= req_ports - 1;
-        auto &op = outputs_[static_cast<std::size_t>(po)];
-        scratchReqs_.clear();
-        for (int pi = 0; pi < num_in; ++pi) {
-            int vi = saChosenVc_[static_cast<std::size_t>(pi)];
-            if (vi < 0)
-                continue;
-            const auto &vcb =
-                inputs_[static_cast<std::size_t>(pi)]
-                    .vcs[static_cast<std::size_t>(vi)];
-            if (vcb.outPort == po)
-                scratchReqs_.push_back(pi);
+        std::uint64_t reqs = 0;
+        std::uint32_t in_bits = chosen_in;
+        while (in_bits != 0) {
+            int pi = std::countr_zero(in_bits);
+            in_bits &= in_bits - 1;
+            if (chosen_port[pi] == po)
+                reqs |= std::uint64_t{1} << pi;
         }
-        if (scratchReqs_.empty())
+        if (reqs == 0)
             continue;
-        if (op.saArb.numInputs() != num_in)
-            op.saArb.resize(num_in);
-        int pi = op.saArb.grantList(scratchReqs_);
-        if (pi < 0)
-            continue;
+        int pi = rrGrant(reqs, outSaLast_[po]);
 
-        auto &ip = inputs_[static_cast<std::size_t>(pi)];
-        int vi = saChosenVc_[static_cast<std::size_t>(pi)];
-        auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
-        Flit f = vcb.pop();
-        if (vcb.empty())
-            saPending_ &= ~(std::uint64_t{1} << (pi * v + vi));
+        int vi = chosen_vc[pi];
+        int flat = pi * v + vi;
+        int head = vc_[flat].head;
+        Flit f = std::move(
+            flitStore_[static_cast<std::size_t>(flat * depth + head)]);
+        vc_[flat].head =
+            static_cast<std::uint8_t>(head + 1 == depth ? 0 : head + 1);
+        --vc_[flat].count;
+        if (vc_[flat].count == 0)
+            saPending_ &= ~(std::uint64_t{1} << flat);
         --bufferedFlits_;
         residence_.add(static_cast<double>(now - f.arrived + 1));
         ++flitsForwarded_;
         ++saGrants_;
-        ++op.flitsSent;
+        ++outFlitsSent_[po];
         ++activity_->bufferReads;
         ++activity_->xbarTraversals;
         ++activity_->saGrants;
-        if (op.kind == PortKind::Geo) {
-            if (op.interposer)
+        if (outIsGeo_ & (std::uint32_t{1} << po)) {
+            if (outInterposer_ & (std::uint32_t{1} << po))
                 ++activity_->interposerLinkFlits;
             else
                 ++activity_->linkFlits;
         }
 
-        auto &ovc = op.vcs[static_cast<std::size_t>(vcb.outVc)];
-        --ovc.credits;
-        eqx_assert(ovc.credits >= 0, "credit underflow at router ", id_);
+        std::int16_t of = vc_[flat].outFlat;
+        --outCredits_[of];
+        eqx_assert(outCredits_[of] >= 0,
+                   "credit underflow at router ", id_);
 
         bool tail = f.isTail;
-        f.vc = vcb.outVc;
-        eqx_assert(op.out, "output port without a channel");
-        op.out->send(std::move(f), now);
+        f.vc = of - po * v;
+        eqx_assert(outChan_[po], "output port without a channel");
+        if (wheelSlots_) {
+            wheelSlots_[(now + static_cast<Cycle>(outLat_[po])) &
+                        directWheelMask_]
+                .flits.push_back({outTag_[po], std::move(f)});
+        } else {
+            outChan_[po]->send(std::move(f), now);
+        }
 
         // Return a credit for the freed input slot.
-        if (ip.creditUp) {
-            ip.creditUp->send(Credit{pi, vi}, now);
+        if (creditUp_[pi]) {
+            if (wheelSlots_) {
+                wheelSlots_[(now + static_cast<Cycle>(crLat_[pi])) &
+                            directWheelMask_]
+                    .credits.push_back({crTag_[pi], Credit{pi, vi}});
+            } else {
+                creditUp_[pi]->send(Credit{pi, vi}, now);
+            }
             ++activity_->creditsSent;
         }
 
         if (tail) {
-            ovc.busy = false;
-            vcb.release();
+            outBusy_[of] = 0;
+            // The tail's credit is still outstanding (decremented just
+            // above), so the VC can't be free yet; creditArrived()
+            // will set the bit when the last credit returns. Kept as a
+            // check rather than assumed:
+            if (outCredits_[of] == params_->vcDepthFlits) {
+                freeOutVcs_ |= std::uint64_t{1} << of;
+                if (vaBlocked_ != 0)
+                    wakeBlockedVa(po);
+            }
+            vc_[flat].state = VcState::Idle;
+            vc_[flat].candCount = 0;
+            vc_[flat].headOk = 0;
+            vc_[flat].outPort = -1;
+            vc_[flat].outFlat = -1;
         }
     }
 }
@@ -556,10 +697,150 @@ Router::resetStats(Cycle now)
     saRequests_ = 0;
     saGrants_ = 0;
     creditStallCycles_ = 0;
-    for (auto &ip : inputs_)
-        ip.flitsAccepted = 0;
-    for (auto &op : outputs_)
-        op.flitsSent = 0;
+    for (int i = 0; i < numInputPorts(); ++i)
+        inFlitsAccepted_[i] = 0;
+    for (int i = 0; i < numOutputPorts(); ++i)
+        outFlitsSent_[i] = 0;
+    // Parked VA nominations re-base their deferred request accounting
+    // at the reset boundary: only post-reset ticks may count.
+    std::uint64_t m = vaBlocked_;
+    while (m != 0) {
+        int f = std::countr_zero(m);
+        m &= m - 1;
+        vaBlockTick_[f] = now;
+    }
+}
+
+void
+Router::syncInputPort(int i) const
+{
+    auto &ip = const_cast<Router *>(this)
+                   ->inputs_[static_cast<std::size_t>(i)];
+    int v = params_->vcsPerPort;
+    ip.flitsAccepted = inFlitsAccepted_[i];
+    for (int vi = 0; vi < v; ++vi) {
+        int flat = i * v + vi;
+        auto &vcb = ip.vcs[static_cast<std::size_t>(vi)];
+        vcb.state = vc_[flat].state;
+        if (vc_[flat].state == VcState::Active) {
+            vcb.outPort = vc_[flat].outPort;
+            vcb.outVc = vc_[flat].outFlat - vc_[flat].outPort * v;
+        } else {
+            vcb.outPort = -1;
+            vcb.outVc = -1;
+        }
+        vcb.routeCandidates.clear();
+        if (vc_[flat].state != VcState::Idle)
+            for (int c = 0; c < vc_[flat].candCount; ++c)
+                vcb.routeCandidates.push_back(vc_[flat].cand[c]);
+    }
+}
+
+void
+Router::syncOutputPort(int i) const
+{
+    auto &op = const_cast<Router *>(this)
+                   ->outputs_[static_cast<std::size_t>(i)];
+    int v = params_->vcsPerPort;
+    op.flitsSent = outFlitsSent_[i];
+    for (int vi = 0; vi < v; ++vi) {
+        auto &ovc = op.vcs[static_cast<std::size_t>(vi)];
+        ovc.credits = outCredits_[i * v + vi];
+        ovc.busy = outBusy_[i * v + vi] != 0;
+    }
+}
+
+const Router::InputPort &
+Router::inputPort(int i) const
+{
+    syncInputPort(i);
+    return inputs_[static_cast<std::size_t>(i)];
+}
+
+const Router::OutputPort &
+Router::outputPort(int i) const
+{
+    syncOutputPort(i);
+    return outputs_[static_cast<std::size_t>(i)];
+}
+
+bool
+Router::pipelineStateConsistent() const
+{
+    int v = params_->vcsPerPort;
+    int depth = params_->vcDepthFlits;
+    int total = 0;
+    for (int pi = 0; pi < numInputPorts(); ++pi) {
+        for (int vi = 0; vi < v; ++vi) {
+            int flat = pi * v + vi;
+            std::uint64_t bit = std::uint64_t{1} << flat;
+            if (vc_[flat].count > depth || vc_[flat].head >= depth)
+                return false;
+            total += vc_[flat].count;
+            if (vc_[flat].state == VcState::Active) {
+                std::int16_t of = vc_[flat].outFlat;
+                if (vc_[flat].outPort < 0 ||
+                    vc_[flat].outPort >= numOutputPorts())
+                    return false;
+                if (of < vc_[flat].outPort * v ||
+                    of >= (vc_[flat].outPort + 1) * v)
+                    return false;
+                if (!outBusy_[of])
+                    return false;
+            } else if (vc_[flat].outPort != -1 ||
+                       vc_[flat].outFlat != -1) {
+                return false;
+            }
+            if (vc_[flat].state == VcState::RouteComputed &&
+                vc_[flat].candCount == 0)
+                return false;
+            // Pending-mask membership per stage: VA and SA bits are
+            // exact; an RC bit may be stale (cleared lazily) but every
+            // routable head must be covered. A RouteComputed VC sits
+            // on exactly one of vaPending_ / vaBlocked_ (parked
+            // nominations are event-driven, DESIGN.md §14).
+            if ((((vaPending_ | vaBlocked_) & bit) != 0) !=
+                (vc_[flat].state == VcState::RouteComputed))
+                return false;
+            // A parked nomination must be registered with every one
+            // of its candidate output ports, or a free-VC transition
+            // there would never wake it.
+            if ((vaBlocked_ & bit) != 0)
+                for (int c = 0; c < vc_[flat].candCount; ++c)
+                    if ((vaWaiters_[vc_[flat].cand[c]] & bit) == 0)
+                        return false;
+            if (((saPending_ & bit) != 0) !=
+                (vc_[flat].state == VcState::Active &&
+                 vc_[flat].count > 0))
+                return false;
+            if (vc_[flat].state == VcState::Idle && vc_[flat].count > 0 &&
+                vc_[flat].headOk && (rcPending_ & bit) == 0)
+                return false;
+        }
+    }
+    if (total != bufferedFlits_)
+        return false;
+    if ((vaPending_ & vaBlocked_) != 0)
+        return false;
+    for (int of = 0; of < numOutputPorts() * v; ++of) {
+        if (outCredits_[of] < 0)
+            return false;
+        if (outBusy_[of] > 1)
+            return false;
+        if (uniformCredit_ &&
+            ((freeOutVcs_ >> of) & 1) !=
+                (!outBusy_[of] && outCredits_[of] == depth ? 1u : 0u))
+            return false;
+        // Every busy output VC is owned by exactly one Active input VC.
+        int owners = 0;
+        for (int flat = 0; flat < numInputPorts() * v; ++flat)
+            if (vc_[flat].state == VcState::Active &&
+                vc_[flat].outFlat == of)
+                ++owners;
+        if (owners != (outBusy_[of] ? 1 : 0))
+            return false;
+    }
+    return true;
 }
 
 } // namespace eqx

@@ -104,6 +104,12 @@ class Topology
  * The router proper. The owning network wires channels to ports and
  * calls the pipeline stages each internal tick in the order
  * SA -> VA -> RC (so a stage's result is consumed one tick later).
+ *
+ * All state the pipeline stages read or write lives in flat
+ * struct-of-arrays members inside the Router object itself
+ * (DESIGN.md §14); the InputPort/OutputPort structs are observability
+ * views refreshed from the SoA state when an accessor is called, so
+ * the hot path never touches them.
  */
 class Router
 {
@@ -112,9 +118,8 @@ class Router
     {
         PortKind kind = PortKind::Geo;
         Dir dir = Dir::Local;          ///< for Geo: which neighbour side
-        std::vector<VcBuffer> vcs;
+        std::vector<VcBuffer> vcs;     ///< view: state/route/grant only
         Channel<Credit> *creditUp = nullptr; ///< credits back upstream
-        RoundRobinArbiter saArb;
         std::uint64_t flitsAccepted = 0; ///< flits received on this port
     };
 
@@ -122,19 +127,28 @@ class Router
     {
         PortKind kind = PortKind::Geo;
         Dir dir = Dir::Local;
-        std::vector<OutputVc> vcs;
+        std::vector<OutputVc> vcs;     ///< view: busy/credits
         Channel<Flit> *out = nullptr;  ///< flits downstream
         bool interposer = false;       ///< counts as interposer traversal
-        std::vector<RoundRobinArbiter> vaArbs; ///< one per output VC
-        RoundRobinArbiter saArb;
         std::uint64_t flitsSent = 0;   ///< flits driven onto the link
     };
+
+    /** Pending-VC bitmasks cover at most this many input VCs (and,
+     *  since vcsPerPort >= 1, at most this many input ports). */
+    static constexpr int kMaxInVcs = 64;
+    /** Flat output-VC bound (ports are already capped at 32). */
+    static constexpr int kMaxOutVcs = 64;
+    static constexpr int kMaxInPorts = 32;
+    static constexpr int kMaxOutPorts = 32;
+    /** Route-compute candidate bound: <= 2 minimal directions, or the
+     *  router's ejection ports (MultiPort CBs carry a few). */
+    static constexpr int kMaxRouteCand = 4;
 
     Router(NodeId id, const Topology *topo, const NocParams *params,
            NetworkActivity *activity);
 
     NodeId id() const { return id_; }
-    Coord coord() const { return topo_->coord(id_); }
+    Coord coord() const { return coord_; }
 
     /** Add ports during network construction; returns the port index. */
     int addInputPort(PortKind kind, Dir dir, Channel<Credit> *credit_up);
@@ -143,14 +157,48 @@ class Router
 
     int numInputPorts() const { return static_cast<int>(inputs_.size()); }
     int numOutputPorts() const { return static_cast<int>(outputs_.size()); }
-    const InputPort &inputPort(int i) const { return inputs_[i]; }
-    const OutputPort &outputPort(int i) const { return outputs_[i]; }
+    /** Observability views; synced from the SoA state on access. */
+    const InputPort &inputPort(int i) const;
+    const OutputPort &outputPort(int i) const;
 
     /** Deliver a flit arriving on an input port (from a channel). */
     void acceptFlit(int in_port, Flit f, Cycle now);
 
     /** Deliver a credit for (out_port, vc). */
-    void creditArrived(int out_port, int vc);
+    void
+    creditArrived(int out_port, int vc)
+    {
+        int of = out_port * params_->vcsPerPort + vc;
+        if (++outCredits_[of] == params_->vcDepthFlits &&
+            !outBusy_[of]) {
+            freeOutVcs_ |= std::uint64_t{1} << of;
+            if (vaBlocked_ != 0)
+                wakeBlockedVa(out_port);
+        }
+    }
+
+    /**
+     * Pass-through fast path (DESIGN.md §14): cache every attached
+     * channel's wheel-push parameters (slot base, latency, wire tag)
+     * so SA flit sends and credit returns append straight to the
+     * network's wheel slot instead of chasing through the channel
+     * objects. The skipped Channel::send bookkeeping is provably
+     * redundant here: SA grants at most one flit per output port and
+     * one credit per input port per tick, so the one-send-per-tick
+     * invariant holds by construction. Passing @p slots == nullptr
+     * reverts to Channel::send (store mode, fault-armed networks).
+     * Must be called after the network (re)tags the channels.
+     */
+    void setDirectWheel(WheelSlot *slots, std::uint32_t slot_mask);
+
+    /** Run all three pipeline stages in consumption order. */
+    void
+    tickStages(Cycle now)
+    {
+        switchAllocStage(now);
+        vcAllocStage(now);
+        routeComputeStage(now);
+    }
 
     /** Pipeline stages; the network calls these once per internal tick. */
     void switchAllocStage(Cycle now);
@@ -164,8 +212,26 @@ class Router
     std::uint64_t flitsForwarded() const { return flitsForwarded_; }
 
     // Per-router observability counters (DESIGN.md §9).
-    /** Input VC nominations the VC allocator saw / granted. */
-    std::uint64_t vaRequests() const { return vaRequests_; }
+    /**
+     * Input VC nominations the VC allocator saw / granted, as of
+     * internal tick @p now. Takes the tick because blocked
+     * nominations are event-driven (DESIGN.md §14): a VC parked on
+     * vaBlocked_ would have re-nominated every tick in the exhaustive
+     * loop, so its deferred per-tick requests (now - block tick) are
+     * added on read. Bit-identical to the exhaustive loop's count.
+     */
+    std::uint64_t
+    vaRequests(Cycle now) const
+    {
+        std::uint64_t r = vaRequests_;
+        std::uint64_t m = vaBlocked_;
+        while (m != 0) {
+            int f = std::countr_zero(m);
+            m &= m - 1;
+            r += now - vaBlockTick_[f];
+        }
+        return r;
+    }
     std::uint64_t vaGrants() const { return vaGrants_; }
     /** Switch-allocator per-VC requests seen / crossings granted. */
     std::uint64_t saRequests() const { return saRequests_; }
@@ -190,41 +256,78 @@ class Router
      *  active-set membership). O(1): a counter tracks push/pop. */
     bool hasBufferedFlits() const { return bufferedFlits_ > 0; }
 
+    /**
+     * Structure-of-arrays invariant check (tests): the per-stage
+     * pending bitmasks, the per-VC state/count arrays, the flat
+     * output-VC credit/busy state, and the aggregate buffered-flit
+     * counter must all agree (DESIGN.md §14).
+     */
+    bool pipelineStateConsistent() const;
+
   private:
+    /**
+     * Re-arm parked VA nominations waiting on output port @p port
+     * (a VC there just went free). Parking is gated off classVcs, so
+     * a parked VC's permitted window is a fixed subset of its
+     * candidate ports' VCs: port-granularity wakes can be early
+     * (freed VC outside an escape/adaptive split) but never missed —
+     * an early-woken VC re-nominates, fails, and re-parks with exact
+     * deferred accounting either way.
+     */
+    void
+    wakeBlockedVa(int port)
+    {
+        std::uint64_t w = vaWaiters_[port] & vaBlocked_;
+        if (w == 0)
+            return;
+        vaPending_ |= w;
+        vaWoken_ |= w;
+        vaBlocked_ &= ~w;
+        vaWaiters_[port] &= vaBlocked_;
+    }
+
+    /** Route-compute body over the SoA state: fill the candidate set
+     *  of input VC @p flat and mark it RouteComputed. */
+    void routeVcFlat(int flat);
     /** Output-port index for a geographic direction (-1 if absent). */
-    int geoOutPort(Dir d) const;
-    /** All ejection output ports. */
-    const std::vector<int> &ejectionPorts() const { return ejPorts_; }
+    int geoOutPort(Dir d) const { return dirPort_[static_cast<int>(d)]; }
 
     /** VC index of the escape VC (adaptive mode). */
     int escapeVc() const { return params_->vcsPerPort - 1; }
 
     /** Allowed output VC range for a packet class in classVcs mode. */
-    void classVcRange(PacketType t, int &lo, int &hi) const;
+    void classVcRange(int cls, int &lo, int &hi) const;
 
-    /** True when VC-Mono lets class @p t borrow the other class's VCs. */
-    bool monopolyAllowed(PacketType t, Cycle now) const;
+    /** True when VC-Mono lets class @p cls borrow the other's VCs. */
+    bool monopolyAllowed(int cls, Cycle now) const;
 
-    /** Pick the (port, vc) request for an input VC; false if none. */
-    bool chooseVcRequest(const InputPort &ip, int in_vc, Cycle now,
-                         int &req_port, int &req_vc);
+    /** Pick the (port, vc) request for input VC @p flat; false if
+     *  none available this tick. Reads only the SoA state. */
+    bool chooseVcRequest(int flat, Cycle now, int &req_port,
+                         int &req_vc);
 
-    /** RC body shared by the mask walk and the exhaustive scan:
-     *  compute @p vcb's route candidates and mark it RouteComputed. */
-    void routeVc(VcBuffer &vcb, Coord here);
+    /** Refresh one observability view from the SoA state. */
+    void syncInputPort(int i) const;
+    void syncOutputPort(int i) const;
 
     NodeId id_;
     const Topology *topo_;
     const NocParams *params_;
     NetworkActivity *activity_;
+    Coord coord_;
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
     std::vector<int> ejPorts_;
 
-    /** Last tick a flit of each class (0=req, 1=reply) was seen. */
-    Cycle lastSeenClass_[2] = {0, 0};
-    bool seenClass_[2] = {false, false};
+    // ---- Packed pipeline state (DESIGN.md §14) ----
+    // Everything the allocator stages touch per tick sits in flat,
+    // cache-dense arrays — indexed by flat input-VC id
+    // (port * vcsPerPort + vc) on the input side and flat output-VC id
+    // on the output side — plus one contiguous per-router flit store,
+    // instead of InputPort -> VcBuffer -> heap-ring pointer chases.
+    // Members are ordered hottest-first so one tick's working set per
+    // router spans a handful of consecutive cache lines.
 
     /**
      * Pending-work bitmasks over flat input-VC index (port * vcsPerPort
@@ -239,32 +342,125 @@ class Router
     std::uint64_t rcPending_ = 0;
     std::uint64_t vaPending_ = 0;
     std::uint64_t saPending_ = 0;
-
-    RunningStat residence_;
-    /** Exact occupancy accounting: flit-ticks, ticks sampled, and the
-     *  last tick accounted (gaps were provably-idle, occupancy 0). */
-    std::uint64_t occSumFlitTicks_ = 0;
-    std::uint64_t occSamples_ = 0;
-    Cycle occLastTick_ = 0;
+    /**
+     * Event-driven VA retry (DESIGN.md §14): a nomination that found
+     * every candidate output VC unavailable cannot succeed until some
+     * output VC of this router frees, so its bit moves from
+     * vaPending_ to vaBlocked_ instead of re-polling every tick. A
+     * 0->1 transition of freeOutVcs_ on output port p wakes only the
+     * parked bits registered in vaWaiters_[p] (spurious wakes
+     * re-block with exact accounting). Only engaged when the success
+     * condition depends solely on freeOutVcs_ (uniformCredit_ and no
+     * class-window schedule); vaWoken_ marks bits whose skipped
+     * per-tick vaRequests_ ticks still need crediting when VA next
+     * processes them.
+     */
+    std::uint64_t vaBlocked_ = 0;
+    std::uint64_t vaWoken_ = 0;
+    /** Parked input VCs per candidate output port; bits outside
+     *  vaBlocked_ are stale and masked off at wake time. */
+    std::uint64_t vaWaiters_[kMaxOutPorts] = {};
+    /**
+     * Bit per flat output VC that is allocatable right now (!busy &&
+     * credits == vcDepthFlits). Under the atomic-VC rule every free VC
+     * holds exactly `vcDepthFlits` credits, so "most credits, first in
+     * scan order" — the VA tie-break — reduces to "lowest set bit in
+     * the candidate window": chooseVcRequest() is a couple of mask ops
+     * instead of a per-candidate credit walk. Only valid while every
+     * output port was added with downstream depth == vcDepthFlits
+     * (uniformCredit_); otherwise the credit-compare loop is kept.
+     */
+    std::uint64_t freeOutVcs_ = 0;
     /** Total flits currently buffered across all input VCs. */
     int bufferedFlits_ = 0;
+    bool uniformCredit_ = true;
+
+    /**
+     * All per-input-VC pipeline state, packed to one 16-byte record so
+     * an RC/VA/SA visit touches a single cache line (four VCs per
+     * line) instead of one line per parallel array.
+     */
+    struct VcLane
+    {
+        VcState state = VcState::Idle;
+        std::uint8_t count = 0;     ///< buffered flits
+        std::uint8_t head = 0;      ///< ring head slot
+        std::uint8_t cls = 0;       ///< head class (0/1)
+        std::uint8_t headOk = 0;    ///< front flit is a head
+        std::uint8_t ejecting = 0;  ///< routed to LocalEj
+        std::uint8_t candCount = 0;
+        std::int8_t outPort = -1;   ///< granted port (-1)
+        std::int8_t destX = 0;      ///< head dest coord
+        std::int8_t destY = 0;
+        std::int16_t outFlat = -1;  ///< granted flat out VC
+        std::int8_t cand[kMaxRouteCand] = {};
+    };
+    static_assert(sizeof(VcLane) == 16, "VcLane must stay one half-line");
+    VcLane vc_[kMaxInVcs] = {};
+
+    /** Downstream credits / busy per flat output VC (credits bounded
+     *  by the downstream depth, so a byte each keeps both arrays in
+     *  one cache line apiece). */
+    std::int8_t outCredits_[kMaxOutVcs] = {};
+    std::uint8_t outBusy_[kMaxOutVcs] = {};
+    /** Rotation cursors for the separable allocators: input-side SA
+     *  (per input port, over its VCs), output-side SA (per output
+     *  port, over input ports), VA (per flat output VC, over flat
+     *  input VCs). Replaces a RoundRobinArbiter object per port. */
+    std::uint8_t inSaLast_[kMaxInPorts] = {};
+    std::uint8_t outSaLast_[kMaxOutPorts] = {};
+    std::uint8_t vaLast_[kMaxOutVcs] = {};
+    /** Direct wheel push (setDirectWheel): slot base/mask plus the
+     *  per-port channel latency and wire tag, cached so the send hot
+     *  path is one computed append with no channel-object access. */
+    WheelSlot *wheelSlots_ = nullptr;
+    std::uint32_t directWheelMask_ = 0;
+    std::uint32_t outTag_[kMaxOutPorts] = {};
+    std::uint32_t crTag_[kMaxInPorts] = {};
+    std::int8_t outLat_[kMaxOutPorts] = {};
+    std::int8_t crLat_[kMaxInPorts] = {};
+
+    /** Geo direction -> output port (-1 when absent). */
+    std::int8_t dirPort_[4] = {-1, -1, -1, -1};
+    /** Ejection ports as a fixed candidate array (== ejPorts_). */
+    std::int8_t ejCand_[kMaxRouteCand] = {};
+    std::uint32_t outIsGeo_ = 0;       ///< bit per output port
+    std::uint32_t outInterposer_ = 0;  ///< bit per output port
+    int ejCandCount_ = 0;
+
     std::uint64_t flitsForwarded_ = 0;
     std::uint64_t vaRequests_ = 0;
     std::uint64_t vaGrants_ = 0;
     std::uint64_t saRequests_ = 0;
     std::uint64_t saGrants_ = 0;
     std::uint64_t creditStallCycles_ = 0;
+    /** Exact occupancy accounting: flit-ticks, ticks sampled, and the
+     *  last tick accounted (gaps were provably-idle, occupancy 0). */
+    std::uint64_t occSumFlitTicks_ = 0;
+    std::uint64_t occSamples_ = 0;
+    Cycle occLastTick_ = 0;
 
-    /** Allocation-free scratch state for the allocator stages. */
-    struct VaWant
-    {
-        int inFlat;
-        int port;
-        int vc;
-    };
-    std::vector<VaWant> vaWants_;
-    std::vector<int> scratchReqs_;
-    std::vector<int> saChosenVc_;
+    /** Per-output-port downstream flit channel + per-input-port
+     *  upstream credit channel (SA send / credit-return paths). */
+    Channel<Flit> *outChan_[kMaxOutPorts] = {};
+    Channel<Credit> *creditUp_[kMaxInPorts] = {};
+    /** Per-port flit counters (exported via the port views). */
+    std::uint64_t inFlitsAccepted_[kMaxInPorts] = {};
+    std::uint64_t outFlitsSent_[kMaxOutPorts] = {};
+
+    /** Flit storage for every input VC: ring @p flat occupies slots
+     *  [flat * vcDepthFlits, (flat+1) * vcDepthFlits). One allocation
+     *  per router — the whole buffered state is one contiguous run. */
+    std::vector<Flit> flitStore_;
+
+    /** Tick each vaBlocked_ bit parked at (deferred vaRequests_). */
+    Cycle vaBlockTick_[kMaxInVcs] = {};
+
+    /** Last tick a flit of each class (0=req, 1=reply) was seen. */
+    Cycle lastSeenClass_[2] = {0, 0};
+    bool seenClass_[2] = {false, false};
+
+    RunningStat residence_;
 };
 
 } // namespace eqx

@@ -1,5 +1,6 @@
 #include "runner/jsonl.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -76,9 +77,12 @@ JsonObject::field(const std::string &k, double v)
     key(k);
     if (std::isfinite(v)) {
         char buf[40];
-        // %.17g round-trips every finite double.
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        body_ += buf;
+        // to_chars(general, 17) round-trips every finite double and
+        // emits exactly the C-locale %.17g bytes regardless of
+        // LC_NUMERIC — JSONL output must never grow a comma decimal.
+        auto r = std::to_chars(buf, buf + sizeof(buf), v,
+                               std::chars_format::general, 17);
+        body_.append(buf, r.ptr);
     } else {
         body_ += "null"; // JSON has no NaN/Inf
     }

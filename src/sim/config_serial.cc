@@ -1,6 +1,7 @@
 #include "sim/config_serial.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -24,11 +25,17 @@ void
 KvBlob::add(const std::string &key, double v)
 {
     char buf[40];
-    if (std::isfinite(v))
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-    else
+    if (std::isfinite(v)) {
+        // to_chars(general, 17) emits exactly the C-locale %.17g bytes
+        // but ignores LC_NUMERIC, so digests cannot drift under a
+        // comma-decimal locale.
+        auto r = std::to_chars(buf, buf + sizeof(buf), v,
+                               std::chars_format::general, 17);
+        *r.ptr = '\0';
+    } else {
         std::snprintf(buf, sizeof(buf), "%s",
                       std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf"));
+    }
     kv_.emplace_back(key, buf);
 }
 

@@ -8,8 +8,9 @@
  *
  *  - *Stability*: the canonical form is independent of field
  *    insertion order (pairs are sorted by key before rendering) and
- *    of platform formatting quirks (doubles render with %.17g, the
- *    round-trip-exact form).
+ *    of platform formatting quirks (doubles render with
+ *    to_chars(general, 17) — the C-locale %.17g bytes, immune to
+ *    LC_NUMERIC — the round-trip-exact form).
  *  - *Completeness*: every knob that can change a RunResult must be
  *    serialized; a missed knob silently aliases distinct cells onto
  *    one cache entry. The size guard below trips when SystemConfig

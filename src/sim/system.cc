@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "runner/stream_seed.hh"
 #include "schemes/scheme_registry.hh"
@@ -116,6 +118,60 @@ System::step()
     // Warmup/measurement boundary: discard the cold-start transient.
     if (cfg_.warmupCycles > 0 && cycle_ == cfg_.warmupCycles)
         resetStats();
+}
+
+Cycle
+System::maybeSkip()
+{
+    if (!cfg_.timeSkip || cycle_ + 1 >= cfg_.maxCycles)
+        return 0;
+    // Exhaustive-tick and fault-armed networks tick unconditionally
+    // (oracle loop / fault timers), so the whole system must step.
+    for (const auto &net : nets_)
+        if (net->params().exhaustiveTick || net->faultArmed())
+            return 0;
+
+    // One wheel epoch per consultation: every subsystem posts its
+    // next due cycle. Components likeliest to have immediate work go
+    // first so a loaded system bails out after one query.
+    wheel_.beginEpoch(cycle_);
+    for (const auto &pe : pes_) {
+        Cycle due = pe->nextDueCycle(cycle_);
+        if (due == cycle_ + 1)
+            return 0;
+        wheel_.post(due);
+    }
+    for (const auto &cb : cbs_) {
+        Cycle due = cb->nextDueCycle(cycle_);
+        if (due == cycle_ + 1)
+            return 0;
+        wheel_.post(due);
+    }
+    for (const auto &net : nets_) {
+        Cycle due = net->nextDueCycle(cycle_);
+        if (due == cycle_ + 1)
+            return 0;
+        wheel_.post(due);
+    }
+
+    Cycle next = wheel_.nextDue();
+    if (next == kNeverCycle || next <= cycle_ + 1)
+        return 0; // drained (run() exits) or due immediately
+    // Land one cycle short so the due cycle itself runs a full
+    // step(), clamped so the warmup-reset and maxCycles boundaries
+    // are still crossed by explicit steps.
+    Cycle target = next - 1;
+    if (cfg_.warmupCycles > cycle_)
+        target = std::min(target, cfg_.warmupCycles - 1);
+    target = std::min(target, cfg_.maxCycles - 1);
+    if (target <= cycle_)
+        return 0;
+    for (auto &net : nets_)
+        net->skipTo(target);
+    Cycle skipped = target - cycle_;
+    cycle_ = target;
+    cyclesSkipped_ += skipped;
+    return skipped;
 }
 
 void
@@ -256,8 +312,10 @@ System::collect(RunResult &out) const
 RunResult
 System::run()
 {
-    while (!finished() && !cancelled_ && cycle_ < cfg_.maxCycles)
+    while (!finished() && !cancelled_ && cycle_ < cfg_.maxCycles) {
         step();
+        maybeSkip();
+    }
     RunResult out;
     out.completed = finished();
     collect(out);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/time_wheel.hh"
 #include "common/types.hh"
 #include "gpu/cache_bank.hh"
 #include "gpu/endpoint.hh"
@@ -112,6 +113,20 @@ class System
     Cycle now() const { return cycle_; }
 
     /**
+     * Global time wheel consultation (DESIGN.md §14): every subsystem
+     * posts its next due cycle; if the minimum is beyond the next
+     * cycle, fast-forward the system over the dead gap (networks
+     * advance their internal tick counters arithmetically). Returns
+     * the number of cycles skipped (0 when any component has
+     * immediate work, or when SystemConfig::timeSkip is off). run()
+     * calls this after every step; exposed for tests.
+     */
+    Cycle maybeSkip();
+
+    /** Core cycles fast-forwarded by maybeSkip() so far. */
+    Cycle cyclesSkipped() const { return cyclesSkipped_; }
+
+    /**
      * Reset every NoC measurement accumulator (propagates through the
      * networks to routers, NIs, latency and activity stats). step()
      * invokes this automatically when the configured warmupCycles
@@ -167,6 +182,10 @@ class System
 
     Cycle cycle_ = 0;
     bool cancelled_ = false;
+
+    /** Global time wheel: one consultation epoch per core cycle. */
+    TimeWheel wheel_;
+    Cycle cyclesSkipped_ = 0;
 };
 
 } // namespace eqx

@@ -1,15 +1,33 @@
 #include "sweep/record_io.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 namespace eqx {
+
+namespace {
+
+/** True when a validated JSON number carries a '.' or exponent part. */
+bool
+hasFractionOrExponent(const std::string &t)
+{
+    return t.find_first_of(".eE") != std::string::npos;
+}
+
+} // namespace
 
 double
 JsonValue::asDouble() const
 {
-    if (kind == Kind::Number)
-        return std::strtod(text.c_str(), nullptr);
+    if (kind == Kind::Number) {
+        // from_chars is locale-independent (strtod honors LC_NUMERIC,
+        // which would mis-parse "1.5" under a comma-decimal locale).
+        double v = 0.0;
+        std::from_chars(text.data(), text.data() + text.size(), v);
+        return v;
+    }
     if (kind == Kind::Bool)
         return boolean ? 1.0 : 0.0;
     // null carries a non-finite double (the writer emits null for
@@ -22,7 +40,26 @@ JsonValue::asU64() const
 {
     if (kind != Kind::Number)
         return 0;
-    return std::strtoull(text.c_str(), nullptr, 10);
+    // The parser has already enforced the JSON number grammar, so the
+    // only cases are: plain non-negative integer (exact via from_chars,
+    // saturating on overflow), negative (rejected to 0 instead of
+    // wrapping), and fraction/exponent forms ("1.5e3") converted
+    // through double instead of truncating at the first non-digit.
+    if (!text.empty() && text[0] == '-')
+        return 0;
+    if (!hasFractionOrExponent(text)) {
+        std::uint64_t v = 0;
+        auto r = std::from_chars(text.data(), text.data() + text.size(), v);
+        if (r.ec == std::errc::result_out_of_range)
+            return std::numeric_limits<std::uint64_t>::max();
+        return v;
+    }
+    double d = asDouble();
+    if (!(d > 0.0))
+        return 0;
+    if (d >= 18446744073709551616.0) // 2^64
+        return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(d);
 }
 
 std::int64_t
@@ -30,7 +67,20 @@ JsonValue::asI64() const
 {
     if (kind != Kind::Number)
         return 0;
-    return std::strtoll(text.c_str(), nullptr, 10);
+    if (!hasFractionOrExponent(text)) {
+        std::int64_t v = 0;
+        auto r = std::from_chars(text.data(), text.data() + text.size(), v);
+        if (r.ec == std::errc::result_out_of_range)
+            return text[0] == '-' ? std::numeric_limits<std::int64_t>::min()
+                                  : std::numeric_limits<std::int64_t>::max();
+        return v;
+    }
+    double d = asDouble();
+    if (d >= 9223372036854775808.0) // 2^63
+        return std::numeric_limits<std::int64_t>::max();
+    if (d < -9223372036854775808.0)
+        return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(d);
 }
 
 namespace {

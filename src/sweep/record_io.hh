@@ -8,7 +8,9 @@
  * `_schema`, `_cell`) and the energy-breakdown extras (`_e_*`) the
  * public JSONL schema does not carry. The round trip is exact:
  * re-rendering a parsed record reproduces the original bytes
- * (doubles are written %.17g and re-parsed with strtod), which is
+ * (doubles are written with to_chars(general, 17) — the C-locale
+ * %.17g bytes, independent of LC_NUMERIC — and re-parsed with
+ * from_chars), which is
  * what lets a fully cache-served sweep emit JSONL byte-identical —
  * modulo wall_ms — to the run that populated the cache.
  *

@@ -109,8 +109,31 @@ SweepdServer::start()
         eqx_warn("sweepd: socket(): ", std::strerror(errno));
         return false;
     }
-    // A stale socket file from a crashed daemon would fail the bind.
-    ::unlink(cfg_.socketPath.c_str());
+    // A socket file may already sit at the path: either a live daemon
+    // (in which case we must NOT steal the path — unconditionally
+    // unlinking here would silently orphan the running instance) or a
+    // stale leftover from an unclean shutdown (graceful stop()
+    // unlinks, a crash does not, and the next bind() then fails
+    // EADDRINUSE). Disambiguate with a connect probe: a live listener
+    // accepts, a stale file refuses (ECONNREFUSED).
+    if (::access(cfg_.socketPath.c_str(), F_OK) == 0) {
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+            bool live = ::connect(probe,
+                                  reinterpret_cast<sockaddr *>(&addr),
+                                  sizeof(addr)) == 0;
+            ::close(probe);
+            if (live) {
+                eqx_warn("sweepd: another daemon is live on ",
+                         cfg_.socketPath, "; refusing to start");
+                ::close(listenFd_);
+                listenFd_ = -1;
+                return false;
+            }
+        }
+        eqx_inform("sweepd: removing stale socket ", cfg_.socketPath);
+        ::unlink(cfg_.socketPath.c_str());
+    }
     if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listenFd_, 8) != 0) {

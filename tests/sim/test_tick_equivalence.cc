@@ -109,5 +109,57 @@ TEST(TickEquivalence, EquiNoxEirGroupsJsonlRecordIdentical)
               std::string::npos);
 }
 
+/**
+ * Loaded 16x16: constant per-PE work on 256 PEs drives the same 8 CBs,
+ * so the request path saturates — the regime the SoA router hot path
+ * and the global time wheel (timeSkip defaults on for the adaptive
+ * run; the exhaustive oracle suppresses it) must not perturb.
+ */
+ExperimentConfig
+loaded16Matrix(bool exhaustive, bool fault_armed)
+{
+    ExperimentConfig ec;
+    ec.width = ec.height = 16;
+    ec.workloads = workloadSubset(1);
+    ec.instScale = 0.03;
+    ec.schemes = {"SeparateBase"};
+    ec.collectMetrics = true;
+    ec.warmupCycles = 20;
+    if (fault_armed) {
+        ec.fault.ratePerKTick = 4.0;
+        ec.fault.seed = 3;
+    }
+    ec.tweak = [exhaustive](SystemConfig &sc) {
+        sc.exhaustiveNocTick = exhaustive;
+    };
+    return ec;
+}
+
+TEST(TickEquivalence, Loaded16x16JsonlRecordsIdentical)
+{
+    ExperimentRunner act(loaded16Matrix(false, false));
+    ExperimentRunner exh(loaded16Matrix(true, false));
+    auto ca = act.runMatrix();
+    auto ce = exh.runMatrix();
+    ASSERT_EQ(ca.size(), 1u);
+    ASSERT_TRUE(ca[0].result.completed);
+    expectCellsIdentical(ca, ce);
+}
+
+TEST(TickEquivalence, Loaded16x16FaultArmedJsonlRecordsIdentical)
+{
+    // Fault-armed: the plane ticks every cycle (skip suppressed), the
+    // retransmission machinery adds traffic, and the fault.* metric
+    // block rides in the record — all must still match exactly.
+    ExperimentRunner act(loaded16Matrix(false, true));
+    ExperimentRunner exh(loaded16Matrix(true, true));
+    auto ca = act.runMatrix();
+    auto ce = exh.runMatrix();
+    ASSERT_EQ(ca.size(), 1u);
+    ASSERT_TRUE(ca[0].result.completed);
+    EXPECT_TRUE(ca[0].result.faultArmed);
+    expectCellsIdentical(ca, ce);
+}
+
 } // namespace
 } // namespace eqx

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "sim/experiment.hh"
@@ -143,4 +145,85 @@ TEST(RecordIO, RejectsBadHeaders)
     ASSERT_NE(pos, std::string::npos);
     bad.replace(pos + 11, 4, "zzzz");
     EXPECT_FALSE(parseCellRecord(bad, out));
+}
+
+namespace {
+
+/** Parse `{"v":<token>}` and hand back the value — the only way a
+ *  JsonValue reaches the accessors in production is via the parser,
+ *  so the accessors may assume grammar-valid number text. */
+JsonValue
+numberToken(const std::string &token)
+{
+    JsonFields f;
+    EXPECT_TRUE(parseFlatJson("{\"v\":" + token + "}", f));
+    return f["v"];
+}
+
+} // namespace
+
+TEST(JsonNumber, U64PlainIntegersAreExact)
+{
+    // Full 64-bit precision — a double round trip would lose the low
+    // bits of anything above 2^53.
+    EXPECT_EQ(numberToken("0").asU64(), 0u);
+    EXPECT_EQ(numberToken("9007199254740993").asU64(), 9007199254740993ULL);
+    EXPECT_EQ(numberToken("18446744073709551615").asU64(),
+              18446744073709551615ULL);
+}
+
+TEST(JsonNumber, U64RejectsNegativesInsteadOfWrapping)
+{
+    // strtoull would wrap "-3" to 18446744073709551613.
+    EXPECT_EQ(numberToken("-3").asU64(), 0u);
+    EXPECT_EQ(numberToken("-18446744073709551615").asU64(), 0u);
+    EXPECT_EQ(numberToken("-1.5e3").asU64(), 0u);
+}
+
+TEST(JsonNumber, U64ConvertsExponentAndFractionForms)
+{
+    // strtoull would stop at the '.' and return 1.
+    EXPECT_EQ(numberToken("1.5e3").asU64(), 1500u);
+    EXPECT_EQ(numberToken("2e4").asU64(), 20000u);
+    EXPECT_EQ(numberToken("2.5").asU64(), 2u); // truncates toward zero
+    EXPECT_EQ(numberToken("0.99").asU64(), 0u);
+}
+
+TEST(JsonNumber, U64SaturatesOnOverflow)
+{
+    EXPECT_EQ(numberToken("18446744073709551616").asU64(),
+              18446744073709551615ULL);
+    EXPECT_EQ(numberToken("1e30").asU64(), 18446744073709551615ULL);
+}
+
+TEST(JsonNumber, I64PlainIntegersAreExact)
+{
+    EXPECT_EQ(numberToken("-9223372036854775808").asI64(),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(numberToken("9223372036854775807").asI64(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(numberToken("-9007199254740993").asI64(), -9007199254740993LL);
+}
+
+TEST(JsonNumber, I64ConvertsExponentFormsAndSaturates)
+{
+    EXPECT_EQ(numberToken("1.5e3").asI64(), 1500);
+    EXPECT_EQ(numberToken("-2.5e2").asI64(), -250);
+    EXPECT_EQ(numberToken("-0.5").asI64(), 0);
+    EXPECT_EQ(numberToken("9223372036854775808").asI64(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(numberToken("-9223372036854775809").asI64(),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(numberToken("1e25").asI64(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(numberToken("-1e25").asI64(),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonNumber, NonNumbersReadAsZero)
+{
+    JsonFields f;
+    ASSERT_TRUE(parseFlatJson(R"({"s":"12","z":null})", f));
+    EXPECT_EQ(f["s"].asU64(), 0u);
+    EXPECT_EQ(f["z"].asI64(), 0);
 }

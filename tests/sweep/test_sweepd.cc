@@ -167,3 +167,74 @@ TEST(Sweepd, StartFailsOnUnusableSocketPath)
     EXPECT_FALSE(server.start());
     EXPECT_FALSE(server.running());
 }
+
+TEST(Sweepd, RecoversFromStaleSocket)
+{
+    std::string dir = makeTempDir();
+    std::string path = dir + "/stale.sock";
+
+    // Fabricate an unclean shutdown: bind a socket at the path, then
+    // close the fd without unlinking — the filesystem entry survives
+    // and a naive bind() on it fails EADDRINUSE.
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strcpy(addr.sun_path, path.c_str());
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(fd);
+        struct stat st{};
+        ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    }
+
+    SweepdConfig cfg;
+    cfg.socketPath = path;
+    cfg.cacheDir = dir + "/cache";
+    cfg.experiment.instScale = 0.02;
+    cfg.experiment.workers = 1;
+
+    // The connect probe refuses (no listener) -> stale -> unlink+bind.
+    SweepdServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ASSERT_TRUE(server.running());
+
+    auto lines = query(server.socketPath(), R"({"cmd":"ping"})");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(parsed(lines[0])["pong"].asBool());
+
+    server.stop();
+}
+
+TEST(Sweepd, RefusesToStealLiveSocket)
+{
+    std::string dir = makeTempDir();
+
+    SweepdConfig cfg_a;
+    cfg_a.socketPath = dir + "/live.sock";
+    cfg_a.cacheDir = dir + "/cache-a";
+    cfg_a.experiment.instScale = 0.02;
+    cfg_a.experiment.workers = 1;
+    SweepdServer a(std::move(cfg_a));
+    ASSERT_TRUE(a.start());
+
+    // A second daemon on the same path must fail fast, not unlink the
+    // live listener's socket out from under it.
+    SweepdConfig cfg_b;
+    cfg_b.socketPath = dir + "/live.sock";
+    cfg_b.cacheDir = dir + "/cache-b";
+    cfg_b.experiment.instScale = 0.02;
+    cfg_b.experiment.workers = 1;
+    SweepdServer b(std::move(cfg_b));
+    EXPECT_FALSE(b.start());
+    EXPECT_FALSE(b.running());
+
+    // The first daemon is unharmed.
+    auto lines = query(a.socketPath(), R"({"cmd":"ping"})");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(parsed(lines[0])["pong"].asBool());
+
+    a.stop();
+}
