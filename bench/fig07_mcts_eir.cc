@@ -6,9 +6,15 @@
  * DAZ/CAZ hot zone), zero RDL crossings (one metal layer), and links
  * within the 1-cycle interposer reach; plus the searched fraction of
  * the design space.
+ *
+ * Arguments (besides the shared seed= / iters=):
+ *   jsonl=<path>  one JSON record for the run; every field except
+ *                 wall_ms is deterministic for a given seed
  */
 
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "core/design_flow.hh"
@@ -27,7 +33,11 @@ main(int argc, char **argv)
     dp.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
     dp.mcts.iterationsPerLevel =
         static_cast<int>(cfg.getInt("iters", 600));
+    auto t0 = std::chrono::steady_clock::now();
     EquiNoxDesign d = buildEquiNoxDesign(dp);
+    auto t1 = std::chrono::steady_clock::now();
+    double wall_ms =
+        std::chrono::duration<double>(t1 - t0).count() * 1e3;
 
     std::printf("placement penalty: %d\n", d.placementPenalty);
     std::printf("design (CBs upper case, their EIRs lower case):\n%s\n",
@@ -80,6 +90,31 @@ main(int argc, char **argv)
         for (const auto &e : d.eirGroups[i])
             std::printf(" (%d,%d)", e.x, e.y);
         std::printf("\n");
+    }
+
+    std::string jsonl = cfg.getString("jsonl", "");
+    if (!jsonl.empty()) {
+        std::FILE *f = std::fopen(jsonl.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         jsonl.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\"bench\": \"fig07_mcts_eir\", \"seed\": %llu, "
+            "\"placement_penalty\": %d, \"eirs\": %d, "
+            "\"crossings\": %d, \"metal_layers\": %d, "
+            "\"max_link_hops\": %d, \"max_load\": %.3f, "
+            "\"avg_hops\": %.6f, \"score\": %.6f, "
+            "\"evaluations\": %llu, \"wall_ms\": %.1f}\n",
+            static_cast<unsigned long long>(dp.seed),
+            d.placementPenalty, total, d.rdl.crossings,
+            d.rdl.layersNeeded, d.rdl.maxHops, d.eval.maxLoad,
+            d.eval.avgHops, d.eval.score,
+            static_cast<unsigned long long>(d.evaluations), wall_ms);
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonl.c_str());
     }
     return 0;
 }

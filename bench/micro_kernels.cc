@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/eval_accumulator.hh"
 #include "core/evaluation.hh"
 #include "core/nqueen.hh"
 #include "core/search.hh"
@@ -166,6 +167,31 @@ BM_EirEvaluation(benchmark::State &state)
         benchmark::DoNotOptimize(eval.evaluate(sel));
 }
 BENCHMARK(BM_EirEvaluation);
+
+void
+BM_EirEvalIncrementalStep(benchmark::State &state)
+{
+    Rng rng(1);
+    auto cbs = bestNQueenPlacement(8, 8, rng).cbs;
+    EirProblem prob(8, 8, cbs, 3, 4);
+    EirEvaluator eval(&prob);
+    EvalAccumulator acc(&eval);
+    for (int cb = 0; cb < prob.numCbs(); ++cb)
+        acc.push(cb, randomGroup(prob, cb, acc.takenMask(), rng));
+    // One annealing-shaped neighbour probe: clear a CB's group, set an
+    // alternative, score (bit-identical to a from-scratch evaluate).
+    std::vector<Coord> alt;
+    int cb = 0;
+    for (auto _ : state) {
+        std::vector<Coord> old = acc.group(cb);
+        acc.setGroup(cb, {});
+        acc.setGroup(cb, alt);
+        benchmark::DoNotOptimize(acc.score());
+        alt = std::move(old);
+        cb = (cb + 1) % prob.numCbs();
+    }
+}
+BENCHMARK(BM_EirEvalIncrementalStep);
 
 void
 BM_MctsLevel(benchmark::State &state)

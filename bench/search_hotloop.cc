@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Search hot-loop bench: times the EIR evaluation kernels the design
+ * searches spend their wall clock in, before (from-scratch
+ * EirEvaluator::evaluate) and after (EvalAccumulator O(changed-CB)
+ * stepping with the contribution memo), and writes the comparison to
+ * BENCH_search_hotloop.json. The CI perf-smoke job asserts the
+ * incremental-step speedup floors from that file, so evaluation-path
+ * regressions are visible per commit (DESIGN.md §15).
+ *
+ * Kernels, at the paper scale (8x8 mesh, 8 CBs) and at 16x16:
+ *   eval_scratch    one from-scratch evaluate() of a full selection
+ *   eval_incr_step  one annealing-shaped neighbour probe: clear one
+ *                   CB's group, set a pooled alternative, score —
+ *                   all through the accumulator
+ *   mcts_search     one full MCTS run (all levels, default params),
+ *                   reported as wall time and evaluations/second
+ *
+ * Arguments:
+ *   out=<path>     output JSON (default BENCH_search_hotloop.json)
+ *   min_time=<s>   minimum measured wall time per kernel (default 0.2)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "core/eval_accumulator.hh"
+#include "core/nqueen.hh"
+#include "core/search.hh"
+
+namespace eqx {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Time @p fn until @p min_time seconds measured; ns per call. */
+template <typename F>
+double
+timeKernel(F &&fn, double min_time)
+{
+    std::uint64_t iters = 0;
+    double elapsed = 0;
+    std::uint64_t batch = 16;
+    while (elapsed < min_time) {
+        auto t0 = Clock::now();
+        for (std::uint64_t i = 0; i < batch; ++i)
+            fn();
+        auto t1 = Clock::now();
+        elapsed += std::chrono::duration<double>(t1 - t0).count();
+        iters += batch;
+        if (batch < (std::uint64_t{1} << 28))
+            batch *= 2;
+    }
+    return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+struct ScaleSetup
+{
+    int side = 0;
+    EirProblem prob;
+    EirSelection sel;                         ///< the probed selection
+    std::vector<std::vector<std::vector<Coord>>> pools; ///< per-CB alts
+};
+
+ScaleSetup
+makeSetup(int side, int num_cbs)
+{
+    Rng rng(7);
+    auto placed = bestNQueenPlacement(side, num_cbs, rng);
+    ScaleSetup s{side, EirProblem(side, side, placed.cbs), {}, {}};
+
+    // A deterministic full selection, drawn the way the searches do.
+    TileMask taken(side, side);
+    for (int cb = 0; cb < s.prob.numCbs(); ++cb) {
+        auto g = randomGroup(s.prob, cb, taken, rng);
+        for (const auto &t : g)
+            taken.add(t);
+        s.sel.push_back(std::move(g));
+    }
+
+    // 64 pooled alternative groups per CB, each legal against the
+    // OTHER CBs' tiles, so a probe never collides.
+    s.pools.resize(s.sel.size());
+    for (int cb = 0; cb < s.prob.numCbs(); ++cb) {
+        TileMask others(side, side);
+        for (int o = 0; o < s.prob.numCbs(); ++o) {
+            if (o == cb)
+                continue;
+            for (const auto &t : s.sel[static_cast<std::size_t>(o)])
+                others.add(t);
+        }
+        auto &pool = s.pools[static_cast<std::size_t>(cb)];
+        for (int k = 0; k < 64; ++k)
+            pool.push_back(randomGroup(s.prob, cb, others, rng));
+    }
+    return s;
+}
+
+/** From-scratch neighbour probe: mutate the vector, full evaluate. */
+double
+scratchKernel(ScaleSetup &s, double min_time, double &sink)
+{
+    EirEvaluator eval(&s.prob);
+    EirSelection sel = s.sel;
+    int cb = 0;
+    std::size_t k = 0;
+    bool in_alt = false;
+    return timeKernel(
+        [&] {
+            auto idx = static_cast<std::size_t>(cb);
+            if (!in_alt) {
+                sel[idx] = s.pools[idx][k];
+                in_alt = true;
+            } else {
+                sel[idx] = s.sel[idx];
+                in_alt = false;
+                cb = (cb + 1) % s.prob.numCbs();
+                if (cb == 0)
+                    k = (k + 1) % s.pools[0].size();
+            }
+            sink += eval.evaluate(sel).score;
+        },
+        min_time);
+}
+
+/** Accumulator neighbour probe: two setGroups + score per call. */
+double
+incrKernel(ScaleSetup &s, double min_time, double &sink)
+{
+    EirEvaluator eval(&s.prob);
+    EvalAccumulator acc(&eval);
+    for (int cb = 0; cb < s.prob.numCbs(); ++cb)
+        acc.push(cb, s.sel[static_cast<std::size_t>(cb)]);
+    int cb = 0;
+    std::size_t k = 0;
+    bool in_alt = false;
+    return timeKernel(
+        [&] {
+            auto idx = static_cast<std::size_t>(cb);
+            acc.setGroup(cb, {});
+            if (!in_alt) {
+                acc.setGroup(cb, s.pools[idx][k]);
+                in_alt = true;
+            } else {
+                acc.setGroup(cb, s.sel[idx]);
+                in_alt = false;
+                cb = (cb + 1) % s.prob.numCbs();
+                if (cb == 0)
+                    k = (k + 1) % s.pools[0].size();
+            }
+            sink += acc.score();
+        },
+        min_time);
+}
+
+struct MctsResult
+{
+    double wallMs = 0;
+    std::uint64_t evaluations = 0;
+    double evalsPerSec = 0;
+};
+
+MctsResult
+mctsKernel(ScaleSetup &s)
+{
+    EirEvaluator eval(&s.prob);
+    auto t0 = Clock::now();
+    SearchResult r = mctsSearch(s.prob, eval, {});
+    auto t1 = Clock::now();
+    MctsResult m;
+    m.wallMs = std::chrono::duration<double>(t1 - t0).count() * 1e3;
+    m.evaluations = r.evaluations;
+    m.evalsPerSec =
+        static_cast<double>(r.evaluations) / (m.wallMs / 1e3);
+    return m;
+}
+
+} // namespace
+} // namespace eqx
+
+int
+main(int argc, char **argv)
+{
+    using namespace eqx;
+    Config cfg = parseBenchArgs(argc, argv);
+    std::string out = cfg.getString("out", "BENCH_search_hotloop.json");
+    double min_time = cfg.getDouble("min_time", 0.2);
+
+    printHeader("search hot-loop before/after",
+                "incremental EIR evaluation (DESIGN.md #15)");
+
+    struct Row
+    {
+        std::string scale;
+        double scratchNs = 0;
+        double incrNs = 0;
+        MctsResult mcts;
+    };
+    std::vector<Row> rows;
+    double sink = 0;
+    for (int side : {8, 16}) {
+        ScaleSetup s = makeSetup(side, 8);
+        Row r;
+        r.scale = std::to_string(side) + "x" + std::to_string(side);
+        r.scratchNs = scratchKernel(s, min_time, sink);
+        r.incrNs = incrKernel(s, min_time, sink);
+        r.mcts = mctsKernel(s);
+        rows.push_back(std::move(r));
+    }
+
+    std::printf("%-10s %16s %16s %9s %12s %12s\n", "scale",
+                "scratch ns/eval", "incr ns/step", "speedup",
+                "mcts wall_ms", "mcts evals/s");
+    for (const auto &r : rows)
+        std::printf("%-10s %16.1f %16.1f %8.2fx %12.1f %12.0f\n",
+                    r.scale.c_str(), r.scratchNs, r.incrNs,
+                    r.scratchNs / r.incrNs, r.mcts.wallMs,
+                    r.mcts.evalsPerSec);
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"search_hotloop\",\n  \"kernels\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"eval_step_%s\", "
+                     "\"scratch_ns_per_eval\": %.3f, "
+                     "\"incr_ns_per_step\": %.3f, "
+                     "\"speedup\": %.3f, "
+                     "\"incr_evals_per_second\": %.0f},\n",
+                     r.scale.c_str(), r.scratchNs, r.incrNs,
+                     r.scratchNs / r.incrNs, 1e9 / r.incrNs);
+        std::fprintf(f,
+                     "    {\"name\": \"mcts_search_%s\", "
+                     "\"wall_ms\": %.1f, "
+                     "\"evaluations\": %llu, "
+                     "\"evals_per_second\": %.0f}%s\n",
+                     r.scale.c_str(), r.mcts.wallMs,
+                     static_cast<unsigned long long>(
+                         r.mcts.evaluations),
+                     r.mcts.evalsPerSec,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    if (sink == -1)
+        std::printf("%f\n", sink); // keep the kernels un-elided
+    return 0;
+}

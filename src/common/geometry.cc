@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.hh"
+
 namespace eqx {
 
 std::int64_t
@@ -122,6 +124,70 @@ segmentLength(const Segment &s)
     double dx = s.b.x - s.a.x;
     double dy = s.b.y - s.a.y;
     return std::sqrt(dx * dx + dy * dy);
+}
+
+int
+CrossingLedger::against(int slot, const std::vector<Segment> &segs) const
+{
+    int n = 0;
+    for (std::size_t o = 0; o < slots_.size(); ++o) {
+        if (static_cast<int>(o) == slot)
+            continue;
+        for (const auto &other : slots_[o])
+            for (const auto &s : segs)
+                if (segmentsCross(s, other))
+                    ++n;
+    }
+    return n;
+}
+
+void
+CrossingLedger::add(int slot, std::vector<Segment> segs)
+{
+    eqx_assert(slot >= 0, "ledger slot must be non-negative");
+    if (static_cast<std::size_t>(slot) >= slots_.size())
+        slots_.resize(static_cast<std::size_t>(slot) + 1);
+    auto &dst = slots_[static_cast<std::size_t>(slot)];
+    eqx_assert(dst.empty(), "ledger slot already occupied");
+    count_ += against(slot, segs);
+    for (std::size_t i = 0; i < segs.size(); ++i)
+        for (std::size_t j = i + 1; j < segs.size(); ++j)
+            if (segmentsCross(segs[i], segs[j]))
+                ++count_;
+    total_ += segs.size();
+    dst = std::move(segs);
+}
+
+void
+CrossingLedger::remove(int slot)
+{
+    eqx_assert(slot >= 0 &&
+                   static_cast<std::size_t>(slot) < slots_.size(),
+               "removing an unknown ledger slot");
+    auto &segs = slots_[static_cast<std::size_t>(slot)];
+    count_ -= against(slot, segs);
+    for (std::size_t i = 0; i < segs.size(); ++i)
+        for (std::size_t j = i + 1; j < segs.size(); ++j)
+            if (segmentsCross(segs[i], segs[j]))
+                --count_;
+    total_ -= segs.size();
+    segs.clear();
+    eqx_assert(count_ >= 0, "ledger crossing count went negative");
+}
+
+bool
+CrossingLedger::occupied(int slot) const
+{
+    return slot >= 0 && static_cast<std::size_t>(slot) < slots_.size() &&
+           !slots_[static_cast<std::size_t>(slot)].empty();
+}
+
+void
+CrossingLedger::clear()
+{
+    slots_.clear();
+    total_ = 0;
+    count_ = 0;
 }
 
 } // namespace eqx

@@ -54,6 +54,48 @@ int rdlLayersNeeded(const std::vector<Segment> &segs);
 /** Euclidean length of a segment in tile pitches. */
 double segmentLength(const Segment &s);
 
+/**
+ * Incrementally maintained pairwise crossing count over slot-grouped
+ * segments. Adding a slot's segments costs O(new x existing) cross
+ * tests instead of recounting all pairs; removing a slot subtracts
+ * exactly what its addition contributed, so the running count always
+ * equals countCrossings() over the union of the present segments
+ * (same segmentsCross predicate, integer arithmetic, no drift).
+ */
+class CrossingLedger
+{
+  public:
+    /**
+     * Install @p segs as slot @p slot (which must currently be empty)
+     * and add their crossings with every present segment — including
+     * the pairs internal to @p segs — to the running count.
+     */
+    void add(int slot, std::vector<Segment> segs);
+
+    /** Remove slot @p slot's segments and their crossings. */
+    void remove(int slot);
+
+    /** True if the slot currently holds segments. */
+    bool occupied(int slot) const;
+
+    /** Current pairwise crossing count over all present segments. */
+    int crossings() const { return count_; }
+
+    /** Total number of present segments. */
+    std::size_t size() const { return total_; }
+
+    /** Drop every slot. */
+    void clear();
+
+  private:
+    /** Crossings between @p segs and every *other* slot's segments. */
+    int against(int slot, const std::vector<Segment> &segs) const;
+
+    std::vector<std::vector<Segment>> slots_;
+    std::size_t total_ = 0;
+    int count_ = 0;
+};
+
 } // namespace eqx
 
 #endif // EQX_COMMON_GEOMETRY_HH

@@ -4,6 +4,13 @@
  * annealing and a genetic algorithm. The paper argues (Section 4.3)
  * that GA/SA fit the problem representation less naturally than MCTS;
  * these implementations back that ablation quantitatively.
+ *
+ * All methods score through the incremental EvalAccumulator: a greedy
+ * candidate or an annealing neighbour is a push/pop or setGroup away
+ * from the previous state, so each probe costs O(changed CB) instead
+ * of a from-scratch O(decided x W x H) rebuild. Scores — and hence
+ * the selected designs and the evaluation counts — are bit-identical
+ * to the from-scratch path (DESIGN.md §15).
  */
 
 #include <algorithm>
@@ -11,28 +18,46 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "core/eval_accumulator.hh"
 #include "core/search.hh"
 
 namespace eqx {
 
 namespace {
 
-std::vector<Coord>
-takenOf(const EirSelection &sel)
+/** Flatten a selection's tiles into a fresh mask. */
+TileMask
+maskOf(const EirProblem &prob, const EirSelection &sel)
 {
-    std::vector<Coord> taken;
+    TileMask mask(prob.width(), prob.height());
     for (const auto &g : sel)
-        taken.insert(taken.end(), g.begin(), g.end());
-    return taken;
+        for (const auto &t : g)
+            mask.add(t);
+    return mask;
 }
 
 EirSelection
 randomSelection(const EirProblem &prob, Rng &rng)
 {
     EirSelection sel;
-    for (int cb = 0; cb < prob.numCbs(); ++cb)
-        sel.push_back(randomGroup(prob, cb, takenOf(sel), rng));
+    TileMask taken(prob.width(), prob.height());
+    for (int cb = 0; cb < prob.numCbs(); ++cb) {
+        auto group = randomGroup(prob, cb, taken, rng);
+        for (const auto &t : group)
+            taken.add(t);
+        sel.push_back(std::move(group));
+    }
     return sel;
+}
+
+/** Load a full selection into the accumulator and score it. */
+double
+scoreSelection(EvalAccumulator &acc, const EirSelection &sel)
+{
+    acc.reset();
+    for (std::size_t cb = 0; cb < sel.size(); ++cb)
+        acc.push(static_cast<int>(cb), sel[cb]);
+    return acc.score();
 }
 
 /** Drop EIRs that collide with earlier groups (GA crossover repair). */
@@ -67,26 +92,26 @@ greedySearch(const EirProblem &prob, const EirEvaluator &eval,
 {
     SearchResult result;
     result.method = "greedy";
-    EirSelection sel;
+    EvalAccumulator acc(&eval);
     for (int cb = 0; cb < prob.numCbs(); ++cb) {
-        auto groups = prob.groupsFor(cb, takenOf(sel));
+        auto groups = prob.groupsFor(cb, acc.takenMask());
         if (groups.size() > max_groups_per_cb)
             groups.resize(max_groups_per_cb);
         double best_score = 0;
         std::size_t best_idx = 0;
         for (std::size_t i = 0; i < groups.size(); ++i) {
-            EirSelection trial = sel;
-            trial.push_back(groups[i]);
-            double s = eval.score(trial);
+            acc.push(cb, groups[i]);
+            double s = acc.score();
+            acc.pop();
             ++result.evaluations;
             if (i == 0 || s < best_score) {
                 best_score = s;
                 best_idx = i;
             }
         }
-        sel.push_back(groups[best_idx]);
+        acc.push(cb, std::move(groups[best_idx]));
     }
-    result.selection = std::move(sel);
+    result.selection = acc.selection();
     result.eval = eval.evaluate(result.selection);
     eqx_assert(prob.valid(result.selection),
                "greedy produced an invalid selection");
@@ -102,34 +127,38 @@ polishSelection(const EirProblem &prob, const EirEvaluator &eval,
     result.method = "polish";
     while (static_cast<int>(start.size()) < prob.numCbs())
         start.emplace_back();
-    double cur = eval.score(start);
+
+    EvalAccumulator acc(&eval);
+    for (std::size_t cb = 0; cb < start.size(); ++cb)
+        acc.push(static_cast<int>(cb), std::move(start[cb]));
+    double cur = acc.score();
     ++result.evaluations;
 
     for (int pass = 0; pass < max_passes; ++pass) {
         bool improved = false;
         for (int cb = 0; cb < prob.numCbs(); ++cb) {
             // Free this CB's group, then best-respond.
-            EirSelection trial = start;
-            trial[static_cast<std::size_t>(cb)].clear();
-            std::vector<Coord> taken = takenOf(trial);
-            auto groups = prob.groupsFor(cb, taken);
+            std::vector<Coord> best_group = acc.group(cb);
+            acc.setGroup(cb, {});
+            auto groups = prob.groupsFor(cb, acc.takenMask());
             if (groups.size() > max_groups_per_cb)
                 groups.resize(max_groups_per_cb);
             for (auto &g : groups) {
-                trial[static_cast<std::size_t>(cb)] = std::move(g);
-                double s = eval.score(trial);
+                acc.setGroup(cb, std::move(g));
+                double s = acc.score();
                 ++result.evaluations;
                 if (s < cur) {
                     cur = s;
-                    start = trial;
+                    best_group = acc.group(cb);
                     improved = true;
                 }
             }
+            acc.setGroup(cb, std::move(best_group));
         }
         if (!improved)
             break;
     }
-    result.selection = std::move(start);
+    result.selection = acc.selection();
     result.eval = eval.evaluate(result.selection);
     eqx_assert(prob.valid(result.selection),
                "polish produced an invalid selection");
@@ -143,14 +172,15 @@ randomSearch(const EirProblem &prob, const EirEvaluator &eval, int trials,
     Rng rng(seed);
     SearchResult result;
     result.method = "random";
+    EvalAccumulator acc(&eval);
     bool first = true;
     for (int t = 0; t < trials; ++t) {
         EirSelection sel = randomSelection(prob, rng);
-        double s = eval.score(sel);
+        double s = scoreSelection(acc, sel);
         ++result.evaluations;
         if (first || s < result.eval.score) {
             result.selection = std::move(sel);
-            result.eval = eval.evaluate(result.selection);
+            result.eval = acc.evaluate();
             first = false;
         }
     }
@@ -165,11 +195,11 @@ annealSearch(const EirProblem &prob, const EirEvaluator &eval,
     SearchResult result;
     result.method = "anneal";
 
-    EirSelection cur = randomSelection(prob, rng);
-    double cur_score = eval.score(cur);
+    EvalAccumulator acc(&eval);
+    double cur_score = scoreSelection(acc, randomSelection(prob, rng));
     ++result.evaluations;
-    result.selection = cur;
-    result.eval = eval.evaluate(cur);
+    result.selection = acc.selection();
+    result.eval = acc.evaluate();
 
     for (int step = 0; step < params.steps; ++step) {
         double frac = static_cast<double>(step) / params.steps;
@@ -179,23 +209,25 @@ annealSearch(const EirProblem &prob, const EirEvaluator &eval,
         // Neighbour: re-pick one CB's group.
         int cb = static_cast<int>(rng.nextBounded(
             static_cast<std::uint64_t>(prob.numCbs())));
-        EirSelection next = cur;
-        next[static_cast<std::size_t>(cb)].clear();
-        next[static_cast<std::size_t>(cb)] =
-            randomGroup(prob, cb, takenOf(next), rng);
-        double next_score = eval.score(next);
+        std::vector<Coord> old_group = acc.group(cb);
+        acc.setGroup(cb, {});
+        acc.setGroup(cb, randomGroup(prob, cb, acc.takenMask(), rng));
+        double next_score = acc.score();
         ++result.evaluations;
 
         bool accept = next_score <= cur_score ||
                       rng.chance(std::exp((cur_score - next_score) /
                                           std::max(temp, 1e-9)));
         if (accept) {
-            cur = std::move(next);
             cur_score = next_score;
             if (cur_score < result.eval.score) {
-                result.selection = cur;
-                result.eval = eval.evaluate(cur);
+                result.selection = acc.selection();
+                result.eval = acc.evaluate();
             }
+        } else {
+            // Exact arithmetic: restoring the old group restores the
+            // accumulator state bit for bit.
+            acc.setGroup(cb, std::move(old_group));
         }
     }
     return result;
@@ -215,12 +247,13 @@ geneticSearch(const EirProblem &prob, const EirEvaluator &eval,
         double score = 0;
     };
 
+    EvalAccumulator acc(&eval);
     std::vector<Individual> pop;
     pop.reserve(static_cast<std::size_t>(params.population));
     for (int i = 0; i < params.population; ++i) {
         Individual ind;
         ind.sel = randomSelection(prob, rng);
-        ind.score = eval.score(ind.sel);
+        ind.score = scoreSelection(acc, ind.sel);
         ++result.evaluations;
         pop.push_back(std::move(ind));
     }
@@ -256,10 +289,10 @@ geneticSearch(const EirProblem &prob, const EirEvaluator &eval,
                 int cb = static_cast<int>(rng.nextBounded(
                     static_cast<std::uint64_t>(prob.numCbs())));
                 child.sel[static_cast<std::size_t>(cb)].clear();
-                child.sel[static_cast<std::size_t>(cb)] =
-                    randomGroup(prob, cb, takenOf(child.sel), rng);
+                child.sel[static_cast<std::size_t>(cb)] = randomGroup(
+                    prob, cb, maskOf(prob, child.sel), rng);
             }
-            child.score = eval.score(child.sel);
+            child.score = scoreSelection(acc, child.sel);
             ++result.evaluations;
             next.push_back(std::move(child));
         }

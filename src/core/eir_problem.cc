@@ -74,15 +74,23 @@ EirProblem::candidates(int cb_idx) const
 std::vector<std::vector<Coord>>
 EirProblem::groupsFor(int cb_idx, const std::vector<Coord> &taken) const
 {
+    TileMask mask(w_, h_);
+    for (const auto &t : taken)
+        mask.add(t);
+    return groupsFor(cb_idx, mask);
+}
+
+std::vector<std::vector<Coord>>
+EirProblem::groupsFor(int cb_idx, const TileMask &taken) const
+{
     const Coord &cb = cbs_[static_cast<std::size_t>(cb_idx)];
-    std::set<Coord> taken_set(taken.begin(), taken.end());
 
     // Bucket the free candidates by direction octant; axes first so
     // that enumeration favours the axis placements the paper's design
     // converges to.
     std::vector<std::vector<Coord>> byOctant(8);
     for (const auto &c : candidates(cb_idx)) {
-        if (taken_set.count(c))
+        if (taken.test(c))
             continue;
         byOctant[static_cast<std::size_t>(directionOctant(cb, c))]
             .push_back(c);

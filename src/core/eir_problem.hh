@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "common/tile_mask.hh"
 #include "common/types.hh"
 #include "interposer/link_plan.hh"
 
@@ -52,8 +53,12 @@ class EirProblem
      * Enumerate legal groups for CB @p cb_idx, excluding tiles already
      * taken by other groups. Groups satisfy the octant and size rules;
      * the empty group is included last as a fallback (a CB may end up
-     * with no EIR near a crowded boundary).
+     * with no EIR near a crowded boundary). The mask overload is the
+     * hot-loop form; the vector overload flattens into a mask and
+     * enumerates the identical group sequence.
      */
+    std::vector<std::vector<Coord>>
+    groupsFor(int cb_idx, const TileMask &taken) const;
     std::vector<std::vector<Coord>>
     groupsFor(int cb_idx, const std::vector<Coord> &taken) const;
 

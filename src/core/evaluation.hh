@@ -5,13 +5,25 @@
  * intersection count and total interposer link length — summed into a
  * single score (lower is better). The load/hop estimates follow the
  * Buffer Selection policy exactly, assuming uniform per-PE demand.
+ *
+ * Two evaluation paths share the same arithmetic (DESIGN.md §15):
+ * `evaluate()` is the from-scratch reference (O(decided x W x H)),
+ * and `EvalAccumulator` (eval_accumulator.hh) scores near-identical
+ * selections in O(changed CBs) by combining memoized per-(CB, group)
+ * contributions. Every partial quantity the two paths accumulate is
+ * an exactly-representable multiple of 0.5, so the paths agree on
+ * every metric bit for bit — not approximately.
  */
 
 #ifndef EQX_CORE_EVALUATION_HH
 #define EQX_CORE_EVALUATION_HH
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/geometry.hh"
 #include "common/types.hh"
 #include "core/eir_problem.hh"
 
@@ -44,16 +56,57 @@ struct EvalBreakdown
     double score = 0.0;     ///< weighted normalized sum (lower = better)
 };
 
-/** Evaluates (partial or full) EIR selections for one problem. */
+/**
+ * One CB's complete, selection-independent effect on the evaluation:
+ * injection-point load deltas (at most the group tiles plus the CB
+ * itself), hop partial sums, and the group's interposer link segments
+ * with their length/reach facts. Contributions are independent per CB
+ * and every double in them is an exact multiple of 0.5, so they can
+ * be added to and removed from a running total without drift.
+ */
+struct EvalContribution
+{
+    struct TileLoad
+    {
+        Coord tile;
+        double load = 0.0; ///< injected PE-equivalents at this tile
+        int count = 0;     ///< number of flows contributing (>= 1)
+    };
+
+    std::vector<TileLoad> loads; ///< only tiles with count > 0
+    double hopSum = 0.0;
+    double hopWeight = 0.0;
+    std::vector<Segment> links;  ///< CB -> EIR wire segments
+    double lengthHops = 0.0;     ///< sum of link Manhattan spans
+    int overReach = 0;           ///< links beyond the 1-cycle reach
+};
+
+/**
+ * Evaluates (partial or full) EIR selections for one problem.
+ *
+ * All selection-independent state — the CB occupancy bitmap, the
+ * hot-zone contention factors, and the normalizers — is built once in
+ * the constructor. Per-(CB, canonical group) contributions are served
+ * from a content-addressed memo, so repeated rollouts of the same
+ * group cost a hash lookup instead of a W x H scan.
+ *
+ * Not thread-safe: the memo mutates under const calls. Give each
+ * worker its own evaluator (as the design flow already does).
+ */
 class EirEvaluator
 {
   public:
+    /** Longest link span that fits one interposer cycle (paper: 2). */
+    static constexpr int kReachHops = 2;
+
     explicit EirEvaluator(const EirProblem *problem,
                           EvalWeights weights = {});
 
     /**
-     * Evaluate a selection. Partial selections (fewer groups than CBs)
-     * are allowed during search: missing CBs inject locally only.
+     * Evaluate a selection from scratch. Partial selections (fewer
+     * groups than CBs) are allowed during search: missing CBs inject
+     * locally only. This is the reference path the incremental
+     * accumulator is tested bit-identical against.
      */
     EvalBreakdown evaluate(const EirSelection &sel) const;
 
@@ -63,13 +116,105 @@ class EirEvaluator
         return evaluate(sel).score;
     }
 
+    /**
+     * CB @p cb_idx's contribution when assigned @p group (group order
+     * is significant: the Buffer Selection policy prefers earlier
+     * listed EIRs on ties). Memoized; the returned reference is valid
+     * until the next contribution() call (the memo may decline to
+     * retain an entry once kMemoCap entries are cached).
+     */
+    const EvalContribution &
+    contribution(int cb_idx, const std::vector<Coord> &group) const;
+
     const EvalWeights &weights() const { return weights_; }
+    const EirProblem *problem() const { return prob_; }
+
+    /** Hot-zone contention factor of a tile (1.0 for CB tiles). */
+    double
+    loadFactor(const Coord &c) const
+    {
+        return loadFactor_[static_cast<std::size_t>(c.y * w_ + c.x)];
+    }
+
+    /** True if the tile holds a CB. */
+    bool
+    isCb(const Coord &c) const
+    {
+        return cbMask_[static_cast<std::size_t>(c.y * w_ + c.x)] != 0;
+    }
+
+    /** Memo observability (for the bench and the equivalence tests). */
+    std::uint64_t memoHits() const { return memoHits_; }
+    std::uint64_t memoMisses() const { return memoMisses_; }
+    std::size_t memoEntries() const { return memo_.size(); }
 
   private:
+    friend class EvalAccumulator;
+
+    /** Contribution cache cap; beyond it, misses compute into scratch. */
+    static constexpr std::size_t kMemoCap = 1u << 18;
+
+    struct MemoKey
+    {
+        int cb;
+        std::vector<Coord> group;
+        bool
+        operator==(const MemoKey &o) const
+        {
+            return cb == o.cb && group == o.group;
+        }
+    };
+    struct MemoKeyHash
+    {
+        std::size_t
+        operator()(const MemoKey &k) const
+        {
+            // FNV-1a over the CB index and the ordered tile sequence.
+            std::uint64_t h = 1469598103934665603ULL;
+            auto mix = [&h](std::uint64_t v) {
+                h ^= v;
+                h *= 1099511628211ULL;
+            };
+            mix(static_cast<std::uint64_t>(k.cb));
+            for (const auto &c : k.group)
+                mix((static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(c.y))
+                     << 32) |
+                    static_cast<std::uint32_t>(c.x));
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    /** Compute a contribution without touching the memo. */
+    void computeContribution(int cb_idx, const std::vector<Coord> &group,
+                             EvalContribution &out) const;
+
+    /**
+     * The shared final reduction: per-tile loads (in Coord order, the
+     * same order the from-scratch std::map iterates) through the
+     * contention factors into maxLoad / mean load, plus the
+     * normalized score. Both evaluation paths end here, so a
+     * bit-identical input yields a bit-identical EvalBreakdown.
+     */
+    EvalBreakdown
+    finish(const std::vector<std::pair<Coord, double>> &loads,
+           double hop_sum, double hop_weight, int crossings,
+           double total_length, std::size_t num_links,
+           int over_reach) const;
+
     const EirProblem *prob_;
     EvalWeights weights_;
+    int w_;
+    int h_;
     double hopRef_;   ///< baseline mean CB->PE distance (no EIRs)
     double loadRef_;  ///< PEs per CB if all traffic used one point
+    std::vector<std::uint8_t> cbMask_;  ///< CB occupancy, row-major
+    std::vector<double> loadFactor_;    ///< 1 + 0.3 x hot coverage
+    mutable std::unordered_map<MemoKey, EvalContribution, MemoKeyHash>
+        memo_;
+    mutable EvalContribution scratch_; ///< overflow result past the cap
+    mutable std::uint64_t memoHits_ = 0;
+    mutable std::uint64_t memoMisses_ = 0;
 };
 
 } // namespace eqx

@@ -3,6 +3,14 @@
  * Monte Carlo Tree Search for EIR selection (paper Section 4.3 and
  * Figure 6): iterative selection / expansion / simulation /
  * backpropagation with UCB, one tree level per CB group.
+ *
+ * The search threads one EvalAccumulator down the tree — groups are
+ * pushed on descend/expansion/rollout and popped on backtrack — so a
+ * full rollout costs O(changed CBs) evaluator work instead of an
+ * O(decided x W x H) from-scratch rebuild, and the accumulator's
+ * taken-mask replaces the former O(depth^2) takenOf() flattening.
+ * Scores are bit-identical to the from-scratch evaluator, so the
+ * selected designs are unchanged (see DESIGN.md §15).
  */
 
 #include <algorithm>
@@ -11,21 +19,12 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "core/eval_accumulator.hh"
 #include "core/search.hh"
 
 namespace eqx {
 
 namespace {
-
-/** Flatten the taken-EIR set of a (partial) selection. */
-std::vector<Coord>
-takenOf(const EirSelection &sel)
-{
-    std::vector<Coord> taken;
-    for (const auto &g : sel)
-        taken.insert(taken.end(), g.begin(), g.end());
-    return taken;
-}
 
 struct Node
 {
@@ -49,8 +48,8 @@ rewardOf(double score)
 } // namespace
 
 std::vector<Coord>
-randomGroup(const EirProblem &prob, int cb_idx,
-            const std::vector<Coord> &taken, Rng &rng, double take_prob)
+randomGroup(const EirProblem &prob, int cb_idx, const TileMask &taken,
+            Rng &rng, double take_prob)
 {
     std::vector<Coord> group;
     std::vector<int> octs = {0, 1, 2, 3, 4, 5, 6, 7};
@@ -58,9 +57,8 @@ randomGroup(const EirProblem &prob, int cb_idx,
 
     const Coord &cb = prob.cbs()[static_cast<std::size_t>(cb_idx)];
     auto is_taken = [&](const Coord &c) {
-        for (const auto &t : taken)
-            if (t == c)
-                return true;
+        if (taken.test(c))
+            return true;
         for (const auto &g : group)
             if (g == c)
                 return true;
@@ -83,6 +81,16 @@ randomGroup(const EirProblem &prob, int cb_idx,
     return group;
 }
 
+std::vector<Coord>
+randomGroup(const EirProblem &prob, int cb_idx,
+            const std::vector<Coord> &taken, Rng &rng, double take_prob)
+{
+    TileMask mask(prob.width(), prob.height());
+    for (const auto &t : taken)
+        mask.add(t);
+    return randomGroup(prob, cb_idx, mask, rng, take_prob);
+}
+
 SearchResult
 mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
            const MctsParams &params)
@@ -91,14 +99,17 @@ mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
     SearchResult result;
     result.method = "mcts";
 
-    EirSelection committed; // groups fixed so far (the evolving root)
+    // The accumulator holds the committed groups (the evolving root)
+    // plus, transiently, the tree path and rollout of the current
+    // iteration.
+    EvalAccumulator acc(&eval);
 
     for (int level = 0; level < prob.numCbs(); ++level) {
         Node root;
         root.depth = level;
 
-        auto initUntried = [&](Node &node, const EirSelection &state) {
-            auto groups = prob.groupsFor(node.depth, takenOf(state));
+        auto initUntried = [&](Node &node) {
+            auto groups = prob.groupsFor(node.depth, acc.takenMask());
             rng.shuffle(groups);
             if (static_cast<int>(groups.size()) >
                 params.maxChildrenPerNode)
@@ -111,12 +122,11 @@ mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
         for (int it = 0; it < params.iterationsPerLevel; ++it) {
             // (1) Selection: descend while fully expanded.
             Node *node = &root;
-            EirSelection state = committed;
             for (;;) {
                 if (node->depth >= prob.numCbs())
                     break; // terminal
                 if (!node->untriedInit)
-                    initUntried(*node, state);
+                    initUntried(*node);
                 if (!node->untried.empty() || node->children.empty())
                     break;
                 // UCB over children.
@@ -135,7 +145,7 @@ mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
                     }
                 }
                 node = best;
-                state.push_back(node->group);
+                acc.push(node->depth - 1, node->group);
             }
 
             // (2) Expansion.
@@ -148,24 +158,26 @@ mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
                 child->parent = node;
                 node->children.push_back(std::move(child));
                 node = node->children.back().get();
-                state.push_back(node->group);
+                acc.push(node->depth - 1, node->group);
             }
 
             // (3) Simulation: random rollout for the remaining CBs.
-            EirSelection rollout = state;
-            for (int cb = static_cast<int>(rollout.size());
+            for (int cb = static_cast<int>(acc.depth());
                  cb < prob.numCbs(); ++cb)
-                rollout.push_back(
-                    randomGroup(prob, cb, takenOf(rollout), rng));
-            double score = eval.score(rollout);
+                acc.push(cb,
+                         randomGroup(prob, cb, acc.takenMask(), rng));
+            double score = acc.score();
             ++result.evaluations;
             double reward = rewardOf(score);
 
-            // (4) Backpropagation.
+            // (4) Backpropagation, then backtrack the accumulator to
+            // the committed root state.
             for (Node *n = node; n != nullptr; n = n->parent) {
                 n->totalReward += reward;
                 ++n->visits;
             }
+            while (acc.depth() > static_cast<std::size_t>(level))
+                acc.pop();
         }
 
         // Commit the level-(level+1) child with the highest accumulated
@@ -176,13 +188,13 @@ mctsSearch(const EirProblem &prob, const EirEvaluator &eval,
                 best = ch.get();
         }
         if (best) {
-            committed.push_back(best->group);
+            acc.push(level, best->group);
         } else {
-            committed.emplace_back(); // no legal group at all
+            acc.push(level, {}); // no legal group at all
         }
     }
 
-    result.selection = std::move(committed);
+    result.selection = acc.selection();
     result.eval = eval.evaluate(result.selection);
     eqx_assert(prob.valid(result.selection),
                "MCTS produced an invalid selection");
