@@ -26,6 +26,24 @@
  *                 merge the journals with `sweep merge=...`)
  *
 
+ * and the traffic-model knobs (src/traffic, see DESIGN.md §16):
+ *   traffic=<key>      TrafficRegistry model (synthetic, storm-diurnal,
+ *                      storm-flash, storm-hotspot, coherence, or an
+ *                      alias; an unknown key aborts listing the
+ *                      registered models)
+ *   trace=<spec>       capture:<path> and/or replay:<path>, comma
+ *                      separated (closed-loop models only)
+ *   storm_rate=<f>     offered arrivals / 1000 cycles / endpoint
+ *   storm_horizon=<n>  arrival-generation window in core cycles
+ *   storm_queue=<n>    per-endpoint backlog cap (drops beyond = loss)
+ *   storm_trough=<f>   off-peak rate fraction (diurnal/flash)
+ *   storm_write=<f>    write fraction of storm requests
+ *   storm_hot_cbs=<n>  hotspot: CBs the hot fraction concentrates on
+ *   storm_hot_frac=<f> hotspot: fraction aimed at the hot CBs
+ *   coh_vcs=<n>        dedicated coherence-class VCs (classVcs
+ *                      networks; needs vcsPerPort >= n + 2)
+ *   coh_region=<n>     cache lines per tracked sharer region
+ *
  * Fault-campaign benches additionally accept (see EXPERIMENTS.md):
  *   fault_rate=<f>     expected fault events / 1000 ticks / network
  *   fault_types=<s>    stall,corrupt,link_kill,router_kill or the
@@ -54,6 +72,7 @@
 #include "sim/experiment.hh"
 #include "sweep/shard.hh"
 #include "sweep/sweep_runner.hh"
+#include "traffic/traffic_registry.hh"
 
 namespace eqx {
 
@@ -105,11 +124,43 @@ applySchemeArg(ExperimentConfig &ec, const Config &cfg)
         ec.schemes = parseSchemeList(spec);
 }
 
+/**
+ * Apply the shared traffic-model arguments. traffic= is validated
+ * against the TrafficRegistry up front (fatal with the key list on an
+ * unknown model) and stored canonically; every other knob defaults to
+ * the current TrafficConfig value, so an untouched command line leaves
+ * the config — and therefore the sweep digest and record schema —
+ * byte-identical to a pre-traffic build.
+ */
+inline void
+applyTrafficArgs(TrafficConfig &tc, const Config &cfg)
+{
+    std::string model = cfg.getString("traffic", "");
+    if (!model.empty())
+        tc.model = TrafficRegistry::instance().byName(model).name();
+    tc.trace = cfg.getString("trace", tc.trace);
+    tc.stormRatePerK = cfg.getDouble("storm_rate", tc.stormRatePerK);
+    tc.stormHorizon = static_cast<std::uint64_t>(cfg.getInt(
+        "storm_horizon", static_cast<long>(tc.stormHorizon)));
+    tc.stormQueueCap =
+        static_cast<int>(cfg.getInt("storm_queue", tc.stormQueueCap));
+    tc.stormTrough = cfg.getDouble("storm_trough", tc.stormTrough);
+    tc.stormWriteFrac = cfg.getDouble("storm_write", tc.stormWriteFrac);
+    tc.stormHotCbs =
+        static_cast<int>(cfg.getInt("storm_hot_cbs", tc.stormHotCbs));
+    tc.stormHotFrac = cfg.getDouble("storm_hot_frac", tc.stormHotFrac);
+    tc.coherenceVcs =
+        static_cast<int>(cfg.getInt("coh_vcs", tc.coherenceVcs));
+    tc.cohRegionLines =
+        static_cast<int>(cfg.getInt("coh_region", tc.cohRegionLines));
+}
+
 /** Apply the shared sweep-engine arguments to a matrix experiment. */
 inline void
 applySweepArgs(ExperimentConfig &ec, const Config &cfg)
 {
     applySchemeArg(ec, cfg);
+    applyTrafficArgs(ec.traffic, cfg);
     ec.workers = static_cast<int>(cfg.getInt("workers", 0));
     ec.jobTimeoutSec = cfg.getDouble("timeout", 0);
     ec.jobRetries = static_cast<int>(cfg.getInt("retries", 1));

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     ec.schemes = {"SeparateBase"};
     ec.workloads = workloadSubset(
         static_cast<std::size_t>(cfg.getInt("benchmarks", 12)));
+    applyTrafficArgs(ec.traffic, cfg);
 
     ExperimentRunner runner(ec);
     auto cells = runner.runMatrix();

@@ -23,6 +23,8 @@ packetTypeName(PacketType t)
       case PacketType::WriteRequest: return "WriteReq";
       case PacketType::ReadReply:    return "ReadReply";
       case PacketType::WriteReply:   return "WriteReply";
+      case PacketType::Invalidate:   return "Invalidate";
+      case PacketType::InvAck:       return "InvAck";
     }
     return "?";
 }

@@ -119,20 +119,30 @@ enum class PacketType : std::uint8_t
     WriteRequest,
     ReadReply,
     WriteReply,
+    Invalidate, ///< CB -> sharer PE (coherence traffic, reply-class)
+    InvAck,     ///< sharer PE -> CB (coherence traffic, request-class)
 };
 
-/** True for the two request types. */
+/** True for the types that travel PE -> CB (request direction). */
 inline bool
 isRequest(PacketType t)
 {
-    return t == PacketType::ReadRequest || t == PacketType::WriteRequest;
+    return t == PacketType::ReadRequest || t == PacketType::WriteRequest ||
+           t == PacketType::InvAck;
 }
 
-/** True for the two reply types. */
+/** True for the types that travel CB -> PE (reply direction). */
 inline bool
 isReply(PacketType t)
 {
     return !isRequest(t);
+}
+
+/** True for the coherence multicast classes (Invalidate / InvAck). */
+inline bool
+isCoherence(PacketType t)
+{
+    return t == PacketType::Invalidate || t == PacketType::InvAck;
 }
 
 /** Human-readable packet type name. */

@@ -21,13 +21,49 @@ bool
 CacheBank::canAccept(const PacketPtr &pkt)
 {
     eqx_assert(isRequest(pkt->type), "CB only sinks request packets");
+    if (pkt->type == PacketType::InvAck)
+        return true; // disposed on accept, never queued
     return static_cast<int>(inputQueue_.size()) <
            params_.inputQueuePackets;
 }
 
 void
+CacheBank::updateSharers(const PacketPtr &req)
+{
+    Addr line = req->addr / static_cast<Addr>(params_.l2.lineBytes);
+    Addr region = line / static_cast<Addr>(coh_.regionLines);
+    auto &set = sharers_[region];
+    if (req->type == PacketType::ReadRequest) {
+        set.insert(req->src);
+        return;
+    }
+    // Write: multicast Invalidate to every other sharer, then collapse
+    // ownership to the writer. The protocol is relaxed (the write does
+    // not wait for acks) — it reproduces MESI's traffic, not its
+    // consistency guarantees.
+    for (NodeId sharer : set) {
+        if (sharer == req->src)
+            continue;
+        invQueue_.push_back(makePacket(PacketType::Invalidate, node_,
+                                       sharer, sizes_->invalidateBits,
+                                       req->addr, req->tag));
+        ++invSent_;
+        stats_.inc("invalidations_sent");
+    }
+    set.clear();
+    set.insert(req->src);
+}
+
+void
 CacheBank::accept(const PacketPtr &pkt, Cycle)
 {
+    if (pkt->type == PacketType::InvAck) {
+        ++invAcks_;
+        stats_.inc("inv_acks_received");
+        return;
+    }
+    if (cohEnabled_)
+        updateSharers(pkt);
     inputQueue_.push_back(pkt);
     stats_.inc(pkt->type == PacketType::ReadRequest ? "read_requests"
                                                     : "write_requests");
@@ -157,6 +193,20 @@ CacheBank::tick(Cycle now)
         }
     }
 
+    // Invalidate fan-out -> reply network, behind the replies (the
+    // same blocked-head scan; invalidations to distinct PEs are
+    // unordered).
+    scanned = 0;
+    for (auto it = invQueue_.begin();
+         it != invQueue_.end() && scanned < kDrainScan; ++scanned) {
+        if (replyInjector_->tryInject(*it)) {
+            it = invQueue_.erase(it);
+            stats_.inc("invalidations_injected");
+        } else {
+            ++it;
+        }
+    }
+
     // Service requests.
     for (int i = 0; i < params_.requestsPerCycle; ++i) {
         if (inputQueue_.empty())
@@ -172,7 +222,8 @@ CacheBank::drained() const
 {
     return inputQueue_.empty() && hitPipeline_.empty() &&
            replyQueue_.empty() && writebackQueue_.empty() &&
-           missTable_.empty() && hbm_.outstanding() == 0;
+           missTable_.empty() && invQueue_.empty() &&
+           hbm_.outstanding() == 0;
 }
 
 Cycle
@@ -182,7 +233,7 @@ CacheBank::nextDueCycle(Cycle now) const
     // inside other components: NoC credits, MSHR frees, HBM queue
     // space), so any backlog pins the bank to the next cycle.
     if (!inputQueue_.empty() || !replyQueue_.empty() ||
-        !writebackQueue_.empty())
+        !writebackQueue_.empty() || !invQueue_.empty())
         return now + 1;
     Cycle due = hbm_.nextDueCycle(now);
     if (!hitPipeline_.empty())

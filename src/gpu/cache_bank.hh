@@ -12,8 +12,10 @@
 #ifndef EQX_GPU_CACHE_BANK_HH
 #define EQX_GPU_CACHE_BANK_HH
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/stats.hh"
@@ -39,6 +41,18 @@ struct CbParams
     HbmParams hbm;
 };
 
+/**
+ * Coherence-style traffic knobs (traffic model "coherence"): the bank
+ * tracks a sharer set per cache-line region and multicasts Invalidate
+ * packets on writes to regions with other sharers. Derived from the
+ * TrafficConfig by System (never set directly), so it is hashed via
+ * the traffic.* digest keys rather than here.
+ */
+struct CoherenceParams
+{
+    int regionLines = 4; ///< cache lines per tracked region
+};
+
 /** One L2 bank with its memory controller and HBM stack. */
 class CacheBank : public PacketSink
 {
@@ -47,6 +61,17 @@ class CacheBank : public PacketSink
               PacketInjector *reply_injector, const PacketSizes *sizes);
 
     NodeId node() const { return node_; }
+
+    /** Arm the sharer-set directory (coherence-style traffic). */
+    void
+    enableCoherence(const CoherenceParams &cp)
+    {
+        cohEnabled_ = true;
+        coh_ = cp;
+    }
+
+    std::uint64_t invalidationsSent() const { return invSent_; }
+    std::uint64_t invAcksReceived() const { return invAcks_; }
 
     /** Advance one core cycle. */
     void tick(Cycle now);
@@ -81,6 +106,9 @@ class CacheBank : public PacketSink
     /** Service the request at the input queue head; false = stall. */
     bool processRequest(const PacketPtr &req, Cycle now);
 
+    /** Directory bookkeeping for one accepted request. */
+    void updateSharers(const PacketPtr &req);
+
     PacketPtr makeReply(const PacketPtr &req) const;
     void onMemComplete(const MemRequest &mreq, Cycle now);
 
@@ -99,6 +127,15 @@ class CacheBank : public PacketSink
 
     /** Outstanding misses: line -> requests merged onto the fetch. */
     std::map<Addr, std::vector<PacketPtr>> missTable_;
+
+    // Coherence-style traffic (enableCoherence): region sharer sets
+    // and the Invalidate fan-out awaiting reply-network injection.
+    bool cohEnabled_ = false;
+    CoherenceParams coh_;
+    std::map<Addr, std::set<NodeId>> sharers_;
+    std::deque<PacketPtr> invQueue_;
+    std::uint64_t invSent_ = 0;
+    std::uint64_t invAcks_ = 0;
 
     StatGroup stats_;
 };

@@ -5,7 +5,7 @@
 namespace eqx {
 
 ProcessingElement::ProcessingElement(NodeId node, const PeParams &params,
-                                     PeTraceGen trace,
+                                     std::unique_ptr<TrafficSource> trace,
                                      const AddressMap *amap,
                                      PacketInjector *injector,
                                      const PacketSizes *sizes)
@@ -13,7 +13,19 @@ ProcessingElement::ProcessingElement(NodeId node, const PeParams &params,
       injector_(injector), sizes_(sizes), l1_(params.l1),
       l1Mshr_(params.l1Mshrs, params.l1TargetsPerMshr)
 {
+    eqx_assert(trace_ != nullptr, "PE needs a traffic source");
     eqx_assert(amap_ && injector_ && sizes_, "PE needs its context");
+}
+
+ProcessingElement::ProcessingElement(NodeId node, const PeParams &params,
+                                     PeTraceGen trace,
+                                     const AddressMap *amap,
+                                     PacketInjector *injector,
+                                     const PacketSizes *sizes)
+    : ProcessingElement(node, params,
+                        std::make_unique<SyntheticSource>(std::move(trace)),
+                        amap, injector, sizes)
+{
 }
 
 bool
@@ -74,13 +86,23 @@ ProcessingElement::processPendingMem()
 void
 ProcessingElement::tick(Cycle)
 {
+    // Coherence acks first: fire-and-forget control packets that must
+    // not be starved by the issue loop's structural stalls.
+    while (!pendingAcks_.empty()) {
+        if (!injector_->tryInject(pendingAcks_.front())) {
+            stats_.inc("stall_ack_inject");
+            break;
+        }
+        pendingAcks_.pop_front();
+        stats_.inc("inv_acks_sent");
+    }
     for (int slot = 0; slot < params_.issueWidth; ++slot) {
         if (outstanding_ >= params_.maxOutstanding) {
             stats_.inc("stall_window");
             return;
         }
         if (!havePending_) {
-            if (!trace_.next(pending_))
+            if (!trace_->next(pending_))
                 return; // stream exhausted
             havePending_ = true;
         }
@@ -99,7 +121,8 @@ ProcessingElement::tick(Cycle)
 bool
 ProcessingElement::done() const
 {
-    return trace_.remaining() == 0 && !havePending_ && outstanding_ == 0;
+    return trace_->remaining() == 0 && !havePending_ &&
+           outstanding_ == 0 && pendingAcks_.empty();
 }
 
 bool
@@ -122,6 +145,17 @@ ProcessingElement::accept(const PacketPtr &pkt, Cycle)
     } else if (pkt->type == PacketType::WriteReply) {
         --outstanding_;
         stats_.inc("write_replies");
+    } else if (pkt->type == PacketType::Invalidate) {
+        // Coherence: drop the line and answer with a fire-and-forget
+        // InvAck back to the CB. Not part of the outstanding window —
+        // invalidations are unsolicited.
+        Addr line = amap_->lineOf(pkt->addr);
+        l1_.invalidate(line);
+        stats_.inc("invalidations_received");
+        pendingAcks_.push_back(makePacket(PacketType::InvAck, node_,
+                                          pkt->src, sizes_->invAckBits,
+                                          pkt->addr, pkt->tag));
+        return; // no outstanding-window bookkeeping for control flows
     } else {
         eqx_panic("PE received a request packet");
     }

@@ -11,6 +11,8 @@
 #define EQX_GPU_PE_HH
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -19,6 +21,7 @@
 #include "gpu/tag_array.hh"
 #include "noc/network_interface.hh"
 #include "noc/params.hh"
+#include "traffic/source.hh"
 #include "workloads/trace_gen.hh"
 
 namespace eqx {
@@ -37,6 +40,13 @@ struct PeParams
 class ProcessingElement : public PacketSink
 {
   public:
+    /** Drive the PE from any closed-loop traffic source. */
+    ProcessingElement(NodeId node, const PeParams &params,
+                      std::unique_ptr<TrafficSource> trace,
+                      const AddressMap *amap, PacketInjector *injector,
+                      const PacketSizes *sizes);
+
+    /** Legacy convenience: wrap a PeTraceGen (the synthetic default). */
     ProcessingElement(NodeId node, const PeParams &params,
                       PeTraceGen trace, const AddressMap *amap,
                       PacketInjector *injector, const PacketSizes *sizes);
@@ -63,9 +73,11 @@ class ProcessingElement : public PacketSink
     Cycle
     nextDueCycle(Cycle now) const
     {
+        if (!pendingAcks_.empty())
+            return now + 1; // an ack retry never depends on a reply
         if (outstanding_ >= params_.maxOutstanding)
             return kNeverCycle;
-        if (trace_.remaining() != 0 || havePending_)
+        if (trace_->remaining() != 0 || havePending_)
             return now + 1;
         return kNeverCycle;
     }
@@ -85,7 +97,7 @@ class ProcessingElement : public PacketSink
 
     NodeId node_;
     PeParams params_;
-    PeTraceGen trace_;
+    std::unique_ptr<TrafficSource> trace_;
     const AddressMap *amap_;
     PacketInjector *injector_;
     const PacketSizes *sizes_;
@@ -96,6 +108,9 @@ class ProcessingElement : public PacketSink
 
     bool havePending_ = false;
     TraceOp pending_;
+
+    /** Coherence: InvAcks awaiting injection (fire-and-forget). */
+    std::deque<PacketPtr> pendingAcks_;
 
     std::uint64_t instsIssued_ = 0;
     StatGroup stats_;

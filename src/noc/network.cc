@@ -16,6 +16,12 @@ Network::Network(const NetworkSpec &spec)
     if (params_.classVcs)
         eqx_assert(params_.vcsPerPort >= 2,
                    "class-segregated VCs need >= 2 VCs");
+    if (params_.coherenceVcs > 0) {
+        eqx_assert(params_.classVcs,
+                   "coherence VCs require class-segregated VC mode");
+        eqx_assert(params_.vcsPerPort >= params_.coherenceVcs + 2,
+                   "coherence VCs need vcsPerPort >= coherenceVcs + 2");
+    }
 
     int n = topo_.numNodes();
     routers_.reserve(static_cast<std::size_t>(n));

@@ -108,13 +108,21 @@ NetworkInterface::allowedVcs(PacketType t, int &lo, int &hi) const
     hi = v - 1;
     if (!params_->classVcs)
         return;
-    int half = v / 2;
+    int cls = packetVcClass(t, *params_);
+    if (cls == 2) {
+        // Coherence class: the reserved top VCs.
+        lo = v - params_->coherenceVcs;
+        return;
+    }
+    int base = v - params_->coherenceVcs;
+    int half = base / 2;
     if (half == 0)
         half = 1;
-    if (isRequest(t)) {
-        hi = std::min(half, v) - 1;
+    if (cls == 0) {
+        hi = std::min(half, base) - 1;
     } else {
-        lo = std::min(half, v - 1);
+        lo = std::min(half, base - 1);
+        hi = base - 1;
     }
 }
 

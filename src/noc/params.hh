@@ -70,6 +70,17 @@ struct NocParams
     bool vcMono = false;
     int vcMonoWindow = 64;
 
+    /**
+     * Coherence multicast classes (traffic model "coherence"): in
+     * classVcs mode, reserve the top coherenceVcs VCs as a third class
+     * carrying Invalidate/InvAck packets, so the invalidation fan-out
+     * cannot deadlock against the request/reply classes it crosses.
+     * 0 (default) = coherence packets share the class of their
+     * direction (InvAck with requests, Invalidate with replies).
+     * Requires vcsPerPort >= coherenceVcs + 2 when set.
+     */
+    int coherenceVcs = 0;
+
     int channelLatencyCycles = 1; ///< router-to-router link latency
 
     /**
@@ -115,13 +126,28 @@ struct NocParams
     }
 };
 
-/** Payload sizes in bits for the four packet types (64 B lines). */
+/**
+ * VC class of a packet in a classVcs network: 0 = request, 1 = reply,
+ * 2 = coherence (only when the network reserves coherence VCs —
+ * otherwise Invalidate/InvAck fold into the class of their direction).
+ */
+inline int
+packetVcClass(PacketType t, const NocParams &p)
+{
+    if (p.coherenceVcs > 0 && isCoherence(t))
+        return 2;
+    return isRequest(t) ? 0 : 1;
+}
+
+/** Payload sizes in bits for the packet types (64 B lines). */
 struct PacketSizes
 {
     int readRequestBits = 128;
     int writeRequestBits = 640;
     int readReplyBits = 640;
     int writeReplyBits = 128;
+    int invalidateBits = 128; ///< coherence: address-only control packet
+    int invAckBits = 128;     ///< coherence: address-only control packet
 
     int
     bitsFor(PacketType t) const
@@ -131,6 +157,8 @@ struct PacketSizes
           case PacketType::WriteRequest: return writeRequestBits;
           case PacketType::ReadReply:    return readReplyBits;
           case PacketType::WriteReply:   return writeReplyBits;
+          case PacketType::Invalidate:   return invalidateBits;
+          case PacketType::InvAck:       return invAckBits;
         }
         return 128;
     }

@@ -121,7 +121,7 @@ Router::acceptFlit(int in_port, Flit f, Cycle now)
     // Class bookkeeping feeds classVcRange()/monopolyAllowed() only;
     // plain networks skip the packet dereference entirely.
     if (params_->classVcs || params_->vcMono) {
-        int cls = isRequest(f.pkt->type) ? 0 : 1;
+        int cls = packetVcClass(f.pkt->type, *params_);
         lastSeenClass_[cls] = now;
         seenClass_[cls] = true;
         if (vc_[flat].count == 0)
@@ -158,15 +158,26 @@ void
 Router::classVcRange(int cls, int &lo, int &hi) const
 {
     int v = params_->vcsPerPort;
-    int half = v / 2;
+    int coh = params_->coherenceVcs;
+    if (cls == 2) {
+        // Coherence class: the reserved top VCs (only reachable when
+        // coherenceVcs > 0, enforced at packet classification).
+        lo = v - coh;
+        hi = v - 1;
+        return;
+    }
+    // Request/reply split the remaining VCs exactly as before; with
+    // coherenceVcs == 0 this is byte-identical to the legacy layout.
+    int base = v - coh;
+    int half = base / 2;
     if (half == 0)
         half = 1;
     if (cls == 0) {
         lo = 0;
-        hi = std::min(half, v) - 1;
+        hi = std::min(half, base) - 1;
     } else {
-        lo = std::min(half, v - 1);
-        hi = v - 1;
+        lo = std::min(half, base - 1);
+        hi = base - 1;
     }
 }
 
@@ -178,8 +189,9 @@ Router::monopolyAllowed(int cls, Cycle now) const
     // Only replies may monopolize request-class VCs: replies are always
     // sunk at PE NIs, so borrowed request VCs still drain. Letting
     // requests borrow reply VCs would close the classic request/reply
-    // protocol-deadlock cycle.
-    if (cls == 0)
+    // protocol-deadlock cycle, and the coherence class stays pinned to
+    // its reserved VCs so the fan-out can never starve either class.
+    if (cls != 1)
         return false;
     if (!seenClass_[0])
         return true;

@@ -457,8 +457,8 @@ class Router
     Cycle vaBlockTick_[kMaxInVcs] = {};
 
     /** Last tick a flit of each class (0=req, 1=reply) was seen. */
-    Cycle lastSeenClass_[2] = {0, 0};
-    bool seenClass_[2] = {false, false};
+    Cycle lastSeenClass_[3] = {0, 0, 0};
+    bool seenClass_[3] = {false, false, false};
 
     RunningStat residence_;
 };

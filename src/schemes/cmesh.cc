@@ -143,6 +143,7 @@ class InterposerCMeshModel final : public SchemeModel
         NetworkSpec mesh;
         mesh.params = baseParams(cfg, "single");
         mesh.params.classVcs = true;
+        mesh.params.coherenceVcs = cfg.traffic.coherenceVcs;
         mesh.params.routing = RoutingMode::XY;
         out.push_back(std::move(mesh));
 
@@ -152,6 +153,7 @@ class InterposerCMeshModel final : public SchemeModel
         overlay.params.height = (cfg.height + 1) / 2;
         overlay.params.flitBits = cfg.cmeshFlitBits;
         overlay.params.classVcs = true;
+        overlay.params.coherenceVcs = cfg.traffic.coherenceVcs;
         overlay.params.routing = RoutingMode::XY;
         overlay.params.geoLinksInterposer = true;
         for (NodeId n = 0; n < overlay.params.numNodes(); ++n) {

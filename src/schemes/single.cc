@@ -55,6 +55,7 @@ class SingleNetModel : public SchemeModel
         NetworkSpec spec;
         spec.params = baseParams(b.cfg, "single");
         spec.params.classVcs = true;
+        spec.params.coherenceVcs = b.cfg.traffic.coherenceVcs;
         spec.params.routing = RoutingMode::XY;
         spec.params.vcMono = vcMono_;
         std::vector<NetworkSpec> out;

@@ -186,6 +186,30 @@ serializeFaultConfig(const FaultConfig &fc, KvBlob &out)
     out.add("fault.events", evs);
 }
 
+/**
+ * Every traffic/storm/trace knob is hashed so sweep-cache cells from
+ * different traffic models can never collide. The trace strings hash
+ * by their spec text: a replay cell is keyed by the trace *path*, so
+ * rewriting a trace file in place invalidates nothing — use fresh
+ * paths for fresh captures (DESIGN.md §16).
+ */
+void
+serializeTrafficConfig(const TrafficConfig &tc, KvBlob &out)
+{
+    out.add("traffic.model",
+            tc.model.empty() ? std::string("synthetic") : tc.model);
+    out.add("traffic.trace", tc.trace);
+    out.add("traffic.storm_rate_per_k", tc.stormRatePerK);
+    out.add("traffic.storm_horizon", tc.stormHorizon);
+    out.add("traffic.storm_queue_cap", tc.stormQueueCap);
+    out.add("traffic.storm_trough", tc.stormTrough);
+    out.add("traffic.storm_write_frac", tc.stormWriteFrac);
+    out.add("traffic.storm_hot_cbs", tc.stormHotCbs);
+    out.add("traffic.storm_hot_frac", tc.stormHotFrac);
+    out.add("traffic.coherence_vcs", tc.coherenceVcs);
+    out.add("traffic.coh_region_lines", tc.cohRegionLines);
+}
+
 } // namespace
 
 void
@@ -196,7 +220,7 @@ serializeSystemConfig(const SystemConfig &sc, KvBlob &out)
 // documenting why it cannot affect results) and updating the
 // expected size. Layout is checked only on the toolchain CI runs.
 #if defined(__x86_64__) && defined(__GLIBCXX__) && !defined(_GLIBCXX_DEBUG)
-    static_assert(sizeof(SystemConfig) == 512,
+    static_assert(sizeof(SystemConfig) == 648,
                   "SystemConfig changed: update serializeSystemConfig "
                   "and this size guard (see config_serial.hh)");
 #endif
@@ -241,6 +265,8 @@ serializeSystemConfig(const SystemConfig &sc, KvBlob &out)
     out.add("sc.sizes.write_req", sc.sizes.writeRequestBits);
     out.add("sc.sizes.read_rep", sc.sizes.readReplyBits);
     out.add("sc.sizes.write_rep", sc.sizes.writeReplyBits);
+    out.add("sc.sizes.inv", sc.sizes.invalidateBits);
+    out.add("sc.sizes.inv_ack", sc.sizes.invAckBits);
 
     out.add("sc.vcs_per_port", sc.vcsPerPort);
     out.add("sc.vc_depth", sc.vcDepthFlits);
@@ -266,6 +292,7 @@ serializeSystemConfig(const SystemConfig &sc, KvBlob &out)
     out.add("sc.collect_metrics", sc.collectMetrics);
 
     serializeFaultConfig(sc.fault, out);
+    serializeTrafficConfig(sc.traffic, out);
 }
 
 void

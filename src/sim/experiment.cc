@@ -51,6 +51,7 @@ ExperimentRunner::makeSystemConfig(const SchemeModel &model) const
     sc.warmupCycles = cfg_.warmupCycles;
     sc.collectMetrics = cfg_.collectMetrics;
     sc.fault = cfg_.fault;
+    sc.traffic = cfg_.traffic;
     if (cfg_.tweak)
         cfg_.tweak(sc);
     return sc;
@@ -262,8 +263,33 @@ cellJsonObject(const CellResult &c)
             .field("fault_credits_reconciled",
                    r.faultCreditsReconciled)
             .field("fault_masked_ports", r.faultMaskedPorts)
-            .field("delivered_ratio", dr)
             .field("retx_rate", rr);
+        // Storm-armed runs own the delivered_ratio column (their
+        // end-to-end delivered/offered is the headline number); the
+        // fault-plane ratio stays derivable from the counters above.
+        if (!r.stormArmed)
+            o.field("delivered_ratio", dr);
+    }
+    // Open-loop storm columns (traffic model storm-*), present only on
+    // storm-armed runs so the closed-loop record schema is unchanged.
+    if (r.stormArmed) {
+        double dr = r.stormOffered
+                        ? static_cast<double>(r.stormDelivered) /
+                              static_cast<double>(r.stormOffered)
+                        : 0.0;
+        o.field("storm_armed", r.stormArmed)
+            .field("storm_offered", r.stormOffered)
+            .field("storm_injected", r.stormInjected)
+            .field("storm_delivered", r.stormDelivered)
+            .field("storm_dropped", r.stormDropped)
+            .field("delivered_ratio", dr)
+            .field("storm_saturated", r.stormDropped > 0);
+    }
+    // Coherence-style multi-flow columns (traffic model "coherence").
+    if (r.cohArmed) {
+        o.field("coh_armed", r.cohArmed)
+            .field("coh_invalidations", r.cohInvalidations)
+            .field("coh_inv_acks", r.cohInvAcks);
     }
     // The observability snapshot rides along "m."-prefixed so schema
     // consumers can separate the fixed columns from the per-router

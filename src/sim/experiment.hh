@@ -77,6 +77,11 @@ struct ExperimentConfig
      *  disabled config leaves the schema and results byte-identical
      *  to a fault-free build. */
     FaultConfig fault;
+    /** Traffic model applied to every cell (DESIGN.md §16). The
+     *  default keeps the legacy closed-loop synthetic path and a
+     *  record schema byte-identical to pre-traffic builds; storm
+     *  models grow the storm_* columns, coherence the coh_* ones. */
+    TrafficConfig traffic;
     /** Applied to every per-run SystemConfig before construction.
      *  Must be thread-safe when workers != 1 (called concurrently). */
     std::function<void(SystemConfig &)> tweak;

@@ -17,6 +17,7 @@
 #include "gpu/cache_bank.hh"
 #include "gpu/pe.hh"
 #include "noc/params.hh"
+#include "traffic/traffic_config.hh"
 
 namespace eqx {
 
@@ -140,6 +141,15 @@ struct SystemConfig
      * count.
      */
     FaultConfig fault;
+
+    /**
+     * Traffic model selection and knobs (DESIGN.md §16). The default
+     * is the legacy closed-loop synthetic path, byte-identical to
+     * pre-traffic builds; storm models replace the PEs with open-loop
+     * rate-driven endpoints, the coherence model arms the CB sharer
+     * directories, and trace= captures or replays the op streams.
+     */
+    TrafficConfig traffic;
 };
 
 } // namespace eqx

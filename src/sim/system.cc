@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "runner/stream_seed.hh"
 #include "schemes/scheme_registry.hh"
+#include "traffic/traffic_registry.hh"
 
 namespace eqx {
 
@@ -79,19 +80,71 @@ System::buildEndpoints(const WorkloadProfile &profile)
         return injectors_.back().get();
     };
 
+    // Traffic model resolution (DESIGN.md §16): empty means the legacy
+    // closed-loop synthetic path, byte-identical to the pre-registry
+    // wiring.
+    int num_cbs = static_cast<int>(cbNodes_.size());
+    const TrafficModel &tm = TrafficRegistry::instance().byName(
+        cfg_.traffic.model.empty() ? "synthetic" : cfg_.traffic.model);
+    TrafficBuild tb{cfg_.traffic, profile, cfg_.seed,
+                    num_nodes - num_cbs, num_cbs};
+    traffic_ = tm.build(tb);
+
+    // Trace capture/replay composes with closed-loop models only: the
+    // wire format records PE op streams, which storms do not have.
+    TraceSpec trace;
+    if (!cfg_.traffic.trace.empty()) {
+        trace = parseTraceSpec(cfg_.traffic.trace);
+        if (traffic_->openLoop())
+            eqx_fatal("trace= requires a closed-loop traffic model, "
+                      "not '", tm.name(), "'");
+    }
+    if (!trace.replayPath.empty()) {
+        replay_ = std::make_unique<TraceData>();
+        std::string err;
+        if (!readTraceFile(trace.replayPath, *replay_, err))
+            eqx_fatal("trace replay: ", err);
+        if (static_cast<int>(replay_->pes.size()) != tb.numPes)
+            eqx_fatal("trace replay: '", trace.replayPath, "' holds ",
+                      replay_->pes.size(), " PE streams but this system "
+                      "has ", tb.numPes, " PEs");
+    }
+    if (!trace.capturePath.empty()) {
+        capturePath_ = trace.capturePath;
+        capture_ = std::make_unique<TraceCapture>(
+            tb.numPes, replay_ ? replay_->workload : profile.name);
+    }
+
     // Endpoints.
     int pe_index = 0;
+    bool open_loop = traffic_->openLoop();
     for (NodeId n = 0; n < num_nodes; ++n) {
         if (is_cb[static_cast<std::size_t>(n)]) {
             auto *inj = make_injector(n, /*for_reply=*/true);
             cbs_.push_back(std::make_unique<CacheBank>(n, cfg_.cb, inj,
                                                        &cfg_.sizes));
+            if (traffic_->wantsCoherence())
+                cbs_.back()->enableCoherence(
+                    {cfg_.traffic.cohRegionLines});
             tileSinks_[static_cast<std::size_t>(n)] = cbs_.back().get();
+        } else if (open_loop) {
+            auto *inj = make_injector(n, /*for_reply=*/false);
+            storms_.push_back(traffic_->makeEndpoint(
+                pe_index, n, inj, &amap_, &cfg_.sizes));
+            tileSinks_[static_cast<std::size_t>(n)] = storms_.back().get();
+            ++pe_index;
         } else {
             auto *inj = make_injector(n, /*for_reply=*/false);
-            PeTraceGen gen(profile, pe_index, cfg_.seed);
+            std::unique_ptr<TrafficSource> src =
+                replay_
+                    ? std::make_unique<ReplaySource>(
+                          &replay_->pes[static_cast<std::size_t>(pe_index)])
+                    : traffic_->makeSource(pe_index);
+            if (capture_)
+                src = std::make_unique<CaptureSource>(
+                    std::move(src), capture_.get(), pe_index);
             pes_.push_back(std::make_unique<ProcessingElement>(
-                n, cfg_.pe, std::move(gen), &amap_, inj, &cfg_.sizes));
+                n, cfg_.pe, std::move(src), &amap_, inj, &cfg_.sizes));
             tileSinks_[static_cast<std::size_t>(n)] = pes_.back().get();
             ++pe_index;
         }
@@ -115,6 +168,8 @@ System::step()
         cb->tick(cycle_);
     for (auto &pe : pes_)
         pe->tick(cycle_);
+    for (auto &s : storms_)
+        s->tick(cycle_);
     // Warmup/measurement boundary: discard the cold-start transient.
     if (cfg_.warmupCycles > 0 && cycle_ == cfg_.warmupCycles)
         resetStats();
@@ -137,6 +192,12 @@ System::maybeSkip()
     wheel_.beginEpoch(cycle_);
     for (const auto &pe : pes_) {
         Cycle due = pe->nextDueCycle(cycle_);
+        if (due == cycle_ + 1)
+            return 0;
+        wheel_.post(due);
+    }
+    for (const auto &s : storms_) {
+        Cycle due = s->nextDueCycle(cycle_);
         if (due == cycle_ + 1)
             return 0;
         wheel_.post(due);
@@ -186,6 +247,9 @@ System::finished() const
 {
     for (const auto &pe : pes_)
         if (!pe->done())
+            return false;
+    for (const auto &s : storms_)
+        if (!s->done())
             return false;
     for (const auto &cb : cbs_)
         if (!cb->drained())
@@ -302,6 +366,23 @@ System::collect(RunResult &out) const
     }
     out.degraded = out.faultMaskedPorts > 0;
 
+    if (!storms_.empty()) {
+        out.stormArmed = true;
+        for (const auto &s : storms_) {
+            out.stormOffered += s->offered();
+            out.stormInjected += s->injected();
+            out.stormDelivered += s->delivered();
+            out.stormDropped += s->dropped();
+        }
+    }
+    if (traffic_ && traffic_->wantsCoherence()) {
+        out.cohArmed = true;
+        for (const auto &cb : cbs_) {
+            out.cohInvalidations += cb->invalidationsSent();
+            out.cohInvAcks += cb->invAcksReceived();
+        }
+    }
+
     if (cfg_.collectMetrics) {
         out.metrics.reset();
         for (const auto &net : nets_)
@@ -319,6 +400,13 @@ System::run()
     RunResult out;
     out.completed = finished();
     collect(out);
+    // Trace capture finalization: the file is a pure function of the
+    // op streams, so it is written whole at run end.
+    if (capture_) {
+        std::string err;
+        if (!capture_->writeFile(capturePath_, err))
+            eqx_fatal("trace capture: ", err);
+    }
     if (cancelled_)
         eqx_warn("system run cancelled at cycle ", cycle_, " (",
                  model_->name(), ")");

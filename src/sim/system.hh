@@ -20,6 +20,9 @@
 #include "noc/network.hh"
 #include "power/power_model.hh"
 #include "sim/scheme.hh"
+#include "traffic/storm.hh"
+#include "traffic/trace_io.hh"
+#include "traffic/traffic_model.hh"
 #include "workloads/profiles.hh"
 
 namespace eqx {
@@ -77,6 +80,20 @@ struct RunResult
     std::uint64_t faultFlitsDropped = 0;
     std::uint64_t faultCreditsReconciled = 0;
     int faultMaskedPorts = 0;
+
+    // Open-loop storm aggregates over every storm endpoint (traffic
+    // model storm-*, DESIGN.md §16); all zero unless the run replaced
+    // its PEs with rate-driven endpoints.
+    bool stormArmed = false;
+    std::uint64_t stormOffered = 0;   ///< arrivals the profile generated
+    std::uint64_t stormInjected = 0;  ///< accepted by the NIs
+    std::uint64_t stormDelivered = 0; ///< replies returned
+    std::uint64_t stormDropped = 0;   ///< backlog-full losses
+
+    // Coherence-style traffic aggregates (traffic model "coherence").
+    bool cohArmed = false;
+    std::uint64_t cohInvalidations = 0; ///< Invalidates multicast by CBs
+    std::uint64_t cohInvAcks = 0;       ///< InvAcks returned to CBs
 
     /**
      * Full observability snapshot (per-router, per-port, per-NI-buffer
@@ -176,9 +193,17 @@ class System
 
     std::vector<std::unique_ptr<ProcessingElement>> pes_;
     std::vector<std::unique_ptr<CacheBank>> cbs_;
+    std::vector<std::unique_ptr<StormEndpoint>> storms_;
     std::vector<std::unique_ptr<PacketInjector>> injectors_;
     std::vector<std::unique_ptr<PacketSink>> overlaySinks_;
     std::vector<PacketSink *> tileSinks_; ///< tile id -> endpoint
+
+    // Traffic model state (DESIGN.md §16): the instance built for this
+    // run, plus the trace capture/replay plumbing when trace= is set.
+    std::unique_ptr<TrafficInstance> traffic_;
+    std::unique_ptr<TraceData> replay_;
+    std::unique_ptr<TraceCapture> capture_;
+    std::string capturePath_;
 
     Cycle cycle_ = 0;
     bool cancelled_ = false;

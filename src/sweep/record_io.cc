@@ -1,276 +1,6 @@
 #include "sweep/record_io.hh"
 
-#include <charconv>
-#include <cmath>
-#include <cstdlib>
-#include <limits>
-
 namespace eqx {
-
-namespace {
-
-/** True when a validated JSON number carries a '.' or exponent part. */
-bool
-hasFractionOrExponent(const std::string &t)
-{
-    return t.find_first_of(".eE") != std::string::npos;
-}
-
-} // namespace
-
-double
-JsonValue::asDouble() const
-{
-    if (kind == Kind::Number) {
-        // from_chars is locale-independent (strtod honors LC_NUMERIC,
-        // which would mis-parse "1.5" under a comma-decimal locale).
-        double v = 0.0;
-        std::from_chars(text.data(), text.data() + text.size(), v);
-        return v;
-    }
-    if (kind == Kind::Bool)
-        return boolean ? 1.0 : 0.0;
-    // null carries a non-finite double (the writer emits null for
-    // NaN/Inf), so null -> NaN -> null round-trips.
-    return std::nan("");
-}
-
-std::uint64_t
-JsonValue::asU64() const
-{
-    if (kind != Kind::Number)
-        return 0;
-    // The parser has already enforced the JSON number grammar, so the
-    // only cases are: plain non-negative integer (exact via from_chars,
-    // saturating on overflow), negative (rejected to 0 instead of
-    // wrapping), and fraction/exponent forms ("1.5e3") converted
-    // through double instead of truncating at the first non-digit.
-    if (!text.empty() && text[0] == '-')
-        return 0;
-    if (!hasFractionOrExponent(text)) {
-        std::uint64_t v = 0;
-        auto r = std::from_chars(text.data(), text.data() + text.size(), v);
-        if (r.ec == std::errc::result_out_of_range)
-            return std::numeric_limits<std::uint64_t>::max();
-        return v;
-    }
-    double d = asDouble();
-    if (!(d > 0.0))
-        return 0;
-    if (d >= 18446744073709551616.0) // 2^64
-        return std::numeric_limits<std::uint64_t>::max();
-    return static_cast<std::uint64_t>(d);
-}
-
-std::int64_t
-JsonValue::asI64() const
-{
-    if (kind != Kind::Number)
-        return 0;
-    if (!hasFractionOrExponent(text)) {
-        std::int64_t v = 0;
-        auto r = std::from_chars(text.data(), text.data() + text.size(), v);
-        if (r.ec == std::errc::result_out_of_range)
-            return text[0] == '-' ? std::numeric_limits<std::int64_t>::min()
-                                  : std::numeric_limits<std::int64_t>::max();
-        return v;
-    }
-    double d = asDouble();
-    if (d >= 9223372036854775808.0) // 2^63
-        return std::numeric_limits<std::int64_t>::max();
-    if (d < -9223372036854775808.0)
-        return std::numeric_limits<std::int64_t>::min();
-    return static_cast<std::int64_t>(d);
-}
-
-namespace {
-
-void
-skipWs(const std::string &s, std::size_t &p)
-{
-    while (p < s.size() &&
-           (s[p] == ' ' || s[p] == '\t' || s[p] == '\r' || s[p] == '\n'))
-        ++p;
-}
-
-/** Parse a JSON string literal starting at the opening quote. */
-bool
-parseString(const std::string &s, std::size_t &p, std::string &out)
-{
-    if (p >= s.size() || s[p] != '"')
-        return false;
-    ++p;
-    out.clear();
-    while (p < s.size()) {
-        char c = s[p];
-        if (c == '"') {
-            ++p;
-            return true;
-        }
-        if (c == '\\') {
-            if (p + 1 >= s.size())
-                return false;
-            char e = s[p + 1];
-            p += 2;
-            switch (e) {
-              case '"':  out += '"';  break;
-              case '\\': out += '\\'; break;
-              case '/':  out += '/';  break;
-              case 'b':  out += '\b'; break;
-              case 'f':  out += '\f'; break;
-              case 'n':  out += '\n'; break;
-              case 'r':  out += '\r'; break;
-              case 't':  out += '\t'; break;
-              case 'u': {
-                  if (p + 4 > s.size())
-                      return false;
-                  unsigned v = 0;
-                  for (int i = 0; i < 4; ++i) {
-                      char h = s[p + static_cast<std::size_t>(i)];
-                      v <<= 4;
-                      if (h >= '0' && h <= '9')
-                          v |= static_cast<unsigned>(h - '0');
-                      else if (h >= 'a' && h <= 'f')
-                          v |= static_cast<unsigned>(h - 'a' + 10);
-                      else if (h >= 'A' && h <= 'F')
-                          v |= static_cast<unsigned>(h - 'A' + 10);
-                      else
-                          return false;
-                  }
-                  p += 4;
-                  // The writer only emits \u00xx control escapes;
-                  // decode the BMP anyway, reject surrogates.
-                  if (v >= 0xd800 && v <= 0xdfff)
-                      return false;
-                  if (v < 0x80) {
-                      out += static_cast<char>(v);
-                  } else if (v < 0x800) {
-                      out += static_cast<char>(0xc0 | (v >> 6));
-                      out += static_cast<char>(0x80 | (v & 0x3f));
-                  } else {
-                      out += static_cast<char>(0xe0 | (v >> 12));
-                      out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
-                      out += static_cast<char>(0x80 | (v & 0x3f));
-                  }
-                  break;
-              }
-              default:
-                  return false;
-            }
-            continue;
-        }
-        out += c;
-        ++p;
-    }
-    return false; // unterminated
-}
-
-bool
-parseValue(const std::string &s, std::size_t &p, JsonValue &out)
-{
-    if (p >= s.size())
-        return false;
-    char c = s[p];
-    if (c == '"') {
-        out.kind = JsonValue::Kind::String;
-        return parseString(s, p, out.text);
-    }
-    if (s.compare(p, 4, "true") == 0) {
-        out.kind = JsonValue::Kind::Bool;
-        out.boolean = true;
-        p += 4;
-        return true;
-    }
-    if (s.compare(p, 5, "false") == 0) {
-        out.kind = JsonValue::Kind::Bool;
-        out.boolean = false;
-        p += 5;
-        return true;
-    }
-    if (s.compare(p, 4, "null") == 0) {
-        out.kind = JsonValue::Kind::Null;
-        p += 4;
-        return true;
-    }
-    // Number: the strict JSON grammar
-    // -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — strtod alone
-    // would admit non-JSON spellings like "01", "+1", ".5" or "0x1".
-    std::size_t start = p;
-    auto digits = [&s, &p] {
-        std::size_t n = 0;
-        while (p < s.size() && s[p] >= '0' && s[p] <= '9')
-            ++p, ++n;
-        return n;
-    };
-    if (p < s.size() && s[p] == '-')
-        ++p;
-    if (p < s.size() && s[p] == '0')
-        ++p; // a leading zero stands alone
-    else if (digits() == 0)
-        return false;
-    if (p < s.size() && s[p] == '.') {
-        ++p;
-        if (digits() == 0)
-            return false;
-    }
-    if (p < s.size() && (s[p] == 'e' || s[p] == 'E')) {
-        ++p;
-        if (p < s.size() && (s[p] == '-' || s[p] == '+'))
-            ++p;
-        if (digits() == 0)
-            return false;
-    }
-    out.kind = JsonValue::Kind::Number;
-    out.text = s.substr(start, p - start);
-    return true;
-}
-
-} // namespace
-
-bool
-parseFlatJson(const std::string &line, JsonFields &out)
-{
-    out.clear();
-    std::size_t p = 0;
-    skipWs(line, p);
-    if (p >= line.size() || line[p] != '{')
-        return false;
-    ++p;
-    skipWs(line, p);
-    if (p < line.size() && line[p] == '}') {
-        ++p;
-        skipWs(line, p);
-        return p == line.size();
-    }
-    for (;;) {
-        skipWs(line, p);
-        std::string key;
-        if (!parseString(line, p, key))
-            return false;
-        skipWs(line, p);
-        if (p >= line.size() || line[p] != ':')
-            return false;
-        ++p;
-        skipWs(line, p);
-        JsonValue v;
-        if (!parseValue(line, p, v))
-            return false;
-        out[key] = std::move(v);
-        skipWs(line, p);
-        if (p >= line.size())
-            return false;
-        if (line[p] == ',') {
-            ++p;
-            continue;
-        }
-        if (line[p] == '}') {
-            ++p;
-            skipWs(line, p);
-            return p == line.size();
-        }
-        return false;
-    }
-}
 
 std::string
 cellRecordLine(const CellRecord &rec)
@@ -392,6 +122,20 @@ parseCellRecord(const std::string &line, CellRecord &out,
         r.faultMaskedPorts = static_cast<int>(u64("fault_masked_ports"));
         // delivered_ratio / retx_rate are derived columns; the
         // re-render recomputes them from the counters above.
+    }
+
+    if (f.count("storm_armed")) {
+        r.stormArmed = boolean("storm_armed");
+        r.stormOffered = u64("storm_offered");
+        r.stormInjected = u64("storm_injected");
+        r.stormDelivered = u64("storm_delivered");
+        r.stormDropped = u64("storm_dropped");
+        // delivered_ratio / storm_saturated are derived columns.
+    }
+    if (f.count("coh_armed")) {
+        r.cohArmed = boolean("coh_armed");
+        r.cohInvalidations = u64("coh_invalidations");
+        r.cohInvAcks = u64("coh_inv_acks");
     }
 
     for (const auto &[k, v] : f)

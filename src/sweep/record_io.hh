@@ -14,54 +14,23 @@
  * what lets a fully cache-served sweep emit JSONL byte-identical —
  * modulo wall_ms — to the run that populated the cache.
  *
- * The parser handles exactly what the JsonObject builder emits: one
- * flat object of string / number / bool / null values. It is also the
- * wire parser of the sweepd query protocol.
+ * The flat-JSON value model and parser live in runner/flat_json.hh
+ * (shared with the traffic trace wire format); this header pulls them
+ * in so existing record_io users compile unchanged. parseFlatJson is
+ * also the wire parser of the sweepd query protocol.
  */
 
 #ifndef EQX_SWEEP_RECORD_IO_HH
 #define EQX_SWEEP_RECORD_IO_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
 
+#include "runner/flat_json.hh"
 #include "sim/experiment.hh"
 #include "sweep/digest.hh"
 
 namespace eqx {
-
-/** One parsed flat-JSON value. Number text is kept raw so integer
- *  fields round-trip without passing through a double. */
-struct JsonValue
-{
-    enum class Kind : std::uint8_t
-    {
-        String,
-        Number,
-        Bool,
-        Null,
-    };
-    Kind kind = Kind::Null;
-    std::string text; ///< unescaped string, or raw number token
-    bool boolean = false;
-
-    double asDouble() const;
-    std::uint64_t asU64() const;
-    std::int64_t asI64() const;
-    int asInt() const { return static_cast<int>(asI64()); }
-    bool asBool() const { return kind == Kind::Bool && boolean; }
-};
-
-/** Field map of one flat JSON object, in key order of appearance. */
-using JsonFields = std::map<std::string, JsonValue>;
-
-/**
- * Parse one flat JSON object (no nesting, no arrays). Returns false
- * on any syntax error or on nested values. Duplicate keys keep the
- * last occurrence.
- */
-bool parseFlatJson(const std::string &line, JsonFields &out);
 
 /** One cache/journal record. */
 struct CellRecord

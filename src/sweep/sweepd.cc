@@ -70,16 +70,6 @@ splitCsv(const std::string &s)
     return out;
 }
 
-/** Non-fatal workload lookup (workloadByName aborts on unknown). */
-const WorkloadProfile *
-findWorkload(const std::string &name)
-{
-    for (const auto &wp : workloadSuite())
-        if (wp.name == name)
-            return &wp;
-    return nullptr;
-}
-
 } // namespace
 
 SweepdServer::SweepdServer(SweepdConfig cfg) : cfg_(std::move(cfg))

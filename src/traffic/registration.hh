@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Registration hooks of the built-in traffic models, one translation
+ * unit per model (the SchemeRegistry pattern): the registry calls
+ * these explicitly instead of relying on static-initializer order.
+ */
+
+#ifndef EQX_TRAFFIC_REGISTRATION_HH
+#define EQX_TRAFFIC_REGISTRATION_HH
+
+namespace eqx {
+
+class TrafficRegistry;
+
+void registerSyntheticTraffic(TrafficRegistry &r);   // synthetic.cc
+void registerStormDiurnalTraffic(TrafficRegistry &r); // storm_diurnal.cc
+void registerStormFlashTraffic(TrafficRegistry &r);   // storm_flash.cc
+void registerStormHotspotTraffic(TrafficRegistry &r); // storm_hotspot.cc
+void registerCoherenceTraffic(TrafficRegistry &r);    // coherence.cc
+
+} // namespace eqx
+
+#endif // EQX_TRAFFIC_REGISTRATION_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Diurnal-ramp storm: offered load ramps linearly from the trough up
+ * to the peak at mid-horizon and back — the "day cycle" of a
+ * million-user service, compressed into one run.
+ */
+
+#include "traffic/registration.hh"
+#include "traffic/storm.hh"
+#include "traffic/traffic_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class StormDiurnalModel final : public TrafficModel
+{
+  public:
+    std::string name() const override { return "storm-diurnal"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"diurnal"};
+    }
+
+    std::string
+    describe() const override
+    {
+        return "open-loop triangle ramp: trough -> peak -> trough "
+               "offered load over the storm horizon";
+    }
+
+    std::unique_ptr<TrafficInstance>
+    build(const TrafficBuild &b) const override
+    {
+        return std::make_unique<StormInstance>(b, StormShape::Diurnal);
+    }
+};
+
+} // namespace
+
+void
+registerStormDiurnalTraffic(TrafficRegistry &r)
+{
+    r.add(std::make_unique<StormDiurnalModel>());
+}
+
+} // namespace eqx

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Flash-crowd storm: trough-level background load with a full-rate
+ * step spike over the middle fifth of the horizon — the sudden
+ * stampede that probes saturation headroom and recovery.
+ */
+
+#include "traffic/registration.hh"
+#include "traffic/storm.hh"
+#include "traffic/traffic_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class StormFlashModel final : public TrafficModel
+{
+  public:
+    std::string name() const override { return "storm-flash"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"flash", "flash-crowd"};
+    }
+
+    std::string
+    describe() const override
+    {
+        return "open-loop flash crowd: trough base rate with a peak "
+               "step over the middle fifth of the horizon";
+    }
+
+    std::unique_ptr<TrafficInstance>
+    build(const TrafficBuild &b) const override
+    {
+        return std::make_unique<StormInstance>(b, StormShape::Flash);
+    }
+};
+
+} // namespace
+
+void
+registerStormFlashTraffic(TrafficRegistry &r)
+{
+    r.add(std::make_unique<StormFlashModel>());
+}
+
+} // namespace eqx

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Adversarial hotspot storm: constant peak-rate offered load with a
+ * configurable fraction of arrivals concentrated on a few hot CBs —
+ * the worst case for few-side ejection and EIR load balance.
+ */
+
+#include "traffic/registration.hh"
+#include "traffic/storm.hh"
+#include "traffic/traffic_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class StormHotspotModel final : public TrafficModel
+{
+  public:
+    std::string name() const override { return "storm-hotspot"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"hotspot"};
+    }
+
+    std::string
+    describe() const override
+    {
+        return "open-loop constant peak rate with stormHotFrac of "
+               "arrivals aimed at the first stormHotCbs cache banks";
+    }
+
+    std::unique_ptr<TrafficInstance>
+    build(const TrafficBuild &b) const override
+    {
+        return std::make_unique<StormInstance>(b, StormShape::Hotspot);
+    }
+};
+
+} // namespace
+
+void
+registerStormHotspotTraffic(TrafficRegistry &r)
+{
+    r.add(std::make_unique<StormHotspotModel>());
+}
+
+} // namespace eqx

@@ -1,0 +1,258 @@
+#include "traffic/trace_io.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "runner/flat_json.hh"
+#include "runner/jsonl.hh"
+
+namespace eqx {
+
+TraceSpec
+parseTraceSpec(const std::string &spec)
+{
+    TraceSpec out;
+    if (spec.empty())
+        eqx_fatal("empty trace spec; expected capture:<path>, "
+                  "replay:<path>, or both comma-separated");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string part = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+        if (part.rfind("capture:", 0) == 0) {
+            std::string p = part.substr(8);
+            if (p.empty())
+                eqx_fatal("trace capture directive needs a path: '",
+                          spec, "'");
+            if (!out.capturePath.empty())
+                eqx_fatal("trace spec '", spec,
+                          "' has more than one capture directive");
+            out.capturePath = p;
+        } else if (part.rfind("replay:", 0) == 0) {
+            std::string p = part.substr(7);
+            if (p.empty())
+                eqx_fatal("trace replay directive needs a path: '",
+                          spec, "'");
+            if (!out.replayPath.empty())
+                eqx_fatal("trace spec '", spec,
+                          "' has more than one replay directive");
+            out.replayPath = p;
+        } else {
+            eqx_fatal("bad trace directive '", part, "' in spec '", spec,
+                      "'; expected capture:<path> or replay:<path>");
+        }
+    }
+    return out;
+}
+
+TraceCapture::TraceCapture(int num_pes, std::string workload)
+    : workload_(std::move(workload)),
+      pes_(static_cast<std::size_t>(num_pes)),
+      pendingGap_(static_cast<std::size_t>(num_pes), 0)
+{
+}
+
+void
+TraceCapture::record(int pe, const TraceOp &op)
+{
+    auto i = static_cast<std::size_t>(pe);
+    ++pes_[i].insts;
+    if (!op.isMem) {
+        ++pendingGap_[i];
+        return;
+    }
+    pes_[i].ops.push_back(TraceMemOp{pendingGap_[i], op.isWrite, op.addr});
+    pendingGap_[i] = 0;
+}
+
+bool
+TraceCapture::writeFile(const std::string &path, std::string &err) const
+{
+    // Temp-file + atomic rename (the cell-cache idiom): concurrent
+    // captures to one path — e.g. a multi-scheme matrix where every
+    // cell records the same scheme-independent bytes — never expose a
+    // torn file. The counter disambiguates pool threads in-process.
+    static std::atomic<std::uint64_t> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(counter.fetch_add(1));
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        err = "cannot open trace file '" + tmp + "' for writing";
+        return false;
+    }
+    JsonObject header;
+    header.field("_eqx_trace", 1)
+        .field("pes", static_cast<std::uint64_t>(pes_.size()))
+        .field("workload", workload_);
+    f << header.str() << '\n';
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+        for (const TraceMemOp &m : pes_[i].ops) {
+            JsonObject o;
+            o.field("pe", static_cast<std::uint64_t>(i))
+                .field("gap", m.gap)
+                .field("w", m.isWrite ? 1 : 0)
+                .field("addr", static_cast<std::uint64_t>(m.addr));
+            f << o.str() << '\n';
+        }
+        JsonObject footer;
+        footer.field("pe", static_cast<std::uint64_t>(i))
+            .field("tail", pendingGap_[i])
+            .field("mem", static_cast<std::uint64_t>(pes_[i].ops.size()))
+            .field("insts", pes_[i].insts);
+        f << footer.str() << '\n';
+    }
+    JsonObject end;
+    end.field("_eqx_trace_end", static_cast<std::uint64_t>(pes_.size()));
+    f << end.str() << '\n';
+    f.close();
+    if (!f) {
+        err = "write error on trace file '" + tmp + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = "cannot rename trace file '" + tmp + "' to '" + path + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+bool
+fieldU64(const JsonFields &f, const char *key, std::uint64_t &out)
+{
+    auto it = f.find(key);
+    if (it == f.end() || it->second.kind != JsonValue::Kind::Number)
+        return false;
+    out = it->second.asU64();
+    return true;
+}
+
+} // namespace
+
+bool
+readTraceFile(const std::string &path, TraceData &out, std::string &err)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        err = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    out = TraceData{};
+
+    auto fail = [&](std::size_t lineno, const std::string &what) {
+        err = "trace file '" + path + "' line " +
+              std::to_string(lineno) + ": " + what;
+        return false;
+    };
+
+    std::string line;
+    std::size_t lineno = 0;
+
+    // Header.
+    if (!std::getline(f, line))
+        return fail(1, "empty file (missing header)");
+    ++lineno;
+    JsonFields fields;
+    if (!parseFlatJson(line, fields))
+        return fail(lineno, "malformed JSON");
+    std::uint64_t version = 0, num_pes = 0;
+    if (!fieldU64(fields, "_eqx_trace", version) || version != 1)
+        return fail(lineno, "not a version-1 trace header");
+    if (!fieldU64(fields, "pes", num_pes) || num_pes == 0)
+        return fail(lineno, "header missing a positive 'pes' count");
+    if (auto it = fields.find("workload"); it != fields.end())
+        out.workload = it->second.text;
+    out.pes.resize(num_pes);
+
+    // Op lines and footers, grouped by PE in order.
+    std::vector<bool> closed(num_pes, false);
+    bool saw_end = false;
+    while (std::getline(f, line)) {
+        ++lineno;
+        if (!parseFlatJson(line, fields))
+            return fail(lineno, "malformed JSON");
+        std::uint64_t end_pes = 0;
+        if (fieldU64(fields, "_eqx_trace_end", end_pes)) {
+            if (end_pes != num_pes)
+                return fail(lineno, "end marker PE count mismatch");
+            saw_end = true;
+            if (std::getline(f, line))
+                return fail(lineno + 1, "data after the end marker");
+            break;
+        }
+        std::uint64_t pe = 0;
+        if (!fieldU64(fields, "pe", pe) || pe >= num_pes)
+            return fail(lineno, "missing or out-of-range 'pe'");
+        if (closed[pe])
+            return fail(lineno, "op after PE footer");
+        PeTrace &t = out.pes[pe];
+        std::uint64_t tail = 0;
+        if (fieldU64(fields, "tail", tail)) {
+            // Footer: validate the counting invariants now so a file
+            // truncated inside this PE's ops cannot pass.
+            std::uint64_t mem = 0, insts = 0;
+            if (!fieldU64(fields, "mem", mem) ||
+                !fieldU64(fields, "insts", insts))
+                return fail(lineno, "footer missing 'mem'/'insts'");
+            if (mem != t.ops.size())
+                return fail(lineno, "footer op count mismatch");
+            std::uint64_t gaps = tail;
+            for (const TraceMemOp &m : t.ops)
+                gaps += m.gap;
+            if (insts != gaps + t.ops.size())
+                return fail(lineno, "footer instruction count mismatch");
+            t.tail = tail;
+            t.insts = insts;
+            closed[pe] = true;
+            continue;
+        }
+        std::uint64_t gap = 0, w = 0, addr = 0;
+        if (!fieldU64(fields, "gap", gap) || !fieldU64(fields, "w", w) ||
+            !fieldU64(fields, "addr", addr) || w > 1)
+            return fail(lineno, "malformed op line");
+        t.ops.push_back(
+            TraceMemOp{gap, w == 1, static_cast<Addr>(addr)});
+    }
+
+    if (!saw_end)
+        return fail(lineno, "truncated: missing end marker");
+    for (std::uint64_t i = 0; i < num_pes; ++i)
+        if (!closed[i])
+            return fail(lineno,
+                        "truncated: missing footer for PE " +
+                            std::to_string(i));
+    return true;
+}
+
+bool
+ReplaySource::next(TraceOp &op)
+{
+    if (remaining_ == 0)
+        return false;
+    --remaining_;
+    op = TraceOp{};
+    if (idx_ >= t_->ops.size())
+        return true; // tail non-mem instructions
+    if (gapLeft_ > 0) {
+        --gapLeft_;
+        return true;
+    }
+    const TraceMemOp &m = t_->ops[idx_];
+    op.isMem = true;
+    op.isWrite = m.isWrite;
+    op.addr = m.addr;
+    ++idx_;
+    gapLeft_ = idx_ < t_->ops.size() ? t_->ops[idx_].gap : 0;
+    return true;
+}
+
+} // namespace eqx

@@ -1,0 +1,23 @@
+#include "traffic/traffic_model.hh"
+
+#include "common/logging.hh"
+#include "traffic/storm.hh"
+
+namespace eqx {
+
+std::unique_ptr<TrafficSource>
+TrafficInstance::makeSource(int pe_index)
+{
+    eqx_panic("traffic model is open-loop: no per-PE source for PE ",
+              pe_index);
+}
+
+std::unique_ptr<StormEndpoint>
+TrafficInstance::makeEndpoint(int, NodeId node, PacketInjector *,
+                              const AddressMap *, const PacketSizes *)
+{
+    eqx_panic("traffic model is closed-loop: no storm endpoint at node ",
+              node);
+}
+
+} // namespace eqx

@@ -63,13 +63,34 @@ workloadSuite()
     return suite;
 }
 
-const WorkloadProfile &
-workloadByName(const std::string &name)
+const WorkloadProfile *
+findWorkload(const std::string &name)
 {
     for (const auto &p : workloadSuite())
         if (p.name == name)
-            return p;
-    eqx_fatal("unknown workload '", name, "'");
+            return &p;
+    return nullptr;
+}
+
+std::string
+workloadNameList()
+{
+    std::string out;
+    for (const auto &p : workloadSuite()) {
+        if (!out.empty())
+            out += ", ";
+        out += p.name;
+    }
+    return out;
+}
+
+const WorkloadProfile &
+workloadByName(const std::string &name)
+{
+    if (const WorkloadProfile *p = findWorkload(name))
+        return *p;
+    eqx_fatal("unknown workload '", name, "'; suite benchmarks: ",
+              workloadNameList());
 }
 
 std::vector<WorkloadProfile>
@@ -79,6 +100,15 @@ workloadSubset(std::size_t count)
     std::vector<WorkloadProfile> out;
     for (std::size_t i = 0; i < suite.size() && i < count; ++i)
         out.push_back(suite[i]);
+    return out;
+}
+
+std::vector<WorkloadProfile>
+workloadSubset(const std::vector<std::string> &names)
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &n : names)
+        out.push_back(workloadByName(n));
     return out;
 }
 

@@ -33,11 +33,28 @@ struct WorkloadProfile
 /** The full 29-benchmark suite (21 Rodinia + 8 CUDA SDK). */
 const std::vector<WorkloadProfile> &workloadSuite();
 
-/** Look up a profile by name; fatal if unknown. */
+/** Look up a profile by name; nullptr if unknown. */
+const WorkloadProfile *findWorkload(const std::string &name);
+
+/**
+ * Look up a profile by name; fatal if unknown, listing every
+ * registered benchmark (the SchemeRegistry::byName contract, so typos
+ * on a CLI name the fix instead of just the failure).
+ */
 const WorkloadProfile &workloadByName(const std::string &name);
+
+/** Comma-separated suite names, for usage text and fatal messages. */
+std::string workloadNameList();
 
 /** A reduced suite for quick runs (used by tests and examples). */
 std::vector<WorkloadProfile> workloadSubset(std::size_t count);
+
+/**
+ * The named benchmarks, in the order given; fatal on an unknown name,
+ * listing the full suite.
+ */
+std::vector<WorkloadProfile>
+workloadSubset(const std::vector<std::string> &names);
 
 } // namespace eqx
 

@@ -215,6 +215,31 @@ TEST(Digest, SensitiveToEverySystemConfigKnob)
              e.tick = 100;
              s.fault.events.push_back(e);
          }},
+        {"sizes.inv",
+         [](SystemConfig &s) { s.sizes.invalidateBits += 8; }},
+        {"sizes.invAck", [](SystemConfig &s) { s.sizes.invAckBits += 8; }},
+        {"traffic.model",
+         [](SystemConfig &s) { s.traffic.model = "storm-flash"; }},
+        {"traffic.trace",
+         [](SystemConfig &s) { s.traffic.trace = "replay:/tmp/t.json"; }},
+        {"traffic.stormRate",
+         [](SystemConfig &s) { s.traffic.stormRatePerK += 1; }},
+        {"traffic.stormHorizon",
+         [](SystemConfig &s) { s.traffic.stormHorizon += 1; }},
+        {"traffic.stormQueueCap",
+         [](SystemConfig &s) { s.traffic.stormQueueCap += 1; }},
+        {"traffic.stormTrough",
+         [](SystemConfig &s) { s.traffic.stormTrough += 0.05; }},
+        {"traffic.stormWriteFrac",
+         [](SystemConfig &s) { s.traffic.stormWriteFrac += 0.05; }},
+        {"traffic.stormHotCbs",
+         [](SystemConfig &s) { s.traffic.stormHotCbs += 1; }},
+        {"traffic.stormHotFrac",
+         [](SystemConfig &s) { s.traffic.stormHotFrac += 0.05; }},
+        {"traffic.coherenceVcs",
+         [](SystemConfig &s) { s.traffic.coherenceVcs += 1; }},
+        {"traffic.cohRegionLines",
+         [](SystemConfig &s) { s.traffic.cohRegionLines += 1; }},
     };
 
     SystemConfig base;
@@ -309,6 +334,17 @@ TEST(Digest, CellDigestTracksExperimentLevelKnobs)
     {
         ExperimentConfig ec = smallConfig();
         ec.fault.ratePerKTick = 2.0;
+        EXPECT_NE(digestOf(ec), d0);
+    }
+    {
+        // Traffic knobs flow through makeSystemConfig into the digest.
+        ExperimentConfig ec = smallConfig();
+        ec.traffic.model = "coherence";
+        EXPECT_NE(digestOf(ec), d0);
+    }
+    {
+        ExperimentConfig ec = smallConfig();
+        ec.traffic.stormRatePerK += 1;
         EXPECT_NE(digestOf(ec), d0);
     }
     {

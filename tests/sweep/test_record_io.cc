@@ -125,6 +125,38 @@ TEST(RecordIO, ExactRoundTrip)
               rec.cell.result.metrics.all().size());
 }
 
+TEST(RecordIO, StormAndCoherenceGroupsRoundTrip)
+{
+    // The optional storm / coherence field groups restore losslessly
+    // — a cache hit must reproduce a storm run's counters exactly.
+    CellRecord rec;
+    rec.cell = simulatedCell();
+    rec.digest = digestBlob("storm-probe\n");
+    RunResult &r = rec.cell.result;
+    r.stormArmed = true;
+    r.stormOffered = 1000;
+    r.stormInjected = 900;
+    r.stormDelivered = 890;
+    r.stormDropped = 100;
+    r.cohArmed = true;
+    r.cohInvalidations = 42;
+    r.cohInvAcks = 42;
+
+    std::string line = cellRecordLine(rec);
+    CellRecord back;
+    ASSERT_TRUE(parseCellRecord(line, back));
+    const RunResult &b = back.cell.result;
+    EXPECT_TRUE(b.stormArmed);
+    EXPECT_EQ(b.stormOffered, 1000u);
+    EXPECT_EQ(b.stormInjected, 900u);
+    EXPECT_EQ(b.stormDelivered, 890u);
+    EXPECT_EQ(b.stormDropped, 100u);
+    EXPECT_TRUE(b.cohArmed);
+    EXPECT_EQ(b.cohInvalidations, 42u);
+    EXPECT_EQ(b.cohInvAcks, 42u);
+    EXPECT_EQ(cellRecordLine(back), line);
+}
+
 TEST(RecordIO, RejectsBadHeaders)
 {
     CellRecord rec;

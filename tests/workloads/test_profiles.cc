@@ -53,9 +53,33 @@ TEST(Profiles, ComputeBoundAndMemoryBoundClassesExist)
     EXPECT_GT(workloadByName("kmeans").memRatio, 0.4);
 }
 
-TEST(Profiles, UnknownNameIsFatal)
+TEST(Profiles, FindWorkloadIsNullableLookup)
 {
-    EXPECT_THROW(workloadByName("nosuchbenchmark"), std::runtime_error);
+    const WorkloadProfile *p = findWorkload("kmeans");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name, "kmeans");
+    EXPECT_EQ(findWorkload("nosuchbenchmark"), nullptr);
+}
+
+TEST(Profiles, NameListCoversTheSuite)
+{
+    std::string list = workloadNameList();
+    for (const auto &wp : workloadSuite())
+        EXPECT_NE(list.find(wp.name), std::string::npos) << wp.name;
+}
+
+TEST(Profiles, UnknownNameIsFatalWithKeyList)
+{
+    try {
+        workloadByName("nosuchbenchmark");
+        FAIL() << "unknown benchmark must be fatal";
+    } catch (const std::runtime_error &e) {
+        // The fatal message names the bad key and every valid one.
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("nosuchbenchmark"), std::string::npos);
+        EXPECT_NE(msg.find("kmeans"), std::string::npos);
+        EXPECT_NE(msg.find("myocyte"), std::string::npos);
+    }
 }
 
 TEST(Profiles, SubsetTruncates)
@@ -63,6 +87,16 @@ TEST(Profiles, SubsetTruncates)
     EXPECT_EQ(workloadSubset(5).size(), 5u);
     EXPECT_EQ(workloadSubset(100).size(), 29u);
     EXPECT_EQ(workloadSubset(5)[0].name, workloadSuite()[0].name);
+}
+
+TEST(Profiles, NamedSubsetSelectsAndRejects)
+{
+    auto sel = workloadSubset({"gaussian", "kmeans"});
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0].name, "gaussian");
+    EXPECT_EQ(sel[1].name, "kmeans");
+    EXPECT_THROW(workloadSubset({"kmeans", "nosuchbenchmark"}),
+                 std::runtime_error);
 }
 
 } // namespace
