@@ -15,6 +15,7 @@
 #include "core/search.hh"
 #include "gpu/tag_array.hh"
 #include "noc/network.hh"
+#include "noc/topology.hh"
 #include "sim/synthetic.hh"
 
 namespace eqx {
@@ -87,6 +88,54 @@ BM_NetworkCycleLoadedExhaustive(benchmark::State &state)
     runNetworkCycleLoaded(state, /*exhaustive=*/true);
 }
 BENCHMARK(BM_NetworkCycleLoadedExhaustive);
+
+void
+BM_MinimalDirections(benchmark::State &state)
+{
+    // The RC-stage candidate computation with the fixed-capacity
+    // RouteCandidates type: no heap traffic per route compute.
+    Mesh2D topo(16, 16);
+    Rng rng(7);
+    std::vector<std::pair<Coord, Coord>> pairs;
+    for (int i = 0; i < 256; ++i)
+        pairs.push_back({topo.coord(rng.nextBounded(256)),
+                         topo.coord(rng.nextBounded(256))});
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[cur, dst] = pairs[i++ & 255];
+        benchmark::DoNotOptimize(topo.minimalRouterDirs(cur, dst));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinimalDirections);
+
+/**
+ * The pre-refactor shape of the same computation — a std::vector<Dir>
+ * built per route compute — kept as the before/after delta the
+ * RouteCandidates extraction is measured against.
+ */
+void
+BM_MinimalDirectionsHeapVector(benchmark::State &state)
+{
+    Mesh2D topo(16, 16);
+    Rng rng(7);
+    std::vector<std::pair<Coord, Coord>> pairs;
+    for (int i = 0; i < 256; ++i)
+        pairs.push_back({topo.coord(rng.nextBounded(256)),
+                         topo.coord(rng.nextBounded(256))});
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[cur, dst] = pairs[i++ & 255];
+        std::vector<Dir> dirs;
+        if (dst.x != cur.x)
+            dirs.push_back(dst.x > cur.x ? Dir::East : Dir::West);
+        if (dst.y != cur.y)
+            dirs.push_back(dst.y > cur.y ? Dir::South : Dir::North);
+        benchmark::DoNotOptimize(dirs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinimalDirectionsHeapVector);
 
 void
 BM_SyntheticFewToMany(benchmark::State &state)

@@ -70,11 +70,15 @@ idleKernel(int side, bool exhaustive, double min_time)
 }
 
 double
-loadedKernel(int side, bool exhaustive, double min_time)
+loadedKernel(int side, bool exhaustive, double min_time,
+             TopologyKind kind = TopologyKind::Mesh)
 {
     NetworkSpec spec;
     spec.params.width = spec.params.height = side;
     spec.params.exhaustiveTick = exhaustive;
+    spec.params.topo.kind = kind;
+    if (kind == TopologyKind::Torus)
+        spec.params.vcsPerPort = 3; // dateline + Duato escape pair
     Network net(spec);
     Rng rng(1);
     Cycle clock = 0;
@@ -125,6 +129,19 @@ main(int argc, char **argv)
         r.beforeNs = loadedKernel(side, /*exhaustive=*/true, min_time);
         r.afterNs = loadedKernel(side, /*exhaustive=*/false, min_time);
         r.itemsPerSec = side * side * 1e9 / r.afterNs;
+        results.push_back(r);
+    }
+    {
+        // Wrap-link fabric (DESIGN.md §17): same load on a 16x16
+        // torus, so the dateline-VC route compute and the extra wrap
+        // channels show up in the per-cycle cost.
+        KernelResult r;
+        r.name = "network_cycle_loaded_torus_16x16";
+        r.beforeNs = loadedKernel(16, /*exhaustive=*/true, min_time,
+                                  TopologyKind::Torus);
+        r.afterNs = loadedKernel(16, /*exhaustive=*/false, min_time,
+                                 TopologyKind::Torus);
+        r.itemsPerSec = 16 * 16 * 1e9 / r.afterNs;
         results.push_back(r);
     }
 

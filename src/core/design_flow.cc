@@ -109,7 +109,7 @@ buildEquiNoxDesign(const DesignParams &params)
     }
 
     EirProblem prob(params.width, params.height, design.cbs,
-                    params.maxHops, params.maxPerGroup);
+                    params.maxHops, params.maxPerGroup, params.topo);
     EirEvaluator eval(&prob, params.weights);
 
     SearchResult res;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "noc/topology.hh"
 #include "core/eir_problem.hh"
 #include "core/evaluation.hh"
 #include "core/search.hh"
@@ -41,6 +42,13 @@ struct DesignParams
     int numCbs = 8;
     int maxHops = 3;          ///< EIR distance limit (paper: 3)
     int maxPerGroup = 4;      ///< EIRs per CB (paper: 4)
+    /**
+     * Reply-fabric topology the design is scored against (DESIGN.md
+     * §17): hop distances in the evaluator come from
+     * Topology::distance, so search scores on a torus account for the
+     * wrap links. Mesh (default) reproduces the paper byte-identically.
+     */
+    TopoSpec topo;
     SearchMethod method = SearchMethod::Mcts;
     std::uint64_t seed = 1;
     MctsParams mcts;

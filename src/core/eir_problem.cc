@@ -27,8 +27,10 @@ directionOctant(const Coord &from, const Coord &to)
 }
 
 EirProblem::EirProblem(int width, int height, std::vector<Coord> cbs,
-                       int max_hops, int max_per_group)
-    : w_(width), h_(height), cbs_(std::move(cbs)), maxHops_(max_hops),
+                       int max_hops, int max_per_group,
+                       const TopoSpec &topo)
+    : w_(width), h_(height), topo_(makeTopology(width, height, topo)),
+      cbs_(std::move(cbs)), maxHops_(max_hops),
       maxPerGroup_(max_per_group)
 {
     eqx_assert(maxHops_ >= 2, "EIRs must bypass the hot zone (>= 2 hops)");
@@ -50,7 +52,7 @@ bool
 EirProblem::legalEir(int cb_idx, const Coord &c) const
 {
     const Coord &cb = cbs_[static_cast<std::size_t>(cb_idx)];
-    int d = manhattan(cb, c);
+    int d = distance(cb, c);
     if (d < 2 || d > maxHops_)
         return false;
     // Never on a CB tile; never inside the *own* CB's DAZ/CAZ hot zone

@@ -23,6 +23,7 @@
 #include "common/tile_mask.hh"
 #include "common/types.hh"
 #include "interposer/link_plan.hh"
+#include "noc/topology.hh"
 
 namespace eqx {
 
@@ -37,10 +38,26 @@ class EirProblem
 {
   public:
     EirProblem(int width, int height, std::vector<Coord> cbs,
-               int max_hops = 3, int max_per_group = 4);
+               int max_hops = 3, int max_per_group = 4,
+               const TopoSpec &topo = {});
 
     int width() const { return w_; }
     int height() const { return h_; }
+
+    /** The reply-fabric geometry the problem is scored against. */
+    const Topology &topology() const { return *topo_; }
+
+    /**
+     * Routed hop distance between tiles on the reply fabric — the
+     * shared Topology::distance (DESIGN.md §17), so the evaluator's
+     * hop metrics agree with what the NoC simulates. Manhattan on the
+     * default mesh, byte-identical to the pre-topology scorer.
+     */
+    int
+    distance(const Coord &a, const Coord &b) const
+    {
+        return topo_->distance(a, b);
+    }
     int numCbs() const { return static_cast<int>(cbs_.size()); }
     const std::vector<Coord> &cbs() const { return cbs_; }
     int maxHops() const { return maxHops_; }
@@ -73,6 +90,7 @@ class EirProblem
 
     int w_;
     int h_;
+    std::unique_ptr<const Topology> topo_;
     std::vector<Coord> cbs_;
     int maxHops_;
     int maxPerGroup_;

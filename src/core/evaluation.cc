@@ -45,7 +45,7 @@ EirEvaluator::EirEvaluator(const EirProblem *problem, EvalWeights weights)
                 Coord p{x, y};
                 if (isCb(p))
                     continue;
-                dist_sum += manhattan(cb, p);
+                dist_sum += prob_->distance(cb, p);
                 ++pairs;
             }
         }
@@ -127,14 +127,14 @@ EirEvaluator::evaluate(const EirSelection &sel) const
                 Coord p{x, y};
                 if (isCb(p))
                     continue;
-                int base = manhattan(cb, p);
+                int base = prob_->distance(cb, p);
 
                 // Shortest-path EIRs per the Buffer Selection policy.
                 Coord elig[2];
                 int n_elig = 0;
                 if (group) {
                     for (const auto &e : *group) {
-                        if (manhattan(cb, e) + manhattan(e, p) == base &&
+                        if (prob_->distance(cb, e) + prob_->distance(e, p) == base &&
                             n_elig < 2)
                             elig[n_elig++] = e;
                     }
@@ -145,12 +145,12 @@ EirEvaluator::evaluate(const EirSelection &sel) const
                     hop_sum += base;
                 } else if (on_axis || n_elig == 1) {
                     load[elig[0]] += 1.0;
-                    hop_sum += 1 + manhattan(elig[0], p);
+                    hop_sum += 1 + prob_->distance(elig[0], p);
                 } else {
                     load[elig[0]] += 0.5;
                     load[elig[1]] += 0.5;
-                    hop_sum += 0.5 * (1 + manhattan(elig[0], p)) +
-                               0.5 * (1 + manhattan(elig[1], p));
+                    hop_sum += 0.5 * (1 + prob_->distance(elig[0], p)) +
+                               0.5 * (1 + prob_->distance(elig[1], p));
                 }
                 hop_weight += 1.0;
             }
@@ -203,12 +203,13 @@ EirEvaluator::computeContribution(int cb_idx,
             Coord p{x, y};
             if (isCb(p))
                 continue;
-            int base = manhattan(cb, p);
+            int base = prob_->distance(cb, p);
 
             int elig[2];
             int n_elig = 0;
             for (std::size_t g = 0; g < group.size(); ++g) {
-                if (manhattan(cb, group[g]) + manhattan(group[g], p) ==
+                if (prob_->distance(cb, group[g]) +
+                        prob_->distance(group[g], p) ==
                         base &&
                     n_elig < 2)
                     elig[n_elig++] = static_cast<int>(g);
@@ -222,9 +223,9 @@ EirEvaluator::computeContribution(int cb_idx,
                 auto &s0 = slots[static_cast<std::size_t>(elig[0])];
                 s0.load += 1.0;
                 ++s0.count;
-                out.hopSum += 1 + manhattan(group[static_cast<
-                                                std::size_t>(elig[0])],
-                                            p);
+                out.hopSum +=
+                    1 + prob_->distance(
+                            group[static_cast<std::size_t>(elig[0])], p);
             } else {
                 auto &s0 = slots[static_cast<std::size_t>(elig[0])];
                 auto &s1 = slots[static_cast<std::size_t>(elig[1])];
@@ -233,12 +234,14 @@ EirEvaluator::computeContribution(int cb_idx,
                 s1.load += 0.5;
                 ++s1.count;
                 out.hopSum +=
-                    0.5 * (1 + manhattan(group[static_cast<std::size_t>(
-                                             elig[0])],
-                                         p)) +
-                    0.5 * (1 + manhattan(group[static_cast<std::size_t>(
-                                             elig[1])],
-                                         p));
+                    0.5 * (1 + prob_->distance(
+                                   group[static_cast<std::size_t>(
+                                       elig[0])],
+                                   p)) +
+                    0.5 * (1 + prob_->distance(
+                                   group[static_cast<std::size_t>(
+                                       elig[1])],
+                                   p));
             }
             out.hopWeight += 1.0;
         }

@@ -8,7 +8,9 @@
 namespace eqx {
 
 Network::Network(const NetworkSpec &spec)
-    : params_(spec.params), topo_(spec.params.width, spec.params.height)
+    : params_(spec.params),
+      topo_(makeTopology(spec.params.width, spec.params.height,
+                         spec.params.topo))
 {
     eqx_assert(params_.width >= 2 && params_.height >= 2,
                "mesh must be at least 2x2");
@@ -22,11 +24,28 @@ Network::Network(const NetworkSpec &spec)
         eqx_assert(params_.vcsPerPort >= params_.coherenceVcs + 2,
                    "coherence VCs need vcsPerPort >= coherenceVcs + 2");
     }
+    if (topo_->wraps()) {
+        // The dateline discipline (DESIGN.md §17) stores its ring
+        // class in the per-VC class slot, so it composes with neither
+        // class-segregated VCs nor VC monopolization.
+        eqx_assert(!params_.classVcs && !params_.vcMono,
+                   "wrap topologies exclude classVcs/vcMono");
+        eqx_assert(topo_->routerCols() >= 3 && topo_->routerRows() >= 3,
+                   "torus rings need >= 3 routers per side");
+        int need = params_.routing == RoutingMode::XY ? 2 : 3;
+        eqx_assert(params_.vcsPerPort >= need,
+                   "torus dateline VCs need vcsPerPort >= ", need,
+                   " for this routing mode");
+    }
+    if (topo_->concentrated())
+        eqx_assert(topo_->routerCols() >= 2 && topo_->routerRows() >= 2,
+                   "cmesh router grid must be at least 2x2");
 
-    int n = topo_.numNodes();
-    routers_.reserve(static_cast<std::size_t>(n));
-    for (NodeId i = 0; i < n; ++i)
-        routers_.emplace_back(i, &topo_, &params_, &activity_);
+    int n = topo_->numNodes();
+    int nr = topo_->numRouters();
+    routers_.reserve(static_cast<std::size_t>(nr));
+    for (NodeId i = 0; i < nr; ++i)
+        routers_.emplace_back(i, topo_.get(), &params_, &activity_);
 
     int max_chan_lat = 1;
     auto newFlitChan = [&](int latency) {
@@ -40,17 +59,17 @@ Network::Network(const NetworkSpec &spec)
         return &creditChans_.back();
     };
 
-    // Mesh links: for every directed neighbour pair A -> B, a flit
-    // channel (A out -> B in) plus the reverse credit channel.
+    // Geo links: for every directed neighbour pair A -> B the topology
+    // wires (mesh/cmesh grid edges, torus rings), a flit channel
+    // (A out -> B in) plus the reverse credit channel. Routers ascend
+    // and directions keep their fixed order, so mesh wiring is
+    // byte-identical to the pre-topology builder.
     int lat = params_.channelLatencyCycles;
-    for (NodeId a = 0; a < n; ++a) {
-        Coord ca = topo_.coord(a);
+    for (NodeId a = 0; a < nr; ++a) {
         for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
-            Coord step = dirStep(d);
-            Coord cb{ca.x + step.x, ca.y + step.y};
-            if (!topo_.inBounds(cb))
+            int b = topo_->neighbor(a, d);
+            if (b < 0)
                 continue;
-            NodeId b = topo_.node(cb);
             auto *fc = newFlitChan(lat);
             auto *cc = newCreditChan(lat);
             int in_idx = routerRef(b).addInputPort(PortKind::Geo,
@@ -63,7 +82,11 @@ Network::Network(const NetworkSpec &spec)
         }
     }
 
-    // NIs.
+    // NIs: one per endpoint tile, wired to the tile's router (the
+    // tile itself except under concentration). Tiles ascend, so a
+    // concentrated router collects its block's ejection ports in
+    // ascending tile-id order — exactly Topology::tileSlot order, the
+    // invariant the router's slot-indexed ejection relies on.
     nis_.reserve(static_cast<std::size_t>(n));
     for (NodeId i = 0; i < n; ++i) {
         NodeMods mods;
@@ -77,30 +100,32 @@ Network::Network(const NetworkSpec &spec)
         std::unique_ptr<NetworkInterface> ni;
         switch (mods.kind) {
           case NiKind::Basic:
-            ni = std::make_unique<BasicNi>(i, &topo_, &params_,
+            ni = std::make_unique<BasicNi>(i, topo_.get(), &params_,
                                            &activity_, &latency_);
             break;
           case NiKind::MultiPort:
-            ni = std::make_unique<MultiPortNi>(i, &topo_, &params_,
+            ni = std::make_unique<MultiPortNi>(i, topo_.get(), &params_,
                                                &activity_, &latency_);
             break;
           case NiKind::EquiNox:
-            ni = std::make_unique<EquiNoxNi>(i, &topo_, &params_,
+            ni = std::make_unique<EquiNoxNi>(i, topo_.get(), &params_,
                                              &activity_, &latency_);
             break;
         }
+
+        NodeId r = topo_->routerOf(i);
 
         // Local injection port(s).
         for (int p = 0; p < mods.localInjPorts; ++p) {
             auto *fc = newFlitChan(1);
             auto *cc = newCreditChan(1);
-            int in_idx = routerRef(i).addInputPort(PortKind::LocalInj,
+            int in_idx = routerRef(r).addInputPort(PortKind::LocalInj,
                                                    Dir::Local, cc);
-            int buf = ni->addInjBuffer(1, fc, i, /*interposer=*/false);
+            int buf = ni->addInjBuffer(1, fc, r, /*interposer=*/false);
             auto wi = static_cast<std::uint32_t>(routerFlitWires_.size());
-            routerFlitWires_.push_back({fc, i, in_idx});
+            routerFlitWires_.push_back({fc, r, in_idx});
             niCreditWires_.push_back({cc, i, buf});
-            injWires_.push_back({wi, i, buf, i, /*interposer=*/false,
+            injWires_.push_back({wi, i, buf, r, /*interposer=*/false,
                                  /*spanHops=*/0, /*creditLatency=*/1});
         }
 
@@ -109,10 +134,10 @@ Network::Network(const NetworkSpec &spec)
             auto *fc = newFlitChan(1);
             auto *cc = newCreditChan(1);
             int ej = ni->addEjPort(cc);
-            int out_idx = routerRef(i).addOutputPort(
+            int out_idx = routerRef(r).addOutputPort(
                 PortKind::LocalEj, Dir::Local, fc, params_.vcDepthFlits);
             niFlitWires_.push_back({fc, i, ej});
-            routerCreditWires_.push_back({cc, i, out_idx});
+            routerCreditWires_.push_back({cc, r, out_idx});
         }
 
         nis_.push_back(std::move(ni));
@@ -127,29 +152,30 @@ Network::Network(const NetworkSpec &spec)
         for (NodeId e : eirs) {
             eqx_assert(e >= 0 && e < n, "EIR node out of range");
             eqx_assert(e != cb, "a CB cannot be its own EIR");
-            int span = manhattan(topo_.coord(cb), topo_.coord(e));
+            NodeId er = topo_->routerOf(e);
+            int span = topo_->distance(topo_->coord(cb),
+                                       topo_->coord(e));
             int lat = (span + 1) / 2;
             if (lat < 1)
                 lat = 1;
             auto *fc = newFlitChan(lat);
             auto *cc = newCreditChan(lat);
-            int in_idx = routerRef(e).addInputPort(PortKind::RemoteInj,
-                                                   Dir::Local, cc);
+            int in_idx = routerRef(er).addInputPort(PortKind::RemoteInj,
+                                                    Dir::Local, cc);
             int buf = nis_[static_cast<std::size_t>(cb)]->addInjBuffer(
-                1, fc, e, /*interposer=*/true);
+                1, fc, er, /*interposer=*/true);
             auto wi = static_cast<std::uint32_t>(routerFlitWires_.size());
-            routerFlitWires_.push_back({fc, e, in_idx});
+            routerFlitWires_.push_back({fc, er, in_idx});
             niCreditWires_.push_back({cc, cb, buf});
-            injWires_.push_back({wi, cb, buf, e, /*interposer=*/true,
+            injWires_.push_back({wi, cb, buf, er, /*interposer=*/true,
                                  span, static_cast<Cycle>(lat)});
             ++remoteInjPorts_;
         }
     }
 
     // ---- Activity-driven scheduling state (DESIGN.md §10) ----
-    std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
-    activeRouters_.assign(words, 0);
-    activeNis_.assign(words, 0);
+    activeRouters_.assign((static_cast<std::size_t>(nr) + 63) / 64, 0);
+    activeNis_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
     // Power-of-two wheel so slot lookup is a mask, and so channels can
     // append payloads directly in pass-through mode (setWheel).
     std::size_t wheel_slots = std::bit_ceil(
@@ -576,7 +602,7 @@ Network::deliverExhaustive()
 bool
 Network::inject(NodeId node, const PacketPtr &pkt)
 {
-    eqx_assert(node >= 0 && node < topo_.numNodes(), "inject: bad node");
+    eqx_assert(node >= 0 && node < topo_->numNodes(), "inject: bad node");
     if (!nis_[static_cast<std::size_t>(node)]->inject(pkt, tick_))
         return false;
     markNiActive(node);

@@ -71,7 +71,7 @@ class Network : private ChannelScheduler, private FaultPlaneHost
     Network &operator=(const Network &) = delete;
 
     const NocParams &params() const { return params_; }
-    const Topology &topology() const { return topo_; }
+    const Topology &topology() const { return *topo_; }
 
     /** Advance by one core clock cycle (runs 1+ internal ticks). */
     void coreTick(Cycle core_cycle);
@@ -203,7 +203,8 @@ class Network : private ChannelScheduler, private FaultPlaneHost
     }
 
     NocParams params_;
-    Topology topo_;
+    /** The fabric geometry (DESIGN.md §17), built from params_.topo. */
+    std::unique_ptr<const Topology> topo_;
     NetworkActivity activity_;
     LatencyStats latency_;
 

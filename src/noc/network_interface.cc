@@ -24,7 +24,7 @@ NetworkInterface::addInjBuffer(int capacity_packets, Channel<Flit> *out,
     b.capacityPackets = capacity_packets;
     b.out = out;
     b.targetRouter = target_router;
-    b.targetCoord = topo_->coord(target_router);
+    b.targetCoord = topo_->routerCoord(target_router);
     b.interposer = interposer;
     b.credits.assign(static_cast<std::size_t>(params_->vcsPerPort),
                      params_->vcDepthFlits);
@@ -412,10 +412,13 @@ int
 EquiNoxNi::selectBuffer(const PacketPtr &pkt)
 {
     // Buffer 0 = local router; buffers 1..n = EIRs over the interposer.
-    Coord src = topo_->coord(node_);
-    Coord dst = topo_->coord(pkt->dst);
-    eqx_assert(!(src == dst), "CB does not send packets to itself");
-    int base = manhattan(src, dst);
+    // All geometry is in router space and routed through the shared
+    // Topology distance, so shortest-path eligibility matches what the
+    // fabric (mesh or torus) actually routes.
+    Coord src = topo_->routerCoordOf(node_);
+    Coord dst = topo_->routerCoordOf(pkt->dst);
+    eqx_assert(node_ != pkt->dst, "CB does not send packets to itself");
+    int base = topo_->routerDistance(src, dst);
 
     // Collect EIR buffers that lie on a shortest path and are free,
     // skipping fault-masked ports (a no-op on a healthy NI, keeping
@@ -427,7 +430,8 @@ EquiNoxNi::selectBuffer(const PacketPtr &pkt)
     for (int i = 1; i < numInjBuffers(); ++i) {
         const auto &b = bufs_[static_cast<std::size_t>(i)];
         Coord e = b.targetCoord;
-        if (manhattan(src, e) + manhattan(e, dst) != base)
+        if (topo_->routerDistance(src, e) +
+                topo_->routerDistance(e, dst) != base)
             continue;
         if (b.masked) {
             ++sp_masked;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "noc/topology.hh"
 
 namespace eqx {
 
@@ -54,6 +55,16 @@ struct NocParams
     int flitBits = 128;        ///< link/flit width
 
     RoutingMode routing = RoutingMode::MinimalAdaptive;
+
+    /**
+     * Fabric topology over the width x height endpoint grid
+     * (DESIGN.md §17). Torus wraps every row/column ring and requires
+     * vcsPerPort >= 2 (XY) or >= 3 (MinimalAdaptive) for the dateline
+     * VC discipline; CMesh shares one router per
+     * topo.concentration^2-tile block. Mesh is the byte-identical
+     * default.
+     */
+    TopoSpec topo;
 
     /**
      * Single-network mode: VC classes are segregated (VC0.. for

@@ -13,7 +13,9 @@ Router::Router(NodeId id, const Topology *topo, const NocParams *params,
     : id_(id), topo_(topo), params_(params), activity_(activity)
 {
     eqx_assert(topo_ && params_ && activity_, "router needs its context");
-    coord_ = topo_->coord(id_);
+    coord_ = topo_->routerCoord(id_);
+    wrap_ = topo_->wraps();
+    concentrated_ = topo_->concentrated();
 }
 
 int
@@ -78,6 +80,12 @@ Router::addOutputPort(PortKind kind, Dir dir, Channel<Flit> *out,
     if (kind == PortKind::Geo) {
         outIsGeo_ |= std::uint32_t{1} << idx;
         dirPort_[static_cast<int>(dir)] = static_cast<std::int8_t>(idx);
+    } else if (concentrated_) {
+        // Concentrated routers eject by destination tile slot
+        // (destSub_ indexes ejPorts_ directly), so the fixed
+        // candidate array — and its kMaxRouteCand cap, which a c x c
+        // block of ejection ports would overflow — is not maintained.
+        ejPorts_.push_back(idx);
     } else {
         ejPorts_.push_back(idx);
         eqx_assert(ejCandCount_ < kMaxRouteCand,
@@ -132,10 +140,18 @@ Router::acceptFlit(int in_port, Flit f, Cycle now)
         rcPending_ |= bit; // fresh head flit awaiting route compute
         if (vc_[flat].count == 0) {
             // Cache the head-flit facts RC reads every visit, so the
-            // stage walks never touch the Packet.
-            Coord dest = topo_->coord(f.pkt->dst);
+            // stage walks never touch the Packet. Routing happens in
+            // router space: identical to tile space except on
+            // concentrated topologies, where the destination's tile
+            // slot is kept alongside for slot-indexed ejection.
+            Coord dest = concentrated_
+                             ? topo_->routerCoordOf(f.pkt->dst)
+                             : topo_->coord(f.pkt->dst);
             vc_[flat].destX = static_cast<std::int8_t>(dest.x);
             vc_[flat].destY = static_cast<std::int8_t>(dest.y);
+            if (concentrated_)
+                destSub_[flat] = static_cast<std::int8_t>(
+                    topo_->tileSlot(f.pkt->dst));
             vc_[flat].headOk = f.isHead;
         }
     } else if (vc_[flat].state == VcState::Active) {
@@ -206,10 +222,41 @@ Router::routeVcFlat(int flat)
     int nc = 0;
     bool ejecting = dest == coord_;
     if (ejecting) {
-        eqx_assert(ejCandCount_ > 0,
-                   "router ", id_, " has no ejection port");
-        for (int i = 0; i < ejCandCount_; ++i)
-            vc_[flat].cand[nc++] = ejCand_[i];
+        if (concentrated_) {
+            // Slot-indexed ejection: the destination tile's rank
+            // within this router's block picks its ejection port.
+            int slot = destSub_[flat];
+            eqx_assert(slot >= 0 &&
+                           slot < static_cast<int>(ejPorts_.size()),
+                       "router ", id_, " has no ejection port for "
+                       "tile slot ", slot);
+            vc_[flat].cand[nc++] = static_cast<std::int8_t>(
+                ejPorts_[static_cast<std::size_t>(slot)]);
+        } else {
+            eqx_assert(ejCandCount_ > 0,
+                       "router ", id_, " has no ejection port");
+            for (int i = 0; i < ejCandCount_; ++i)
+                vc_[flat].cand[nc++] = ejCand_[i];
+        }
+    } else if (wrap_) {
+        // Wrap-aware route compute (torus): candidate 0 is always
+        // the dimension-order escape direction; the head's dateline
+        // class rides in vc_[flat].cls (free here — wrap topologies
+        // exclude classVcs/vcMono) for the VC allocator's escape
+        // window. Recomputed per hop: the class is a pure function of
+        // (router, destination), so it stays valid while parked.
+        RouteCandidates dirs = topo_->minimalRouterDirs(coord_, dest);
+        eqx_assert(!dirs.empty(), "non-ejecting head with no route");
+        bool adaptive =
+            params_->routing == RoutingMode::MinimalAdaptive;
+        int take = adaptive ? dirs.size() : 1;
+        for (int i = 0; i < take; ++i) {
+            std::int8_t p = dirPort_[static_cast<int>(dirs[i])];
+            eqx_assert(p >= 0, "torus direction port missing");
+            vc_[flat].cand[nc++] = p;
+        }
+        vc_[flat].cls = static_cast<std::uint8_t>(
+            topo_->wrapClass(coord_, dest, dirs[0]));
     } else if (params_->routing == RoutingMode::XY || params_->classVcs) {
         std::int8_t p = dirPort_[static_cast<int>(
             xyDirection(coord_, dest))];
@@ -290,6 +337,15 @@ Router::chooseVcRequest(int flat, Cycle now, int &req_port, int &req_vc)
                     !params_->classVcs;
     if (params_->classVcs && !monopolyAllowed(vc_[flat].cls, now))
         classVcRange(vc_[flat].cls, lo, hi);
+    else if (wrap_ && !adaptive) {
+        // Torus XY: split the VCs into dateline halves. Class 0
+        // ("wrap link still ahead on the current ring") and class 1
+        // never share a VC, which breaks every ring cycle
+        // (DESIGN.md §17). Network asserts vcsPerPort >= 2 here.
+        int half = v / 2;
+        lo = vc_[flat].cls ? half : 0;
+        hi = vc_[flat].cls ? v - 1 : half - 1;
+    }
 
     const std::int8_t *cand = vc_[flat].cand;
     int nc = vc_[flat].candCount;
@@ -318,6 +374,42 @@ Router::chooseVcRequest(int flat, Cycle now, int &req_port, int &req_vc)
             return false;
         }
         if (adaptive) {
+            if (wrap_) {
+                // Torus escape discipline (Duato over the dateline
+                // subnetwork): the top two VCs form the escape pair,
+                // v-2 for class 0 (wrap link ahead) and v-1 for
+                // class 1. The per-ring (position, class) order
+                // strictly increases along escape hops, so the escape
+                // subnetwork is cycle-free (DESIGN.md §17). Network
+                // asserts vcsPerPort >= 3 here.
+                int esc = v - 2 + vc_[flat].cls;
+                if (flat % v >= v - 2) {
+                    // Escape input: stay on the dateline pair, XY
+                    // (candidate 0) only.
+                    int vc = firstFree(cand[0], esc, esc);
+                    if (vc < 0)
+                        return false;
+                    req_port = cand[0];
+                    req_vc = vc;
+                    return true;
+                }
+                for (int i = 0; i < nc; ++i) {
+                    int vc = firstFree(cand[i], 0, v - 3);
+                    if (vc >= 0) {
+                        req_port = cand[i];
+                        req_vc = vc;
+                        return true;
+                    }
+                }
+                // Blocked on all adaptive VCs: fall into escape.
+                int vc = firstFree(cand[0], esc, esc);
+                if (vc >= 0) {
+                    req_port = cand[0];
+                    req_vc = vc;
+                    return true;
+                }
+                return false;
+            }
             if (flat % v == escapeVc() && v > 1) {
                 // Escape discipline: stay on the escape VC along XY.
                 int vc = firstFree(cand[0], escapeVc(), escapeVc());
@@ -377,7 +469,22 @@ Router::chooseVcRequest(int flat, Cycle now, int &req_port, int &req_vc)
             for (int vc = 0; vc < v; ++vc)
                 consider(cand[i], vc);
     } else if (adaptive) {
-        if (flat % v == escapeVc() && v > 1) {
+        if (wrap_) {
+            // Torus escape pair (see the uniform-credit path above).
+            int esc = v - 2 + vc_[flat].cls;
+            if (flat % v >= v - 2) {
+                // Escape input: stay on the dateline pair, XY only.
+                consider(cand[0], esc);
+            } else {
+                for (int i = 0; i < nc; ++i)
+                    for (int vc = 0; vc < v - 2; ++vc)
+                        consider(cand[i], vc);
+                if (best_port < 0) {
+                    // Blocked on all adaptive VCs: fall into escape.
+                    consider(cand[0], esc);
+                }
+            }
+        } else if (flat % v == escapeVc() && v > 1) {
             // Escape discipline: stay on the escape VC along XY.
             consider(cand[0], escapeVc());
         } else {

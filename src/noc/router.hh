@@ -22,6 +22,7 @@
 #include "noc/channel.hh"
 #include "noc/packet.hh"
 #include "noc/params.hh"
+#include "noc/topology.hh"
 #include "noc/vc_buffer.hh"
 
 namespace eqx {
@@ -65,39 +66,6 @@ struct NetworkActivity
     }
 
     void reset() { *this = NetworkActivity{}; }
-};
-
-/** Node-id -> coordinate mapping provided by the owning network. */
-class Topology
-{
-  public:
-    Topology(int width, int height) : w_(width), h_(height) {}
-
-    int width() const { return w_; }
-    int height() const { return h_; }
-    int numNodes() const { return w_ * h_; }
-
-    Coord
-    coord(NodeId n) const
-    {
-        return {static_cast<int>(n) % w_, static_cast<int>(n) / w_};
-    }
-
-    NodeId
-    node(const Coord &c) const
-    {
-        return static_cast<NodeId>(c.y * w_ + c.x);
-    }
-
-    bool
-    inBounds(const Coord &c) const
-    {
-        return c.x >= 0 && c.x < w_ && c.y >= 0 && c.y < h_;
-    }
-
-  private:
-    int w_;
-    int h_;
 };
 
 /**
@@ -422,11 +390,19 @@ class Router
 
     /** Geo direction -> output port (-1 when absent). */
     std::int8_t dirPort_[4] = {-1, -1, -1, -1};
-    /** Ejection ports as a fixed candidate array (== ejPorts_). */
+    /** Ejection ports as a fixed candidate array (== ejPorts_). Not
+     *  maintained on concentrated routers, whose ejection fan-out can
+     *  exceed kMaxRouteCand — they eject via destSub_ instead. */
     std::int8_t ejCand_[kMaxRouteCand] = {};
     std::uint32_t outIsGeo_ = 0;       ///< bit per output port
     std::uint32_t outInterposer_ = 0;  ///< bit per output port
     int ejCandCount_ = 0;
+    /** Topology facts cached off the hot path's pointer chase. */
+    bool wrap_ = false;         ///< torus: wrap-aware RC + dateline VCs
+    bool concentrated_ = false; ///< CMesh: eject by destination slot
+    /** Concentrated ejection: the head packet's destination tile slot
+     *  per input VC (indexes ejPorts_), written at route compute. */
+    std::int8_t destSub_[kMaxInVcs] = {};
 
     std::uint64_t flitsForwarded_ = 0;
     std::uint64_t vaRequests_ = 0;

@@ -18,10 +18,10 @@ xyDirection(const Coord &here, const Coord &dest)
     return Dir::Local;
 }
 
-std::vector<Dir>
+RouteCandidates
 minimalDirections(const Coord &here, const Coord &dest)
 {
-    std::vector<Dir> dirs;
+    RouteCandidates dirs;
     if (dest.x > here.x)
         dirs.push_back(Dir::East);
     else if (dest.x < here.x)

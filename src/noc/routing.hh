@@ -3,17 +3,46 @@
  * Route-compute helpers: XY and minimal-adaptive candidate sets on a
  * 2D mesh. Deadlock freedom for the adaptive mode comes from the
  * escape VC discipline enforced by the router's VC allocator.
+ * Wrap-aware (torus) candidate sets live on the Topology layer
+ * (noc/topology.hh), which returns the same fixed-capacity
+ * RouteCandidates type.
  */
 
 #ifndef EQX_NOC_ROUTING_HH
 #define EQX_NOC_ROUTING_HH
 
-#include <vector>
+#include <array>
+#include <cstdint>
 
 #include "common/types.hh"
-#include "noc/params.hh"
 
 namespace eqx {
+
+/**
+ * Fixed-capacity minimal-route candidate set: at most one productive
+ * direction per dimension, so capacity two covers every 2D topology.
+ * Replaces the std::vector<Dir> return that allocated on the RC hot
+ * path (see bench/micro_kernels BM_MinimalDirections*).
+ */
+struct RouteCandidates
+{
+    std::array<Dir, 2> dir{};
+    std::uint8_t count = 0;
+
+    void
+    push_back(Dir d)
+    {
+        dir[count++] = d;
+    }
+    int size() const { return count; }
+    bool empty() const { return count == 0; }
+    Dir operator[](int i) const
+    {
+        return dir[static_cast<std::size_t>(i)];
+    }
+    const Dir *begin() const { return dir.data(); }
+    const Dir *end() const { return dir.data() + count; }
+};
 
 /** The XY (dimension-order) direction from @p here toward @p dest. */
 Dir xyDirection(const Coord &here, const Coord &dest);
@@ -22,7 +51,7 @@ Dir xyDirection(const Coord &here, const Coord &dest);
  * All minimal (productive) directions from @p here toward @p dest:
  * one or two entries; empty when already at the destination.
  */
-std::vector<Dir> minimalDirections(const Coord &here, const Coord &dest);
+RouteCandidates minimalDirections(const Coord &here, const Coord &dest);
 
 /** True if stepping in @p d from @p here reduces distance to @p dest. */
 bool isMinimalStep(const Coord &here, const Coord &dest, Dir d);

@@ -33,11 +33,20 @@ double
 PowerModel::networkAreaMm2(const Network &net) const
 {
     const NocParams &p = net.params();
+    const Topology &topo = net.topology();
     double area = 0;
-    for (NodeId n = 0; n < net.topology().numNodes(); ++n) {
-        const Router &r = net.router(n);
-        area += routerAreaMm2(r.numInputPorts(), r.numOutputPorts(),
-                              p.vcsPerPort, p.vcDepthFlits, p.flitBits);
+    // Routers and NIs live in different spaces once the topology is
+    // concentrated (one router per c x c tile block, one NI per tile).
+    // Keep the per-tile router+NI interleaving where the spaces
+    // coincide: float summation order is part of the byte-identity
+    // contract on the mesh.
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        if (!topo.concentrated() || topo.tileSlot(n) == 0) {
+            const Router &r = net.router(topo.routerOf(n));
+            area += routerAreaMm2(r.numInputPorts(), r.numOutputPorts(),
+                                  p.vcsPerPort, p.vcDepthFlits,
+                                  p.flitBits);
+        }
         area += niAreaMm2(net.ni(n).numInjBuffers(), p.vcDepthFlits,
                           p.flitBits);
     }

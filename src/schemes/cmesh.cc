@@ -47,7 +47,7 @@ class OverlayInjector : public PacketInjector
     tryInject(const PacketPtr &pkt) override
     {
         const Topology &t = mesh_->topology();
-        int dist = manhattan(t.coord(node_), t.coord(pkt->dst));
+        int dist = t.distance(t.coord(node_), t.coord(pkt->dst));
         NodeId entry = map_.overlayNode(node_);
         NodeId exit = map_.overlayNode(pkt->dst);
         if (dist >= minHops_ && entry != exit) {

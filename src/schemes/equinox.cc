@@ -29,6 +29,8 @@ EquiNoxFamilyModel::placeCbs(const SystemConfig &cfg,
         dp.height = cfg.height;
         dp.numCbs = cfg.numCbs;
         dp.seed = cfg.seed;
+        // Score the design on the fabric the replies will ride.
+        dp.topo = replyTopo(cfg);
         owned = buildEquiNoxDesign(dp);
         design = &owned;
     }

@@ -22,6 +22,7 @@ void registerDa2MeshSchemes(SchemeRegistry &r);    // da2mesh.cc
 void registerMultiPortSchemes(SchemeRegistry &r);  // multiport.cc
 void registerEquiNoxSchemes(SchemeRegistry &r);    // equinox.cc
 void registerEquiNoxXySchemes(SchemeRegistry &r);  // equinox_xy.cc
+void registerTopologyVariantSchemes(SchemeRegistry &r); // topology_variants.cc
 
 } // namespace eqx
 

@@ -82,6 +82,15 @@ SplitSchemeModel::networkSpecs(const SchemeBuild &b) const
     rep.params = baseParams(b.cfg, "reply");
     rep.params.classes = {false, true};
     rep.params.routing = replyRouting();
+    rep.params.topo = replyTopo(b.cfg);
+    if (rep.params.topo.kind == TopologyKind::Torus) {
+        // Dateline discipline floor (DESIGN.md §17): the base VC count
+        // keeps the paper's value on the mesh schemes, so lift only
+        // the wrapped reply fabric to its deadlock-freedom minimum.
+        int need = replyRouting() == RoutingMode::XY ? 2 : 3;
+        if (rep.params.vcsPerPort < need)
+            rep.params.vcsPerPort = need;
+    }
     modReplySpec(b, rep);
     out.push_back(std::move(rep));
     return out;

@@ -152,6 +152,18 @@ class SplitSchemeModel : public SchemeModel
         return RoutingMode::MinimalAdaptive;
     }
 
+    /**
+     * Topology of the reply network(s). The default honors the
+     * cfg.replyTopo knob; the "-Torus"/"-CMesh" registry variants
+     * force a kind so the variant name alone selects the fabric
+     * (DESIGN.md §17).
+     */
+    virtual TopoSpec
+    replyTopo(const SystemConfig &cfg) const
+    {
+        return cfg.replyTopo;
+    }
+
     virtual void modRequestSpec(const SchemeBuild &, NetworkSpec &) const
     {}
     virtual void modReplySpec(const SchemeBuild &, NetworkSpec &) const

@@ -33,6 +33,7 @@ SchemeRegistry::instance()
         registerMultiPortSchemes(r);
         registerEquiNoxSchemes(r);
         registerEquiNoxXySchemes(r);
+        registerTopologyVariantSchemes(r);
         return r;
     }();
     return reg;

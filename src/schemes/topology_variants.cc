@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Topology-variant schemes (DESIGN.md §17): stock scheme models with
+ * the reply fabric swapped by name. EquiNox-Torus rides the full
+ * design flow — the EIR search scores on wrapped distances — and
+ * runs its reply network as a dateline-VC torus; SeparateBase-CMesh
+ * concentrates the reply mesh (one router per c x c tile block, c
+ * from the replyTopo knob). Like EquiNox-XY, each variant is pure
+ * registry surface: this translation unit plus its hook, zero
+ * simulator edits.
+ */
+
+#include "schemes/equinox_model.hh"
+#include "schemes/registration.hh"
+#include "schemes/scheme_registry.hh"
+
+namespace eqx {
+
+namespace {
+
+class EquiNoxTorusModel final : public EquiNoxFamilyModel
+{
+  public:
+    const char *name() const override { return "EquiNox-Torus"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"equinoxtorus"};
+    }
+
+    const char *
+    summary() const override
+    {
+        return "EquiNox with a torus reply net (dateline escape VCs)";
+    }
+
+    // No legacyEnum(): this variant exists only under its string key.
+
+  protected:
+    TopoSpec
+    replyTopo(const SystemConfig &) const override
+    {
+        return {TopologyKind::Torus, 1};
+    }
+};
+
+class SeparateBaseCMeshModel final : public SplitSchemeModel
+{
+  public:
+    const char *name() const override { return "SeparateBase-CMesh"; }
+
+    std::vector<std::string>
+    aliases() const override
+    {
+        return {"separatecmesh"};
+    }
+
+    const char *
+    summary() const override
+    {
+        return "SeparateBase with a concentrated-mesh reply net";
+    }
+
+  protected:
+    TopoSpec
+    replyTopo(const SystemConfig &cfg) const override
+    {
+        // Force the kind, keep the concentration tunable.
+        return {TopologyKind::CMesh, cfg.replyTopo.concentration};
+    }
+};
+
+} // namespace
+
+void
+registerTopologyVariantSchemes(SchemeRegistry &r)
+{
+    r.add(std::make_unique<EquiNoxTorusModel>());
+    r.add(std::make_unique<SeparateBaseCMeshModel>());
+}
+
+} // namespace eqx

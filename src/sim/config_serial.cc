@@ -106,6 +106,8 @@ serializeDesignParams(const DesignParams &dp, const std::string &p,
     out.add(p + "num_cbs", dp.numCbs);
     out.add(p + "max_hops", dp.maxHops);
     out.add(p + "max_per_group", dp.maxPerGroup);
+    out.add(p + "topo.kind", topologyKindName(dp.topo.kind));
+    out.add(p + "topo.conc", dp.topo.concentration);
     out.add(p + "method", static_cast<int>(dp.method));
     out.add(p + "seed", dp.seed);
     out.add(p + "mcts.iters", dp.mcts.iterationsPerLevel);
@@ -220,7 +222,7 @@ serializeSystemConfig(const SystemConfig &sc, KvBlob &out)
 // documenting why it cannot affect results) and updating the
 // expected size. Layout is checked only on the toolchain CI runs.
 #if defined(__x86_64__) && defined(__GLIBCXX__) && !defined(_GLIBCXX_DEBUG)
-    static_assert(sizeof(SystemConfig) == 648,
+    static_assert(sizeof(SystemConfig) == 664,
                   "SystemConfig changed: update serializeSystemConfig "
                   "and this size guard (see config_serial.hh)");
 #endif
@@ -276,6 +278,8 @@ serializeSystemConfig(const SystemConfig &sc, KvBlob &out)
     out.add("sc.da2_subnets", sc.da2Subnets);
     out.add("sc.cmesh_min_hops", sc.cmeshMinHops);
     out.add("sc.cmesh_flit_bits", sc.cmeshFlitBits);
+    out.add("sc.reply_topo.kind", topologyKindName(sc.replyTopo.kind));
+    out.add("sc.reply_topo.conc", sc.replyTopo.concentration);
 
     out.add("sc.has_pre_design", sc.preDesign != nullptr);
     if (sc.preDesign)

@@ -80,6 +80,16 @@ struct SystemConfig
     int cmeshFlitBits = 256;
 
     /**
+     * Reply-fabric topology (DESIGN.md §17): the geometry of every
+     * reply network the scheme builds. Mesh (the default) reproduces
+     * the paper byte-identically; torus and cmesh are the wrap/
+     * concentrated variants the "-Torus"/"-CMesh" registry schemes
+     * force. Request fabrics stay mesh — the paper's request-side
+     * results are the control group every comparison shares.
+     */
+    TopoSpec replyTopo;
+
+    /**
      * EquiNox design to deploy. When null and scheme == EquiNox, the
      * system runs the full design flow itself (seeded by `seed`).
      * Benches reuse one design across all benchmarks via this pointer.

@@ -26,7 +26,7 @@ namespace eqx {
  * added/renamed) or the cache record format changes incompatibly —
  * every old cache/journal entry then misses instead of aliasing.
  */
-constexpr int kSweepSchemaVersion = 2;
+constexpr int kSweepSchemaVersion = 3;
 
 /** A 128-bit content digest, rendered as 32 lowercase hex chars. */
 struct CellDigest

@@ -38,7 +38,7 @@ class EquiNoxNiTest : public ::testing::Test
     void
     SetUp() override
     {
-        topo = std::make_unique<Topology>(8, 8);
+        topo = makeTopology(8, 8);
         ni = std::make_unique<ExposedNi<EquiNoxNi>>(
             cb, topo.get(), &params, &activity, &latency);
         // Buffer 0: local; buffers 1..4: E(5,3), W(1,3), S(3,5), N(3,1).
@@ -63,7 +63,7 @@ class EquiNoxNiTest : public ::testing::Test
     NocParams params;
     NetworkActivity activity;
     LatencyStats latency;
-    std::unique_ptr<Topology> topo;
+    std::unique_ptr<const Topology> topo;
     std::vector<std::unique_ptr<Channel<Flit>>> chans;
     std::unique_ptr<ExposedNi<EquiNoxNi>> ni;
 };
@@ -124,7 +124,7 @@ TEST_F(EquiNoxNiTest, NearDestinationBehindEirUsesLocal)
 
 TEST(BasicNiTest, SingleBufferUntilFull)
 {
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     NetworkActivity act;
     LatencyStats lat;
@@ -139,7 +139,7 @@ TEST(BasicNiTest, SingleBufferUntilFull)
 
 TEST(MultiPortNiTest, RoundRobinSkipsFullBuffers)
 {
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     NetworkActivity act;
     LatencyStats lat;
@@ -195,7 +195,7 @@ TEST(MultiPortNiTest, RoundRobinFairUnderPermanentlyFullBuffer)
 {
     // One buffer stays full; the remaining buffers must split the
     // dispatch stream evenly (no starvation, no bias).
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     NetworkActivity act;
     LatencyStats lat;
@@ -289,7 +289,7 @@ TEST_F(EquiNoxNiTest, MaskingIsIdempotentAndSurvivorsMustBeFree)
 
 TEST(NiInjection, PerBufferLoadCountersTrackInjection)
 {
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     NetworkActivity act;
     LatencyStats lat;
@@ -312,7 +312,7 @@ TEST(NiInjection, PerBufferLoadCountersTrackInjection)
 
 TEST(NiInjection, CreditStallTicksCountStarvation)
 {
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     params.vcDepthFlits = 2;
     NetworkActivity act;
@@ -333,7 +333,7 @@ TEST(NiInjection, CreditStallTicksCountStarvation)
 
 TEST(NiInjection, SerializesAndStampsPacket)
 {
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     NetworkActivity act;
     LatencyStats lat;
@@ -365,7 +365,7 @@ TEST(NiInjection, SerializesAndStampsPacket)
 
 TEST(NiInjection, CoreQueueCapacityBounds)
 {
-    Topology topo(4, 4);
+    Mesh2D topo(4, 4);
     NocParams params;
     params.niInjBufPackets = 2;
     NetworkActivity act;

@@ -21,7 +21,7 @@ class RouterHarness : public ::testing::Test
     void
     SetUp() override
     {
-        topo = std::make_unique<Topology>(3, 3);
+        topo = makeTopology(3, 3);
         router = std::make_unique<Router>(4 /*centre (1,1)*/, topo.get(),
                                           &params, &activity);
         inCredit = std::make_unique<Channel<Credit>>(1);
@@ -85,7 +85,7 @@ class RouterHarness : public ::testing::Test
 
     NocParams params;
     NetworkActivity activity;
-    std::unique_ptr<Topology> topo;
+    std::unique_ptr<const Topology> topo;
     std::unique_ptr<Router> router;
     std::unique_ptr<Channel<Credit>> inCredit;
     std::unique_ptr<Channel<Flit>> outFlits;

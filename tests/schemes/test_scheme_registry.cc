@@ -87,14 +87,17 @@ TEST(SchemeRegistry, PaperListExcludesRegistryOnlyVariants)
     EXPECT_EQ(paper.front(), "SingleBase");
     EXPECT_EQ(paper.back(), "EquiNox");
 
-    // EquiNox-XY registered from its own TU: present in the full
-    // listing, absent from the paper's seven, and has no legacy enum.
+    // Variant TUs (EquiNox-XY, the topology variants): present in the
+    // full listing, absent from the paper's seven, no legacy enum.
     auto all = allSchemeNames();
-    EXPECT_EQ(all.size(), 8u);
-    const SchemeModel *xy = SchemeRegistry::instance().find("EquiNox-XY");
-    ASSERT_NE(xy, nullptr);
-    EXPECT_FALSE(xy->legacyEnum().has_value());
-    EXPECT_FALSE(xy->singleNetwork());
+    EXPECT_EQ(all.size(), 10u);
+    for (const char *key :
+         {"EquiNox-XY", "EquiNox-Torus", "SeparateBase-CMesh"}) {
+        const SchemeModel *m = SchemeRegistry::instance().find(key);
+        ASSERT_NE(m, nullptr) << key;
+        EXPECT_FALSE(m->legacyEnum().has_value()) << key;
+        EXPECT_FALSE(m->singleNetwork()) << key;
+    }
 }
 
 /** Minimal model for exercising add() collisions on a private registry. */

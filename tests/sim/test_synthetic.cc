@@ -70,7 +70,7 @@ TEST(Synthetic, EirsReduceInjectionQueueing)
 
     auto eir = base;
     // Hand-build axis EIR groups two hops out where in bounds.
-    Topology topo(8, 8);
+    Mesh2D topo(8, 8);
     for (const auto &cb : cbs) {
         std::vector<NodeId> group;
         for (Coord d : {Coord{2, 0}, Coord{-2, 0}, Coord{0, 2},

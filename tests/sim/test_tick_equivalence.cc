@@ -146,6 +146,51 @@ TEST(TickEquivalence, Loaded16x16JsonlRecordsIdentical)
     expectCellsIdentical(ca, ce);
 }
 
+/**
+ * Wrap-fabric variants (DESIGN.md §17): the reply network is a
+ * dateline-VC torus or a concentrated mesh. Both tick schedulers must
+ * stay bit-identical when wrap links (and, for CMesh, slot-indexed
+ * concentrated ejection) are in play.
+ */
+ExperimentConfig
+topoVariantCell(const char *scheme, bool exhaustive)
+{
+    ExperimentConfig ec;
+    ec.workloads = workloadSubset(1);
+    ec.instScale = 0.04;
+    ec.schemes = {scheme};
+    ec.collectMetrics = true;
+    ec.warmupCycles = 20;
+    ec.tweak = [exhaustive](SystemConfig &sc) {
+        sc.design.mcts.iterationsPerLevel = 80;
+        sc.design.polishPasses = 1;
+        sc.exhaustiveNocTick = exhaustive;
+    };
+    return ec;
+}
+
+TEST(TickEquivalence, TorusReplyFabricJsonlRecordIdentical)
+{
+    ExperimentRunner act(topoVariantCell("EquiNox-Torus", false));
+    ExperimentRunner exh(topoVariantCell("EquiNox-Torus", true));
+    auto ca = act.runMatrix();
+    auto ce = exh.runMatrix();
+    ASSERT_EQ(ca.size(), 1u);
+    ASSERT_TRUE(ca[0].result.completed);
+    expectCellsIdentical(ca, ce);
+}
+
+TEST(TickEquivalence, CmeshReplyFabricJsonlRecordIdentical)
+{
+    ExperimentRunner act(topoVariantCell("SeparateBase-CMesh", false));
+    ExperimentRunner exh(topoVariantCell("SeparateBase-CMesh", true));
+    auto ca = act.runMatrix();
+    auto ce = exh.runMatrix();
+    ASSERT_EQ(ca.size(), 1u);
+    ASSERT_TRUE(ca[0].result.completed);
+    expectCellsIdentical(ca, ce);
+}
+
 TEST(TickEquivalence, Loaded16x16FaultArmedJsonlRecordsIdentical)
 {
     // Fault-armed: the plane ticks every cycle (skip suppressed), the

@@ -99,6 +99,21 @@ TEST(Digest, SchemaSaltBumpInvalidatesEveryDigest)
     EXPECT_NE(digestBlob(blob, 1), digestBlob(blob, 2));
 }
 
+TEST(Digest, SchemaVersionPinnedToCurrentBlobContract)
+{
+    // v3: the topology knobs (sc.reply_topo.*, dp.topo.*) entered the
+    // serialized blob. Bump this pin ONLY together with a
+    // kSweepSchemaVersion bump — a blob-content change without a salt
+    // bump would let stale cache entries alias fresh configurations.
+    EXPECT_EQ(kSweepSchemaVersion, 3);
+    std::string blob = systemBlob(SystemConfig{});
+    EXPECT_NE(blob.find("sc.reply_topo.kind=mesh"), std::string::npos);
+    EXPECT_NE(blob.find("sc.reply_topo.conc=2"), std::string::npos);
+    EXPECT_NE(blob.find("sc.design.topo.kind=mesh"), std::string::npos);
+    EXPECT_NE(digestBlob(blob, kSweepSchemaVersion),
+              digestBlob(blob, kSweepSchemaVersion - 1));
+}
+
 TEST(Digest, SensitiveToEverySystemConfigKnob)
 {
     using Mut = void (*)(SystemConfig &);
@@ -240,6 +255,16 @@ TEST(Digest, SensitiveToEverySystemConfigKnob)
          [](SystemConfig &s) { s.traffic.coherenceVcs += 1; }},
         {"traffic.cohRegionLines",
          [](SystemConfig &s) { s.traffic.cohRegionLines += 1; }},
+        {"replyTopo.kind",
+         [](SystemConfig &s) { s.replyTopo.kind = TopologyKind::Torus; }},
+        {"replyTopo.conc",
+         [](SystemConfig &s) { s.replyTopo.concentration += 1; }},
+        {"design.topo.kind",
+         [](SystemConfig &s) {
+             s.design.topo.kind = TopologyKind::Torus;
+         }},
+        {"design.topo.conc",
+         [](SystemConfig &s) { s.design.topo.concentration += 1; }},
     };
 
     SystemConfig base;
